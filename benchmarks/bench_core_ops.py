@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not a paper figure -- these track the cost of the operations everything
+else is built from: Hilbert indexing, chunk-graph construction, the
+three planners, plan-traffic derivation, and simulator event
+throughput.
+"""
+
+import numpy as np
+import pytest
+
+import repro_grid as grid
+from repro.machine.presets import ibm_sp
+from repro.planner.strategies import plan_da, plan_fra, plan_sra
+from repro.sim.events import Resource, Simulator
+from repro.sim.query_sim import simulate_query
+from repro.util.geometry import Rect
+from repro.util.hilbert import hilbert_indices, hilbert_sort_keys
+
+P = grid.PROCS[0]
+
+
+@pytest.fixture(scope="module")
+def sat_problem():
+    return grid.problem("SAT", 1, P)
+
+
+def test_hilbert_indices_bulk(benchmark):
+    rng = np.random.default_rng(0)
+    coords = rng.integers(0, 1 << 16, size=(100_000, 2))
+    out = benchmark(hilbert_indices, coords, 16)
+    assert len(out) == 100_000
+
+
+def test_hilbert_sort_keys_3d(benchmark):
+    rng = np.random.default_rng(0)
+    pts = rng.uniform(0, 1, size=(50_000, 3))
+    bbox = Rect.cube(0, 1, 3)
+    out = benchmark(hilbert_sort_keys, pts, bbox)
+    assert len(out) == 50_000
+
+
+def test_chunk_graph_construction(benchmark):
+    emu = grid.emulator("SAT")
+    out = benchmark(emu.scenario, 1, 42)
+    assert out.graph.n_edges > 0
+
+
+@pytest.mark.parametrize(
+    "planner", [plan_fra, plan_sra, plan_da], ids=["FRA", "SRA", "DA"]
+)
+def test_planner_speed(benchmark, sat_problem, planner):
+    plan = benchmark(planner, sat_problem)
+    assert plan.n_tiles >= 1
+
+
+def test_plan_traffic_derivation(benchmark, sat_problem):
+    def run():
+        plan = plan_da(sat_problem)
+        return plan.reads, plan.input_transfers, plan.ghost_transfers
+
+    reads, it, gt = benchmark(run)
+    assert len(reads) > 0
+
+
+def test_simulator_event_throughput(benchmark):
+    """A chain of 10k resource operations: raw DES overhead."""
+
+    def run():
+        sim = Simulator()
+        r = Resource(sim)
+        for _ in range(10_000):
+            r.submit(0.001)
+        return sim.run()
+
+    total = benchmark(run)
+    assert total == pytest.approx(10.0)
+
+
+def test_full_query_simulation(benchmark):
+    sc = grid.scenario("WCS", 1)
+    plan = grid.plan("WCS", 1, P, "FRA")
+    res = benchmark.pedantic(
+        simulate_query, args=(plan, ibm_sp(P), sc.costs), rounds=3, iterations=1
+    )
+    assert res.total_time > 0

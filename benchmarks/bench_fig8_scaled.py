@@ -1,0 +1,32 @@
+"""Figure 8, right column: query execution time, input scaled with P.
+
+The input dataset grows proportionally to the processor count
+(scale = P/8, reaching the Table 1 maxima at 128 processors).
+
+Expected shape (paper Section 4): execution time stays nearly
+constant for FRA and SRA on SAT and WCS, while it *increases* for DA
+-- "the DA strategy has both higher communication volume and more
+load imbalance".
+"""
+
+import pytest
+
+import repro_grid as grid
+
+
+@pytest.mark.parametrize("app", grid.APPS)
+def test_fig8_scaled(benchmark, app):
+    grid.print_table(
+        "Figure 8 (right): execution time",
+        app,
+        "scaled",
+        lambda r: r.total_time,
+        "seconds",
+    )
+    data = grid.series(app, "scaled", lambda r: r.total_time)
+    if app in ("SAT", "WCS") and not grid.FAST:
+        # FRA nearly flat; DA clearly growing.
+        fra = data["FRA"]
+        assert max(fra) < 1.5 * min(fra), fra
+        assert data["DA"][-1] > 1.2 * data["DA"][0], data["DA"]
+    benchmark(grid.plan.__wrapped__, app, 1, 8, "DA")

@@ -1,0 +1,41 @@
+"""Figure 9(a): communication volume per processor, fixed input size.
+
+Expected shape (paper Section 4): DA's volume is proportional to the
+input chunks per processor times the fan-out, so it *falls* as
+processors are added; FRA's is proportional to the (fixed) accumulator
+size and stays nearly constant; SRA tracks FRA while the fan-in
+exceeds the processor count and drops below it afterwards (visible
+for VM at P >= 32).
+"""
+
+import pytest
+
+import repro_grid as grid
+
+MB = 2**20
+
+
+def comm_mb(r):
+    return r.comm_volume_per_proc / MB
+
+
+@pytest.mark.parametrize("app", grid.APPS)
+def test_fig9_comm_fixed(benchmark, app):
+    grid.print_table(
+        "Figure 9(a): communication volume per processor",
+        app,
+        "fixed",
+        comm_mb,
+        "MB/processor",
+    )
+    data = grid.series(app, "fixed", comm_mb)
+    # DA volume decreases with P.
+    assert all(a > b for a, b in zip(data["DA"], data["DA"][1:])), data["DA"]
+    # FRA volume roughly constant.
+    fra = data["FRA"]
+    assert max(fra) < 1.35 * min(fra), fra
+    if app == "VM" and not grid.FAST:
+        # SRA drops below FRA once P exceeds the fan-in (16).
+        i32 = grid.PROCS.index(32) if 32 in grid.PROCS else len(grid.PROCS) - 1
+        assert data["SRA"][i32] < 0.9 * data["FRA"][i32]
+    benchmark(grid.cell_stats.__wrapped__, app, "fixed", grid.PROCS[0], "FRA")

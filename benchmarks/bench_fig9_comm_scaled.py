@@ -1,0 +1,34 @@
+"""Figure 9(b): communication volume per processor, scaled input.
+
+Expected shape (paper Section 4): "the volume of communication for DA
+increases for scaled input size" (per-processor input stays constant
+but nearly all of it must be forwarded as processors are added);
+FRA/SRA remain bounded by the fixed accumulator size.
+"""
+
+import pytest
+
+import repro_grid as grid
+
+MB = 2**20
+
+
+def comm_mb(r):
+    return r.comm_volume_per_proc / MB
+
+
+@pytest.mark.parametrize("app", grid.APPS)
+def test_fig9_comm_scaled(benchmark, app):
+    grid.print_table(
+        "Figure 9(b): communication volume per processor",
+        app,
+        "scaled",
+        comm_mb,
+        "MB/processor",
+    )
+    data = grid.series(app, "scaled", comm_mb)
+    # DA grows; FRA stays bounded.
+    assert data["DA"][-1] > data["DA"][0]
+    fra = data["FRA"]
+    assert max(fra) < 1.35 * min(fra), fra
+    benchmark(grid.cell_stats.__wrapped__, app, "scaled", grid.PROCS[0], "DA")

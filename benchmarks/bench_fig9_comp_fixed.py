@@ -1,0 +1,40 @@
+"""Figure 9(c): computation time per processor, fixed input size.
+
+Reported metric: the busiest processor's CPU time (max over
+processors), where DA's load imbalance and FRA/SRA's constant
+initialization and global-combine overheads show up.
+
+Expected shape (paper Section 4): "the computation time does not
+scale perfectly.  For DA this is because of load imbalance incurred
+during the local reduction phase, while for FRA and SRA it is due to
+constant overheads in the initialization and global reduction
+phases."
+"""
+
+import pytest
+
+import repro_grid as grid
+
+
+def comp(r):
+    return r.computation_time
+
+
+@pytest.mark.parametrize("app", grid.APPS)
+def test_fig9_comp_fixed(benchmark, app):
+    grid.print_table(
+        "Figure 9(c): computation time",
+        app,
+        "fixed",
+        comp,
+        "seconds (busiest processor)",
+    )
+    data = grid.series(app, "fixed", comp)
+    lo, hi = grid.PROCS[0], grid.PROCS[-1]
+    speedup_ideal = hi / lo
+    for s in grid.STRATEGIES:
+        measured = data[s][0] / data[s][-1]
+        assert measured > 1.0, (s, data[s])
+        # imperfect scaling: measured speedup below ideal
+        assert measured < speedup_ideal, (s, measured, speedup_ideal)
+    benchmark(grid.cell_stats.__wrapped__, app, "fixed", grid.PROCS[0], "SRA")

@@ -1,0 +1,35 @@
+"""Figure 9(d): computation time per processor, scaled input.
+
+Expected shape (paper Section 4): per-processor reduction work is
+constant by construction, so FRA/SRA stay nearly flat; DA's busiest
+processor grows with the machine size because the output-ownership
+partitioning gets coarser relative to the (skewed) fan-in
+distribution -- the load-imbalance mechanism behind Figure 8's
+right-column DA growth.
+"""
+
+import pytest
+
+import repro_grid as grid
+
+
+def comp(r):
+    return r.computation_time
+
+
+@pytest.mark.parametrize("app", grid.APPS)
+def test_fig9_comp_scaled(benchmark, app):
+    grid.print_table(
+        "Figure 9(d): computation time",
+        app,
+        "scaled",
+        comp,
+        "seconds (busiest processor)",
+    )
+    data = grid.series(app, "scaled", comp)
+    if app == "SAT" and not grid.FAST:
+        # skewed fan-in: DA imbalance grows with the machine
+        assert data["DA"][-1] > 1.2 * data["DA"][0], data["DA"]
+        fra = data["FRA"]
+        assert max(fra) < 1.4 * min(fra), fra
+    benchmark(grid.cell_stats.__wrapped__, app, "scaled", grid.PROCS[0], "DA")

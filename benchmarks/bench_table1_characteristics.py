@@ -1,0 +1,40 @@
+"""Table 1: application characteristics.
+
+Regenerates the paper's Table 1 from the emulators: chunk counts and
+byte totals for the smallest and largest input datasets, average
+fan-in and fan-out, and the per-phase compute costs.
+
+Paper values for reference:
+
+=====  ============  ===========  =======  ============  ========  =============
+app    input chunks  input size   outputs  fan-in        fan-out   I-LR-GC-OH ms
+=====  ============  ===========  =======  ============  ========  =============
+SAT    9K - 144K     1.6 - 26 GB  256      161 - 1307    4.6       1-40-20-1
+WCS    7.5K - 120K   1.7 - 27 GB  150      60 - 960      1.2       1-20-1-1
+VM     4K - 64K      1.5 - 24 GB  256      16 - 128      1.0       1-5-1-1
+=====  ============  ===========  =======  ============  ========  =============
+"""
+
+import pytest
+
+import repro_grid as grid
+
+
+MAX_SCALE = 4 if grid.FAST else 16
+
+
+@pytest.mark.parametrize("app", grid.APPS)
+def test_table1(benchmark, app):
+    small = grid.scenario(app, 1)
+    large = grid.scenario(app, MAX_SCALE)
+    c = small.costs
+    print()
+    print(f"== Table 1 -- {app} ==")
+    print("  smallest:", small.table1_row())
+    print("  largest: ", large.table1_row())
+    print(
+        f"  costs I-LR-GC-OH: {c.init*1e3:.0f}-{c.reduction*1e3:.0f}-"
+        f"{c.combine*1e3:.0f}-{c.output*1e3:.0f} ms"
+    )
+    # benchmark the emulator itself: scenario generation end to end
+    benchmark(grid.emulator(app).scenario, 1, 123)

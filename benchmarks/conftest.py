@@ -1,0 +1,6 @@
+"""Benchmark configuration: make repro_grid importable from any bench."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

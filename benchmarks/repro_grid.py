@@ -1,0 +1,56 @@
+"""Shared experiment grid for the reproduction benches.
+
+Thin adapter over :class:`repro.experiments.ExperimentGrid` (the same
+grid the ``python -m repro.experiments`` CLI prints), so a pytest
+session computes each grid cell once and every Figure-8/9 bench reuses
+it.
+
+Fidelity is controlled by ``REPRO_BENCH_FIDELITY``:
+
+- ``full`` (default): the paper's populations (SAT 9K..144K chunks),
+  processors 8..128 -- a few minutes of CPU for the whole grid;
+- ``fast``: populations divided by 6, processors 8..32.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.grid import METRICS, STRATEGIES, ExperimentGrid
+
+FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "full").lower()
+FAST = FIDELITY == "fast"
+SEED = 20260707
+
+_GRID = ExperimentGrid(fidelity="fast" if FAST else "full", seed=SEED)
+
+PROCS = _GRID.procs
+APPS = ("SAT", "WCS", "VM")
+
+# The bench modules use these as functions; keep their lru-cache
+# `.__wrapped__` attribute available for benchmarking the uncached path.
+emulator = _GRID.emulator
+scenario = _GRID.scenario
+problem = _GRID.problem
+plan = _GRID.plan
+cell = _GRID.cell
+cell_stats = _GRID.cell_stats
+series = _GRID.series
+
+
+def print_table(title: str, app: str, scaling: str, metric, unit: str) -> None:
+    print()
+    # match the metric callable back to a named metric for the shared
+    # table renderer; fall back to inline formatting otherwise
+    for name, (fn, u) in METRICS.items():
+        if u == unit:
+            print(_GRID.table(title, app, scaling, name))
+            return
+    data = series(app, scaling, metric)
+    header = "procs | " + " | ".join(f"{s:>10}" for s in STRATEGIES)
+    print(f"== {title} -- {app}, {scaling} input ==")
+    print(header)
+    print("-" * len(header))
+    for i, p in enumerate(PROCS):
+        row = f"{p:5d} | " + " | ".join(f"{data[s][i]:10.2f}" for s in STRATEGIES)
+        print(row + (f"   [{unit}]" if i == 0 else ""))

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Satellite data processing: AVHRR-style best-value compositing.
+
+Recreates the paper's motivating SAT application end to end on real
+data: synthetic satellite readings in (longitude, latitude, time) --
+denser and wider near the poles, like a polar orbiter's ground track
+-- are composited into a 2-D image by keeping, per output pixel, the
+reading with the highest NDVI-like quality score ("each pixel in the
+composite image is computed by selecting the 'best' sensor value that
+maps to the associated grid point").
+
+The same query is executed under FRA, SRA and DA to demonstrate that
+the strategies answer identically, and simulated on the 1999 IBM SP
+model to show where each spends its time.
+
+Run:  python examples/satellite_composite.py
+"""
+
+import numpy as np
+
+from repro import ADR, RangeQuery, Rect, ibm_sp
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.machine.presets import IBM_SP_COSTS
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+
+
+def polar_orbit_readings(rng, n):
+    """Readings along a polar ground track: latitude density ~ sec."""
+    x_max = np.arcsinh(np.tan(np.radians(80.0)))
+    lat = np.degrees(np.arctan(np.sinh(rng.uniform(-x_max, x_max, n))))
+    lon = rng.uniform(-180, 180, n)
+    t = rng.uniform(0, 10, n)
+    coords = np.stack((lon, lat, t), axis=1)
+    # value components: (quality score, band) -- the composite keeps
+    # the band value of the best-scoring reading per pixel
+    vegetation = np.cos(np.radians(lat)) ** 2  # greener near the equator
+    score = vegetation + rng.normal(0, 0.1, n)  # NDVI-ish + sensor noise
+    band = 200 * vegetation + rng.normal(0, 5, n)
+    return coords, np.stack((score, band), axis=1)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    adr = ADR(machine=ibm_sp(8), costs=IBM_SP_COSTS["SAT"])
+
+    earth = AttributeSpace.regular(
+        "avhrr", ("lon", "lat", "time"), (-180, -90, 0), (180, 90, 10)
+    )
+    coords, values = polar_orbit_readings(rng, 20_000)
+    chunks = hilbert_partition(coords, values, items_per_chunk=100)
+    adr.load("avhrr-gac", earth, chunks)
+    print(f"loaded {len(chunks)} sensor chunks, "
+          f"{sum(c.n_items for c in chunks)} readings")
+
+    # Composite image: 32x32 pixels over the whole surface, 8x8-pixel
+    # chunks; the sensor footprint smears each reading over ~1 pixel.
+    image_space = AttributeSpace.regular("composite", ("x", "y"), (0, 0), (1, 1))
+    grid = OutputGrid(image_space, (32, 32), (8, 8))
+    mapping = GridMapping(
+        earth, image_space, (32, 32), dim_select=(0, 1),
+        footprint=(1 / 64, 1 / 64),
+    )
+
+    region = Rect((-180, -90, 0), (180, 90, 10))  # whole earth, all 10 days
+    results = {}
+    for strategy in ("FRA", "SRA", "DA"):
+        q = RangeQuery("avhrr-gac", region, mapping, grid,
+                       aggregation="best", strategy=strategy,
+                       value_components=2)
+        results[strategy] = adr.execute(q)
+    # All three strategies composite the identical image.
+    ref = results["FRA"].assemble(grid)
+    for s in ("SRA", "DA"):
+        np.testing.assert_allclose(results[s].assemble(grid), ref, equal_nan=True)
+    print("FRA, SRA and DA produced identical composites\n")
+
+    img = ref[:, :, 0]  # the band value of the best reading per pixel
+    print("composite (band value; rows = longitude, cols = latitude):")
+    lo, hi = np.nanmin(img), np.nanmax(img)
+    shades = " .:-=+*#%@"
+    for row in img[::2]:
+        line = ""
+        for v in row:
+            if np.isnan(v):
+                line += "?"
+            else:
+                line += shades[int((v - lo) / (hi - lo + 1e-9) * (len(shades) - 1))]
+        print("  " + line)
+    print("  (dense @ = high vegetation near the equator band)\n")
+
+    print("simulated on the 128-node SP (paper Table 1 costs):")
+    for strategy in ("FRA", "SRA", "DA"):
+        q = RangeQuery("avhrr-gac", region, mapping, grid,
+                       aggregation="best", strategy=strategy, value_components=2)
+        res = adr.simulate(q)
+        print("  " + res.row())
+
+
+if __name__ == "__main__":
+    main()

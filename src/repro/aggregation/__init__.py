@@ -1,0 +1,52 @@
+"""Data aggregation service (paper Section 2.1).
+
+"Manages the user-provided functions Initialize and Aggregate to be
+used in aggregation operations, and Output functions to generate the
+final outputs.  It also encapsulates the data types of both the
+intermediate results (accumulator) used by these functions and the
+final outputs."
+
+An :class:`AggregationSpec` bundles the four user functions; the
+library ships the distributive and algebraic aggregations the paper's
+applications rely on (sum, count, min, max, mean, and the AVHRR-style
+best-value compositing).  All aggregations are associative and
+commutative -- the property that makes the FRA/SRA global-combine
+phase correct -- and the property tests pin that down.
+"""
+
+from repro.aggregation.functions import (
+    AggregationSpec,
+    SumAggregation,
+    CountAggregation,
+    MinAggregation,
+    MaxAggregation,
+    MeanAggregation,
+    BestValueComposite,
+    AGGREGATIONS,
+)
+from repro.aggregation.extra import (
+    VarianceAggregation,
+    WeightedMeanAggregation,
+    MedianAggregation,
+    HolisticAggregationError,
+)
+from repro.aggregation.output_grid import OutputGrid
+from repro.aggregation.accumulator import Accumulator, AccumulatorSet
+
+__all__ = [
+    "AggregationSpec",
+    "SumAggregation",
+    "CountAggregation",
+    "MinAggregation",
+    "MaxAggregation",
+    "MeanAggregation",
+    "BestValueComposite",
+    "AGGREGATIONS",
+    "VarianceAggregation",
+    "WeightedMeanAggregation",
+    "MedianAggregation",
+    "HolisticAggregationError",
+    "OutputGrid",
+    "Accumulator",
+    "AccumulatorSet",
+]

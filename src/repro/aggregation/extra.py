@@ -1,0 +1,147 @@
+"""Additional algebraic aggregations, and the holistic counter-example.
+
+The paper admits exactly the *distributive* and *algebraic* functions
+of Gray et al. [15] -- those whose partial results merge.  This module
+rounds out the built-in library:
+
+- :class:`VarianceAggregation` -- per-cell variance via the
+  (count, sum, sum-of-squares) accumulator, the textbook algebraic
+  decomposition;
+- :class:`WeightedMeanAggregation` -- weighted averaging, e.g. sensor
+  readings weighted by footprint overlap or quality;
+- :class:`MedianAggregation` -- **deliberately not implementable**: the
+  median is *holistic* (no constant-size merging state exists), and
+  constructing it raises.  It exists so the restriction the paper's
+  correctness rests on is executable and testable rather than a
+  comment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
+
+__all__ = [
+    "VarianceAggregation",
+    "WeightedMeanAggregation",
+    "MedianAggregation",
+    "HolisticAggregationError",
+]
+
+
+class VarianceAggregation(AggregationSpec):
+    """Per-cell population variance (algebraic).
+
+    Accumulator per value component: running sum and sum of squares,
+    plus one shared count.  ``output`` returns the variance
+    ``E[x^2] - E[x]^2`` (clamped at 0 against rounding); cells with no
+    items output NaN.
+    """
+
+    @property
+    def acc_components(self) -> int:
+        return 2 * self.value_components + 1  # sums, sumsqs, count
+
+    @property
+    def output_components(self) -> int:
+        return self.value_components
+
+    def initialize(self, n_cells: int) -> np.ndarray:
+        return np.zeros((n_cells, self.acc_components))
+
+    def aggregate(self, acc, cell_idx, values) -> None:
+        values = self._check_batch(acc, cell_idx, values)
+        k = self.value_components
+        np.add.at(acc[:, :k], cell_idx, values)
+        np.add.at(acc[:, k : 2 * k], cell_idx, values * values)
+        np.add.at(acc[:, -1], cell_idx, 1.0)
+
+    def combine(self, acc_into, acc_from) -> None:
+        acc_into += acc_from
+
+    def output(self, acc) -> np.ndarray:
+        k = self.value_components
+        counts = acc[:, -1:]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = acc[:, :k] / counts
+            mean_sq = acc[:, k : 2 * k] / counts
+            var = np.maximum(mean_sq - mean * mean, 0.0)
+        var[counts[:, 0] == 0] = np.nan
+        return var
+
+
+class WeightedMeanAggregation(AggregationSpec):
+    """Weighted per-cell mean: the last value component is the weight.
+
+    With item values ``(v_1 .. v_m, w)`` the output per cell is
+    ``sum(w * v_j) / sum(w)`` per component ``j``.  Zero total weight
+    outputs NaN.
+    """
+
+    def __init__(self, value_components: int = 2) -> None:
+        if value_components < 2:
+            raise ValueError(
+                "WeightedMeanAggregation needs at least one value plus a weight"
+            )
+        super().__init__(value_components)
+
+    @property
+    def data_components(self) -> int:
+        return self.value_components - 1
+
+    @property
+    def acc_components(self) -> int:
+        return self.data_components + 1  # weighted sums + weight total
+
+    @property
+    def output_components(self) -> int:
+        return self.data_components
+
+    def initialize(self, n_cells: int) -> np.ndarray:
+        return np.zeros((n_cells, self.acc_components))
+
+    def aggregate(self, acc, cell_idx, values) -> None:
+        values = self._check_batch(acc, cell_idx, values)
+        w = values[:, -1:]
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        np.add.at(acc[:, : self.data_components], cell_idx, values[:, :-1] * w)
+        np.add.at(acc[:, -1], cell_idx, w[:, 0])
+
+    def combine(self, acc_into, acc_from) -> None:
+        acc_into += acc_from
+
+    def output(self, acc) -> np.ndarray:
+        weights = acc[:, -1:]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = acc[:, : self.data_components] / weights
+        out[weights[:, 0] == 0] = np.nan
+        return out
+
+
+class HolisticAggregationError(TypeError):
+    """Raised when a holistic aggregation is requested.
+
+    "The aggregation functions allowed correspond to the distributive
+    and algebraic aggregation functions defined by Gray et al." --
+    holistic ones (median, mode, rank) have no bounded merging state,
+    so neither accumulator replication (FRA/SRA's global combine) nor
+    out-of-order input forwarding (DA) is correct for them.
+    """
+
+
+class MedianAggregation:
+    """The holistic counter-example: cannot be an ADR aggregation."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        raise HolisticAggregationError(
+            "the median is a holistic aggregation: partial results cannot "
+            "be merged with bounded state, so it cannot run under ADR's "
+            "replicate-and-combine or forward-and-aggregate strategies; "
+            "use mean/min/max/best or compute quantiles client-side"
+        )
+
+
+AGGREGATIONS.setdefault("variance", VarianceAggregation)
+AGGREGATIONS.setdefault("wmean", WeightedMeanAggregation)

@@ -1,0 +1,41 @@
+"""Dataset service (paper Section 2.1--2.2).
+
+Manages datasets stored in the ADR back end.  Every dataset is
+partitioned into *chunks* -- the unit of I/O and communication -- and
+every chunk carries a minimum bounding rectangle (MBR) in the
+dataset's attribute space.  This package provides:
+
+- :mod:`repro.dataset.chunk` -- chunk metadata and in-memory payloads;
+- :mod:`repro.dataset.chunkset` -- packed (vectorized) metadata for
+  whole chunk populations, the representation the planner and the
+  simulator work on;
+- :mod:`repro.dataset.graph` -- the bipartite input/output chunk
+  incidence graph induced by a mapping function;
+- :mod:`repro.dataset.partition` -- partitioners that split raw item
+  collections into chunks;
+- :mod:`repro.dataset.dataset` -- the dataset object and catalog;
+- :mod:`repro.dataset.loader` -- the four-step loading pipeline
+  (partition, placement, move, index).
+"""
+
+from repro.dataset.chunk import Chunk, ChunkMeta
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+from repro.dataset.dataset import Dataset, DatasetCatalog
+from repro.dataset.partition import (
+    grid_partition,
+    hilbert_partition,
+    regular_grid_chunkset,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkMeta",
+    "ChunkSet",
+    "ChunkGraph",
+    "Dataset",
+    "DatasetCatalog",
+    "grid_partition",
+    "hilbert_partition",
+    "regular_grid_chunkset",
+]

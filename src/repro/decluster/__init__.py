@@ -1,0 +1,24 @@
+"""Declustering: placing chunks across the disk farm.
+
+"Chunks are distributed across the disks attached to ADR back-end
+nodes using a declustering algorithm to achieve I/O parallelism during
+query processing" (paper Section 2.2, refs [12, 21]).  The paper's
+experiments use Hilbert-curve-based declustering; round-robin and
+random placements are provided as ablation baselines, and
+:mod:`repro.decluster.metrics` measures how evenly a placement spreads
+the chunks a range query retrieves.
+"""
+
+from repro.decluster.base import Declusterer
+from repro.decluster.hilbert import HilbertDeclusterer
+from repro.decluster.simple import RoundRobinDeclusterer, RandomDeclusterer
+from repro.decluster.metrics import query_balance, placement_report
+
+__all__ = [
+    "Declusterer",
+    "HilbertDeclusterer",
+    "RoundRobinDeclusterer",
+    "RandomDeclusterer",
+    "query_balance",
+    "placement_report",
+]

@@ -1,0 +1,47 @@
+"""Declusterer interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.dataset.chunkset import ChunkSet
+
+__all__ = ["Declusterer"]
+
+
+class Declusterer(ABC):
+    """Assigns every chunk to a ``(node, disk)`` pair.
+
+    Disks are numbered globally ``0 .. n_nodes*disks_per_node - 1`` in
+    node-major order; :meth:`assign` returns per-chunk node and
+    per-node-local disk index arrays.
+    """
+
+    @abstractmethod
+    def global_disk(self, chunks: ChunkSet, n_disks: int) -> np.ndarray:
+        """Per-chunk global disk index in ``[0, n_disks)``."""
+
+    def assign(
+        self, chunks: ChunkSet, n_nodes: int, disks_per_node: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-chunk ``(node, local_disk)`` placement arrays."""
+        if n_nodes < 1 or disks_per_node < 1:
+            raise ValueError("need at least one node and one disk per node")
+        g = self.global_disk(chunks, n_nodes * disks_per_node)
+        if len(g) != len(chunks):
+            raise AssertionError("declusterer returned wrong-length placement")
+        if len(g) and (g.min() < 0 or g.max() >= n_nodes * disks_per_node):
+            raise AssertionError("declusterer returned out-of-range disks")
+        node = (g // disks_per_node).astype(np.int32)
+        disk = (g % disks_per_node).astype(np.int32)
+        return node, disk
+
+    def place(
+        self, chunks: ChunkSet, n_nodes: int, disks_per_node: int = 1
+    ) -> ChunkSet:
+        """Convenience: a copy of *chunks* with placement filled in."""
+        node, disk = self.assign(chunks, n_nodes, disks_per_node)
+        return chunks.with_placement(node, disk)

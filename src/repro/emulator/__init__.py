@@ -1,0 +1,45 @@
+"""Application emulators (paper Section 4, ref [37]).
+
+"An application emulator provides a parameterized model of an
+application class; adjusting the parameter values makes it possible to
+generate different application scenarios within the application class
+and scale applications in a controlled way."
+
+Three emulators reproduce the paper's Table 1 workloads:
+
+- :class:`SATEmulator` -- satellite data processing: irregular input
+  chunks from a polar-orbit sensor, elongated and overlapping near the
+  poles, high fan-in and a ~4.6 average fan-out;
+- :class:`WCSEmulator` -- water contamination studies: a dense regular
+  simulation grid over time, fan-out ~1.2;
+- :class:`VMEmulator` -- the Virtual Microscope: dense focal-plane
+  image blocks aligned to the output grid, fan-out exactly 1.
+
+Each produces an :class:`ApplicationScenario` (chunk populations +
+chunk graph + accumulator sizes) from which a placed
+:class:`~repro.planner.problem.PlanningProblem` is derived for any
+machine size; ``scale`` multiplies the input dataset as the paper's
+scaled-input experiments do.
+"""
+
+from repro.emulator.base import ApplicationEmulator, ApplicationScenario
+from repro.emulator.generic import GenericEmulator
+from repro.emulator.sat import SATEmulator
+from repro.emulator.wcs import WCSEmulator
+from repro.emulator.vm import VMEmulator
+
+EMULATORS = {
+    "SAT": SATEmulator,
+    "WCS": WCSEmulator,
+    "VM": VMEmulator,
+}
+
+__all__ = [
+    "ApplicationEmulator",
+    "ApplicationScenario",
+    "GenericEmulator",
+    "SATEmulator",
+    "WCSEmulator",
+    "VMEmulator",
+    "EMULATORS",
+]

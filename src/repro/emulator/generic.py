@@ -1,0 +1,163 @@
+"""Generic parameterized application emulator.
+
+The paper's emulators (ref [37]) are *parameterized models* of
+application classes: "adjusting the parameter values makes it possible
+to generate different application scenarios within the application
+class and scale applications in a controlled way".  SAT/WCS/VM fix
+those parameters to Table 1; :class:`GenericEmulator` exposes them, so
+new application classes can be positioned against the three published
+ones -- which strategy wins for *your* fan-out, compute intensity and
+spatial skew?  (``benchmarks/bench_crossover_map.py`` sweeps exactly
+that.)
+
+Parameters and their strategy-relevant effects:
+
+========================  ==================================================
+parameter                 drives
+========================  ==================================================
+``base_chunks``, bytes    I/O volume; per-processor work
+``fan_out``               DA's forwarding volume (input bytes x fan-out)
+``spatial``               fan-in skew: ``uniform`` none, ``hotspot`` strong
+                          (DA's ownership-granularity load imbalance),
+                          ``polar`` the SAT pattern
+``acc_factor``            FRA/SRA ghost traffic and tile count
+``costs``                 compute-vs-I/O balance; the LR cost scales both
+                          the work DA must balance and the time FRA's
+                          combine overhead hides under
+========================  ==================================================
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.partition import regular_grid_chunkset
+from repro.emulator.base import ApplicationEmulator, ApplicationScenario, grid_overlap_graph
+from repro.machine.config import ComputeCosts
+from repro.space.attribute_space import AttributeSpace
+from repro.util.rng import make_rng
+from repro.util.units import KB
+
+__all__ = ["GenericEmulator"]
+
+SPATIAL_KINDS = ("uniform", "hotspot", "polar")
+
+
+class GenericEmulator(ApplicationEmulator):
+    name = "GEN"
+
+    def __init__(
+        self,
+        base_chunks: int = 5000,
+        chunk_bytes: int = 200 * KB,
+        fan_out: float = 2.0,
+        spatial: str = "uniform",
+        output_blocks: Tuple[int, int] = (16, 16),
+        output_chunk_bytes: int = 100 * KB,
+        acc_factor: float = 4.0,
+        costs: ComputeCosts = ComputeCosts.from_ms(1, 10, 5, 1),
+        name: str = "GEN",
+    ) -> None:
+        if base_chunks < 1:
+            raise ValueError("base_chunks must be >= 1")
+        if fan_out < 1.0:
+            raise ValueError("fan_out must be >= 1 (every chunk maps somewhere)")
+        if spatial not in SPATIAL_KINDS:
+            raise ValueError(f"spatial must be one of {SPATIAL_KINDS}")
+        self.base_chunks = base_chunks
+        self.chunk_bytes = chunk_bytes
+        self.fan_out = float(fan_out)
+        self.spatial = spatial
+        self.output_blocks = output_blocks
+        self.output_chunk_bytes = output_chunk_bytes
+        self.acc_factor = acc_factor
+        self._costs = costs
+        self.name = name
+
+    @property
+    def costs(self) -> ComputeCosts:
+        return self._costs
+
+    # -- spatial distributions of input-chunk centres -------------------
+
+    def _centers(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if self.spatial == "uniform":
+            return rng.uniform(0, 1, size=(n, 2))
+        if self.spatial == "hotspot":
+            # 70% clustered around a fixed hotspot, 30% background
+            hot = rng.random(n) < 0.7
+            pts = rng.uniform(0, 1, size=(n, 2))
+            pts[hot] = np.clip(
+                rng.normal(loc=(0.3, 0.6), scale=0.08, size=(int(hot.sum()), 2)),
+                0.0,
+                1.0,
+            )
+            return pts
+        # polar: sec-shaped density toward y = 0 and y = 1 (SAT-like)
+        x_max = np.arcsinh(np.tan(np.radians(80.0)))
+        lat = np.degrees(np.arctan(np.sinh(rng.uniform(-x_max, x_max, n))))
+        y = (lat + 90.0) / 180.0
+        x = rng.uniform(0, 1, size=n)
+        return np.stack((x, y), axis=1)
+
+    def scenario(self, scale: int = 1, seed: int = 0) -> ApplicationScenario:
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        rng = make_rng(seed)
+        n = self.base_chunks * scale
+
+        input_space = AttributeSpace.regular(
+            f"{self.name}-input", ("x", "y", "t"), (0, 0, 0), (1, 1, float(scale))
+        )
+        output_space = AttributeSpace.regular(
+            f"{self.name}-output", ("u", "v"), (0, 0), (1, 1)
+        )
+
+        centers = self._centers(rng, n)
+        t = rng.uniform(0, float(scale), size=n)
+
+        # Footprints sized so the average output-chunk span per
+        # dimension is ~sqrt(fan_out); the -0.5 accounts for the +1
+        # from almost-sure boundary straddling at spans >= 1.
+        bx, by = self.output_blocks
+        span = max(np.sqrt(self.fan_out) - 1.0, 0.0)
+        half = np.stack(
+            (
+                rng.uniform(0.4, 1.6, size=n) * span / (2 * bx),
+                rng.uniform(0.4, 1.6, size=n) * span / (2 * by),
+            ),
+            axis=1,
+        )
+        if self.spatial == "polar":
+            widen = 1.0 / np.maximum(np.cos(np.radians(centers[:, 1] * 180 - 90)), 1 / 8)
+            half[:, 0] = np.maximum(half[:, 0], (widen - 1) / (2 * bx) * 0.5)
+        los = np.concatenate(
+            (np.clip(centers - half, 0, 1), t[:, None]), axis=1
+        )
+        his = np.concatenate(
+            (np.clip(centers + half, 0, 1), (t + 1e-3)[:, None]), axis=1
+        )
+        nbytes = (self.chunk_bytes * rng.uniform(0.9, 1.1, size=n)).astype(np.int64)
+        inputs = ChunkSet(los, his, nbytes)
+
+        graph = grid_overlap_graph(
+            los, his, output_space.bounds, self.output_blocks, dims=(0, 1)
+        )
+        outputs = regular_grid_chunkset(
+            output_space.bounds, self.output_blocks, self.output_chunk_bytes
+        )
+        acc_nbytes = (outputs.nbytes * self.acc_factor).astype(np.int64)
+
+        return ApplicationScenario(
+            name=self.name,
+            costs=self.costs,
+            input_space=input_space,
+            output_space=output_space,
+            inputs=inputs,
+            outputs=outputs,
+            graph=graph,
+            acc_nbytes=acc_nbytes,
+        )

@@ -1,0 +1,122 @@
+"""WCS emulator: water contamination studies.
+
+Table 1: 7.5K--120K input chunks (1.7--27 GB), 150 output chunks
+(17 MB), average fan-in 60--960, average fan-out 1.2, per-chunk costs
+1-20-1-1 ms.
+
+The workload couples a hydrodynamics simulation to a chemical
+transport code (paper ref [19]): the input is a dense regular grid of
+simulation output over (x, y, time), chunked into equal rectangular
+blocks; the output is a coarser 15x10 grid over (x, y).  Most input
+chunks nest inside a single output chunk; a configurable fraction
+carry a halo (overlapping boundary data, as coupled simulations
+exchange) and touch a neighbour, producing the published average
+fan-out of 1.2.  Scaling extends the time dimension: more time steps,
+same spatial structure -- fan-out stays at 1.2 while fan-in grows
+linearly, matching Table 1's 60 -> 960 progression exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.partition import regular_grid_chunkset
+from repro.emulator.base import ApplicationEmulator, ApplicationScenario, grid_overlap_graph
+from repro.machine.config import ComputeCosts
+from repro.machine.presets import IBM_SP_COSTS
+from repro.space.attribute_space import AttributeSpace
+from repro.util.rng import make_rng
+from repro.util.units import KB
+
+__all__ = ["WCSEmulator"]
+
+
+class WCSEmulator(ApplicationEmulator):
+    name = "WCS"
+
+    def __init__(
+        self,
+        input_grid: tuple[int, int] = (15, 50),
+        steps_per_scale: int = 10,
+        chunk_bytes: int = 237 * KB,
+        output_blocks: tuple[int, int] = (15, 10),
+        output_chunk_bytes: int = 116 * KB,
+        acc_factor: float = 4.0,
+        halo_fraction: float = 0.2,
+    ) -> None:
+        self.input_grid = input_grid
+        self.steps_per_scale = steps_per_scale
+        self.chunk_bytes = chunk_bytes
+        self.output_blocks = output_blocks
+        self.output_chunk_bytes = output_chunk_bytes
+        self.acc_factor = acc_factor
+        if not 0.0 <= halo_fraction <= 1.0:
+            raise ValueError("halo_fraction must be in [0, 1]")
+        self.halo_fraction = halo_fraction
+
+    @property
+    def costs(self) -> ComputeCosts:
+        return IBM_SP_COSTS["WCS"]
+
+    def scenario(self, scale: int = 1, seed: int = 0) -> ApplicationScenario:
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        rng = make_rng(seed)
+        gx, gy = self.input_grid
+        steps = self.steps_per_scale * scale
+        n = gx * gy * steps
+
+        input_space = AttributeSpace.regular(
+            "wcs-simulation", ("x", "y", "time"), (0, 0, 0), (1, 1, float(steps))
+        )
+        output_space = AttributeSpace.regular(
+            "wcs-transport-grid", ("x", "y"), (0, 0), (1, 1)
+        )
+
+        # Dense regular blocks: cell (i, j) at time step s.
+        idx = np.arange(n)
+        s = idx // (gx * gy)
+        rem = idx % (gx * gy)
+        i = rem // gy
+        j = rem % gy
+        cx, cy = 1.0 / gx, 1.0 / gy
+        los = np.stack((i * cx, j * cy, s.astype(float)), axis=1)
+        his = np.stack(((i + 1) * cx, (j + 1) * cy, s + 1.0), axis=1)
+
+        # A fraction of chunks carry a boundary halo along x and spill
+        # into the neighbouring output chunk (input x-blocks align 1:1
+        # with output chunks, so any x-halo crosses a chunk boundary).
+        halo = rng.random(n) < self.halo_fraction
+        shift = cx * 0.1
+        direction = rng.random(n) < 0.5
+        left = halo & direction & (i > 0)
+        right = halo & ~direction & (i < gx - 1)
+        los[left, 0] -= shift
+        his[right, 0] += shift
+        los[:, 0] = np.clip(los[:, 0], 0.0, 1.0)
+        his[:, 0] = np.clip(his[:, 0], 0.0, 1.0)
+
+        nbytes = np.full(n, self.chunk_bytes, dtype=np.int64)
+        nbytes[halo] += int(self.chunk_bytes * 0.1)  # halo data rides along
+        inputs = ChunkSet(los, his, nbytes)
+
+        graph = grid_overlap_graph(
+            los, his, output_space.bounds, self.output_blocks, dims=(0, 1)
+        )
+
+        outputs = regular_grid_chunkset(
+            output_space.bounds, self.output_blocks, self.output_chunk_bytes
+        )
+        acc_nbytes = (outputs.nbytes * self.acc_factor).astype(np.int64)
+
+        return ApplicationScenario(
+            name=self.name,
+            costs=self.costs,
+            input_space=input_space,
+            output_space=output_space,
+            inputs=inputs,
+            outputs=outputs,
+            graph=graph,
+            acc_nbytes=acc_nbytes,
+        )

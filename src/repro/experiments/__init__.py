@@ -1,0 +1,18 @@
+"""Reproduction experiment harness.
+
+Regenerates every table and figure of the paper's evaluation section
+from the emulators, planners and simulator.  Importable
+(:class:`ExperimentGrid`) and runnable::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig8 --scaling fixed --app SAT
+    python -m repro.experiments fig9 --metric comm --scaling scaled
+    python -m repro.experiments all --fidelity fast
+
+The benches under ``benchmarks/`` drive the same grid (with
+pytest-benchmark timing on top), so CLI output and bench output agree.
+"""
+
+from repro.experiments.grid import ExperimentGrid, APPS, SCALINGS
+
+__all__ = ["ExperimentGrid", "APPS", "SCALINGS"]

@@ -1,0 +1,158 @@
+"""The experiment grid: application x scaling x processors x strategy.
+
+One :class:`ExperimentGrid` instance memoizes scenarios, problems,
+plans and simulation results so that the Figure-8 and Figure-9 views
+(execution time, communication volume, computation time) share their
+underlying runs.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from repro.emulator import SATEmulator, VMEmulator, WCSEmulator
+from repro.machine.presets import ibm_sp
+from repro.planner.plan import QueryPlan
+from repro.planner.stats import PlanStats, plan_stats
+from repro.planner.strategies import plan_query
+from repro.sim.query_sim import SimResult, simulate_query
+
+APPS: Tuple[str, ...] = ("SAT", "WCS", "VM")
+SCALINGS: Tuple[str, ...] = ("fixed", "scaled")
+STRATEGIES: Tuple[str, ...] = ("FRA", "DA", "SRA")
+
+MB = 2**20
+
+#: named metrics over SimResult, with display units
+METRICS: Dict[str, Tuple[Callable[[SimResult], float], str]] = {
+    "time": (lambda r: r.total_time, "seconds"),
+    "comm": (lambda r: r.comm_volume_per_proc / MB, "MB/processor"),
+    "comp": (lambda r: r.computation_time, "seconds (busiest processor)"),
+    "io": (lambda r: r.io_time, "seconds (busiest disk)"),
+    "tiles": (lambda r: float(r.n_tiles), "tiles"),
+}
+
+
+class ExperimentGrid:
+    """Memoized access to the paper's experiment grid.
+
+    Parameters
+    ----------
+    fidelity:
+        ``"full"`` -- the paper's populations and the 8..128 processor
+        axis; ``"fast"`` -- populations divided by 6, processors 8..32.
+    seed:
+        Emulator seed (one seed for the whole grid, as one dataset
+        underlies all of a paper figure).
+    """
+
+    def __init__(self, fidelity: str = "full", seed: int = 20260707) -> None:
+        if fidelity not in ("full", "fast"):
+            raise ValueError("fidelity must be 'full' or 'fast'")
+        self.fidelity = fidelity
+        self.fast = fidelity == "fast"
+        self.seed = seed
+        self.procs: Tuple[int, ...] = (8, 16, 32) if self.fast else (8, 16, 32, 64, 128)
+        div = 6 if self.fast else 1
+        self._emulators = {
+            "SAT": SATEmulator(base_chunks=9000 // div),
+            "WCS": WCSEmulator(steps_per_scale=max(1, 10 // div)),
+            "VM": VMEmulator(input_grid=(32, 32)) if self.fast else VMEmulator(),
+        }
+        # bound-method lru_caches, one per instance
+        self.scenario = lru_cache(maxsize=None)(self._scenario)
+        self.problem = lru_cache(maxsize=None)(self._problem)
+        self.plan = lru_cache(maxsize=None)(self._plan)
+        self.cell = lru_cache(maxsize=None)(self._cell)
+        self.cell_stats = lru_cache(maxsize=None)(self._cell_stats)
+
+    # -- cached layers ---------------------------------------------------
+
+    def emulator(self, app: str):
+        return self._emulators[app]
+
+    def _scenario(self, app: str, scale: int):
+        return self.emulator(app).scenario(scale, seed=self.seed)
+
+    def _problem(self, app: str, scale: int, n_procs: int):
+        return self.scenario(app, scale).problem(ibm_sp(n_procs))
+
+    def _plan(self, app: str, scale: int, n_procs: int, strategy: str) -> QueryPlan:
+        return plan_query(self.problem(app, scale, n_procs), strategy)
+
+    def scale_for(self, scaling: str, n_procs: int) -> int:
+        if scaling == "fixed":
+            return 1
+        if scaling == "scaled":
+            return max(1, n_procs // 8)
+        raise ValueError(f"unknown scaling {scaling!r}")
+
+    def _cell(self, app: str, scaling: str, n_procs: int, strategy: str) -> SimResult:
+        scale = self.scale_for(scaling, n_procs)
+        plan = self.plan(app, scale, n_procs, strategy)
+        return simulate_query(plan, ibm_sp(n_procs), self.scenario(app, scale).costs)
+
+    def _cell_stats(self, app: str, scaling: str, n_procs: int, strategy: str) -> PlanStats:
+        scale = self.scale_for(scaling, n_procs)
+        return plan_stats(self.plan(app, scale, n_procs, strategy))
+
+    # -- views ------------------------------------------------------------
+
+    def series(self, app: str, scaling: str, metric: Callable[[SimResult], float]) -> Dict[str, List[float]]:
+        return {
+            s: [metric(self.cell(app, scaling, p, s)) for p in self.procs]
+            for s in STRATEGIES
+        }
+
+    def table(self, title: str, app: str, scaling: str, metric_name: str) -> str:
+        """A paper-style text table for one (figure, app) pane."""
+        metric, unit = METRICS[metric_name]
+        lines = [
+            f"== {title} -- {app}, {scaling} input "
+            f"({'fast' if self.fast else 'paper-size'} fidelity) =="
+        ]
+        header = "procs | " + " | ".join(f"{s:>10}" for s in STRATEGIES)
+        lines.append(header)
+        lines.append("-" * len(header))
+        data = self.series(app, scaling, metric)
+        for i, p in enumerate(self.procs):
+            row = f"{p:5d} | " + " | ".join(f"{data[s][i]:10.2f}" for s in STRATEGIES)
+            lines.append(row + (f"   [{unit}]" if i == 0 else ""))
+        return "\n".join(lines)
+
+    def phase_table(self, app: str, scaling: str, n_procs: int) -> str:
+        """Per-phase time composition for every strategy at one machine
+        size -- the explanation layer behind the Figure 8 totals."""
+        lines = [
+            f"== Phase breakdown -- {app}, {scaling} input, {n_procs} processors =="
+        ]
+        header = (
+            "strategy |     init | reduction |  combine |   output |    total"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for s in STRATEGIES:
+            r = self.cell(app, scaling, n_procs, s)
+            pt = r.phase_times
+            lines.append(
+                f"{s:>8} | {pt['init']:8.2f} | {pt['reduction']:9.2f} "
+                f"| {pt['combine']:8.2f} | {pt['output']:8.2f} "
+                f"| {r.total_time:8.2f}"
+            )
+        return "\n".join(lines)
+
+    def table1(self, app: str) -> str:
+        max_scale = 4 if self.fast else 16
+        small = self.scenario(app, 1)
+        large = self.scenario(app, max_scale)
+        c = small.costs
+        return "\n".join(
+            [
+                f"== Table 1 -- {app} ==",
+                "  smallest: " + small.table1_row(),
+                "  largest:  " + large.table1_row(),
+                f"  costs I-LR-GC-OH: {c.init * 1e3:.0f}-{c.reduction * 1e3:.0f}-"
+                f"{c.combine * 1e3:.0f}-{c.output * 1e3:.0f} ms",
+            ]
+        )

@@ -1,0 +1,25 @@
+"""ADR front end.
+
+The front end "interacts with clients, and forwards range queries with
+references to user-defined processing functions to the parallel
+back-end".  :class:`repro.frontend.adr.ADR` is the whole customized
+application instance of the paper's Figure 2: attribute-space and
+dataset registration, dataset loading, query validation, planning and
+execution behind one façade.
+"""
+
+from repro.frontend.query import RangeQuery
+from repro.frontend.adr import ADR
+from repro.frontend.protocol import query_to_dict, query_from_dict, result_to_dict, result_from_dict
+from repro.frontend.service import ADRServer, ADRClient
+
+__all__ = [
+    "RangeQuery",
+    "ADR",
+    "ADRServer",
+    "ADRClient",
+    "query_to_dict",
+    "query_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+]

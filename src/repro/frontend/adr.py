@@ -1,0 +1,339 @@
+"""The ADR façade: a customized application instance.
+
+One :class:`ADR` object plays both roles of the paper's architecture
+diagram (Figure 2): the front-end services (query interface and
+submission, attribute-space registry) and the back-end services
+(dataset storage, indexing, planning, execution).  Client code:
+
+.. code-block:: python
+
+    adr = ADR(machine=ibm_sp(8))
+    adr.register_space(space)
+    adr.load("sensors", space, chunks)
+    result = adr.execute(RangeQuery("sensors", region, mapping, grid,
+                                    aggregation="mean", strategy="AUTO"))
+
+Planning, validation, functional execution and performance simulation
+are all reachable separately for inspection (``build_problem``,
+``plan``, ``simulate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.chunk import Chunk
+from repro.dataset.dataset import Dataset, DatasetCatalog
+from repro.dataset.graph import ChunkGraph
+from repro.dataset.loader import LoadedDataset, load_dataset
+from repro.decluster.base import Declusterer
+from repro.decluster.hilbert import HilbertDeclusterer
+from repro.frontend.query import RangeQuery
+from repro.index.base import SpatialIndex
+from repro.index.rtree import RTree
+from repro.machine.config import ComputeCosts, MachineConfig
+from repro.planner.costmodel import select_strategy
+from repro.planner.plan import QueryPlan
+from repro.planner.problem import PlanningProblem
+from repro.planner.strategies import plan_query
+from repro.planner.validate import validate_plan
+from repro.runtime.engine import QueryResult, execute_plan
+from repro.sim.query_sim import SimResult, simulate_query
+from repro.space.attribute_space import AttributeSpace, AttributeSpaceRegistry
+from repro.store.chunk_store import ChunkStore, MemoryChunkStore
+
+__all__ = ["ADR"]
+
+#: Compute costs assumed for planning when the application does not
+#: provide calibrated ones (mild, VM-like processing).
+DEFAULT_COSTS = ComputeCosts.from_ms(1, 5, 1, 1)
+
+
+class ADR:
+    """A complete (front end + back end) ADR instance."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        store: Optional[ChunkStore] = None,
+        declusterer: Optional[Declusterer] = None,
+        costs: ComputeCosts = DEFAULT_COSTS,
+    ) -> None:
+        self.machine = machine
+        self.store = store if store is not None else MemoryChunkStore()
+        self.declusterer = declusterer if declusterer is not None else HilbertDeclusterer()
+        self.costs = costs
+        self.spaces = AttributeSpaceRegistry()
+        self.catalog = DatasetCatalog()
+        self._indices: Dict[str, SpatialIndex] = {}
+        # dataset name -> grid output chunk ids, for datasets
+        # materialized by store_as (enables in-place update queries)
+        self._materialized: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Registration and loading
+    # ------------------------------------------------------------------
+
+    def register_space(self, space: AttributeSpace) -> AttributeSpace:
+        return self.spaces.register(space)
+
+    def load(
+        self,
+        name: str,
+        space: AttributeSpace,
+        chunks: Sequence[Chunk],
+        declusterer: Optional[Declusterer] = None,
+        index_cls: Type[SpatialIndex] = RTree,
+    ) -> LoadedDataset:
+        """Load a partitioned dataset (steps 2--4 of Section 2.2)."""
+        self.register_space(space)
+        loaded = load_dataset(
+            self.store,
+            name,
+            space,
+            chunks,
+            n_nodes=self.machine.n_procs,
+            disks_per_node=self.machine.disks_per_node,
+            declusterer=declusterer if declusterer is not None else self.declusterer,
+            index_cls=index_cls,
+        )
+        self.catalog.add(loaded.dataset, replace=True)
+        self._indices[name] = loaded.index
+        return loaded
+
+    def dataset(self, name: str) -> Dataset:
+        return self.catalog.get(name)
+
+    def index(self, name: str) -> SpatialIndex:
+        try:
+            return self._indices[name]
+        except KeyError:
+            raise KeyError(f"dataset {name!r} has no index (not loaded?)") from None
+
+    # ------------------------------------------------------------------
+    # Query planning
+    # ------------------------------------------------------------------
+
+    def build_problem(self, query: RangeQuery) -> PlanningProblem:
+        """Restrict the universe to the query: select intersecting
+        input chunks through the index, project the region onto the
+        output grid, and derive the chunk graph geometrically."""
+        ds = self.dataset(query.dataset)
+        region = ds.space.validate_query(query.region)
+
+        in_ids = self.index(query.dataset).query(region)
+        if len(in_ids) == 0:
+            raise ValueError(f"query region {region} selects no input chunks")
+        inputs = ds.chunks.subset(in_ids)
+
+        grid = query.grid
+        out_all = grid.chunkset()
+        node, disk = self.declusterer.assign(
+            out_all, self.machine.n_procs, self.machine.disks_per_node
+        )
+        out_all = out_all.with_placement(node, disk)
+        out_region = query.mapping.project_rect(region)
+        out_ids = out_all.intersecting(out_region)
+        if len(out_ids) == 0:
+            raise ValueError("query region projects onto no output chunks")
+        outputs = out_all.subset(out_ids)
+
+        graph = ChunkGraph.from_geometry(inputs, outputs, query.mapping)
+
+        spec = query.spec()
+        acc_nbytes = np.asarray(
+            [spec.acc_bytes(grid.cells_in_chunk(int(o))) for o in out_ids],
+            dtype=np.int64,
+        )
+        return PlanningProblem(
+            n_procs=self.machine.n_procs,
+            memory_per_proc=self.machine.memory_per_proc,
+            inputs=inputs,
+            outputs=outputs,
+            graph=graph,
+            acc_nbytes=acc_nbytes,
+            input_global_ids=in_ids,
+            output_global_ids=out_ids,
+        )
+
+    def plan(self, query: RangeQuery) -> QueryPlan:
+        """Plan the query; ``strategy="AUTO"`` lets the cost model pick."""
+        return self._plan_for(self.build_problem(query), query.strategy)
+
+    def _plan_for(self, problem: PlanningProblem, strategy: str) -> QueryPlan:
+        if strategy.upper() == "AUTO":
+            plan, _ = select_strategy(
+                problem, self.machine, self.costs, ["FRA", "SRA", "DA"]
+            )
+        else:
+            plan = plan_query(problem, strategy)
+        validate_plan(plan)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: RangeQuery,
+        plan: Optional[QueryPlan] = None,
+        store_as: Optional[str] = None,
+    ) -> QueryResult:
+        """Plan (unless given) and functionally execute the query.
+
+        With ``store_as``, the query output becomes a *new ADR dataset*
+        under that name -- the paper's "if a new output dataset is
+        created [...] the results can be written back to disks": output
+        chunks are declustered, stored and indexed like any loaded
+        dataset, so later queries can range over them.
+        """
+        if plan is None:
+            plan = self.plan(query)
+        name = query.dataset
+        region = self.dataset(name).space.validate_query(query.region)
+
+        def provider(chunk_id: int) -> Chunk:
+            return self.store.read_chunk(name, chunk_id)
+
+        result = execute_plan(
+            plan, provider, query.mapping, query.grid, query.spec(), region=region
+        )
+        if store_as is not None:
+            self._write_back(store_as, query, result)
+        return result
+
+    def _write_back(self, name: str, query: RangeQuery, result: QueryResult) -> None:
+        """Materialize a query result as a dataset in the output space."""
+        grid = query.grid
+        space = grid.space
+        chunks = []
+        for new_id, (out_id, values) in enumerate(
+            zip(result.output_ids, result.chunk_values)
+        ):
+            centers = _cell_centers(grid, int(out_id))
+            chunks.append(Chunk.from_items(new_id, centers, values))
+        if not chunks:
+            raise ValueError("query produced no output chunks to store")
+        self.load(name, space, chunks)
+        self._materialized[name] = result.output_ids.copy()
+
+    def update(self, query: RangeQuery, target: str) -> QueryResult:
+        """Update a materialized output dataset in place.
+
+        The paper's update path: accumulator chunks are initialized
+        from the *existing* output dataset (phase 1 retrieves and
+        forwards the output chunks), new input is aggregated on top,
+        and "the updated output chunks are written back to their
+        original locations on the disks".
+
+        ``target`` must have been produced by ``execute(...,
+        store_as=target)`` with the same grid, and the aggregation must
+        support :meth:`~repro.aggregation.functions.AggregationSpec.initialize_from`.
+        """
+        if target not in self._materialized:
+            raise KeyError(
+                f"{target!r} was not materialized by store_as in this instance"
+            )
+        out_ids = self._materialized[target]
+        pos_of = {int(g): i for i, g in enumerate(out_ids)}
+
+        def prior(global_out: int):
+            i = pos_of.get(int(global_out))
+            if i is None:
+                return None
+            return self.store.read_chunk(target, i).values
+
+        problem = self.build_problem(query)
+        problem.init_from_output = True
+        plan = self._plan_for(problem, query.strategy)
+        name = query.dataset
+        region = self.dataset(name).space.validate_query(query.region)
+
+        def provider(chunk_id: int) -> Chunk:
+            return self.store.read_chunk(name, chunk_id)
+
+        result = execute_plan(
+            plan, provider, query.mapping, query.grid, query.spec(),
+            region=region, prior=prior,
+        )
+        # write updated chunks back to their original locations
+        missing = [int(o) for o in result.output_ids if int(o) not in pos_of]
+        if missing:
+            raise ValueError(
+                f"update touches output chunks {missing} that {target!r} "
+                "does not contain; materialize a wider dataset first"
+            )
+        for o, values in zip(result.output_ids, result.chunk_values):
+            i = pos_of[int(o)]
+            old = self.store.read_chunk(target, i)
+            node, disk = self.store.placement(target, i)
+            self.store.write_chunk(
+                target, Chunk(old.meta, old.coords, values), node, disk
+            )
+        return result
+
+    def plan_batch(self, queries: Sequence[RangeQuery], strategy: str = "FRA"):
+        """Plan a set of queries together (paper Section 2.1: the
+        planning service processes *sets* of queries), ordering them so
+        consecutive queries share as many input chunk retrievals as
+        possible.  Returns a :class:`repro.planner.batch.BatchPlan`."""
+        from repro.planner.batch import plan_batch as _plan_batch
+
+        if not queries:
+            raise ValueError("plan_batch needs at least one query")
+        datasets = {q.dataset for q in queries}
+        if len(datasets) != 1:
+            raise ValueError(
+                f"batch queries must target one dataset, got {sorted(datasets)}"
+            )
+        problems = [self.build_problem(q) for q in queries]
+        return _plan_batch(problems, strategy)
+
+    def execute_batch(
+        self, queries: Sequence[RangeQuery], strategy: str = "FRA"
+    ) -> list:
+        """Functionally execute a batch in its shared-scan order;
+        returns results in the original submission order."""
+        batch = self.plan_batch(queries, strategy)
+        results: list = [None] * len(queries)
+        for idx in batch.order:
+            results[idx] = self.execute(queries[idx], plan=batch.plans[idx])
+        return results
+
+    def simulate(
+        self,
+        query: RangeQuery,
+        strategy: Optional[str] = None,
+        costs: Optional[ComputeCosts] = None,
+        seed: int = 0,
+        overlap: bool = True,
+    ) -> SimResult:
+        """Performance-simulate the query on this instance's machine."""
+        q = query if strategy is None else _with_strategy(query, strategy)
+        plan = self.plan(q)
+        return simulate_query(
+            plan, self.machine, costs if costs is not None else self.costs, seed, overlap
+        )
+
+
+def _with_strategy(query: RangeQuery, strategy: str) -> RangeQuery:
+    from dataclasses import replace
+
+    return replace(query, strategy=strategy)
+
+
+def _cell_centers(grid: OutputGrid, chunk_id: int) -> np.ndarray:
+    """Attribute-space coordinates of an output chunk's cell centres,
+    in the chunk's row-major local-cell order."""
+    start, stop = grid.chunk_block(chunk_id)
+    lo, hi = grid.space.bounds.as_arrays()
+    span = np.where(np.asarray(grid.grid_shape) > 0, hi - lo, 1.0)
+    cell = span / np.asarray(grid.grid_shape)
+    axes = [np.arange(a, b) for a, b in zip(start, stop)]
+    mesh = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, grid.ndim)
+    return lo + (mesh + 0.5) * cell

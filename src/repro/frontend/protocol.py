@@ -1,0 +1,223 @@
+"""Client wire protocol: JSON-safe query and result encoding.
+
+The paper's front end "interacts with client applications and relays
+the range queries to the back-end"; sequential clients connect through
+a socket interface.  This module is that interface's message format:
+queries and results round-trip through plain JSON-compatible
+dictionaries, so a client process needs nothing but ``json`` and this
+schema to drive an ADR service.
+
+Only declarative customizations travel over the wire -- the built-in
+aggregations by name and :class:`~repro.space.mapping.GridMapping`
+projections by parameters.  Arbitrary user functions (the C++ ADR's
+linked-in customization) are inherently not serializable; clients
+needing them register them server-side and reference them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
+from repro.aggregation.output_grid import OutputGrid
+from repro.frontend.query import RangeQuery
+from repro.runtime.engine import QueryResult
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+from repro.util.geometry import Rect
+
+__all__ = [
+    "query_to_dict",
+    "query_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "ProtocolError",
+]
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ValueError):
+    """Malformed or unsupported protocol message."""
+
+
+# -- pieces -----------------------------------------------------------
+
+
+def _space_to_dict(space: AttributeSpace) -> Dict[str, Any]:
+    return {
+        "name": space.name,
+        "dims": [[d.name, d.lo, d.hi] for d in space.dims],
+    }
+
+
+def _space_from_dict(d: Dict[str, Any]) -> AttributeSpace:
+    try:
+        names, los, his = zip(*((n, lo, hi) for n, lo, hi in d["dims"]))
+        return AttributeSpace.regular(d["name"], names, los, his)
+    except (KeyError, TypeError, ValueError) as e:
+        raise ProtocolError(f"bad attribute space payload: {e}") from e
+
+
+def _rect_to_dict(rect: Rect) -> Dict[str, Any]:
+    return {"lo": list(rect.lo), "hi": list(rect.hi)}
+
+
+def _rect_from_dict(d: Dict[str, Any]) -> Rect:
+    try:
+        return Rect(tuple(d["lo"]), tuple(d["hi"]))
+    except (KeyError, TypeError, ValueError) as e:
+        raise ProtocolError(f"bad rectangle payload: {e}") from e
+
+
+def _mapping_to_dict(mapping: GridMapping) -> Dict[str, Any]:
+    if not isinstance(mapping, GridMapping):
+        raise ProtocolError(
+            f"only GridMapping travels over the wire, got {type(mapping).__name__}; "
+            "register custom mappings server-side"
+        )
+    return {
+        "type": "grid",
+        "input_space": _space_to_dict(mapping.input_space),
+        "output_space": _space_to_dict(mapping.output_space),
+        "grid_shape": list(mapping.grid_shape),
+        "dim_select": list(mapping.dim_select),
+        "footprint": list(mapping.footprint),
+    }
+
+
+def _mapping_from_dict(d: Dict[str, Any]) -> GridMapping:
+    if d.get("type") != "grid":
+        raise ProtocolError(f"unsupported mapping type {d.get('type')!r}")
+    return GridMapping(
+        _space_from_dict(d["input_space"]),
+        _space_from_dict(d["output_space"]),
+        tuple(d["grid_shape"]),
+        dim_select=tuple(d["dim_select"]),
+        footprint=tuple(d["footprint"]),
+    )
+
+
+def _grid_to_dict(grid: OutputGrid) -> Dict[str, Any]:
+    return {
+        "space": _space_to_dict(grid.space),
+        "grid_shape": list(grid.grid_shape),
+        "chunk_shape": list(grid.chunk_shape),
+        "cell_value_bytes": grid.cell_value_bytes,
+    }
+
+
+def _grid_from_dict(d: Dict[str, Any]) -> OutputGrid:
+    try:
+        return OutputGrid(
+            _space_from_dict(d["space"]),
+            tuple(d["grid_shape"]),
+            tuple(d["chunk_shape"]),
+            cell_value_bytes=int(d["cell_value_bytes"]),
+        )
+    except (KeyError, TypeError, ValueError) as e:
+        raise ProtocolError(f"bad output grid payload: {e}") from e
+
+
+# -- queries --------------------------------------------------------------
+
+
+def query_to_dict(query: RangeQuery) -> Dict[str, Any]:
+    """Encode a query as a JSON-compatible dictionary."""
+    if isinstance(query.aggregation, AggregationSpec):
+        agg_name = None
+        for name, cls in AGGREGATIONS.items():
+            if type(query.aggregation) is cls:
+                agg_name = name
+                break
+        if agg_name is None:
+            raise ProtocolError(
+                "custom aggregation specs are not wire-serializable; "
+                "use a built-in name"
+            )
+    else:
+        agg_name = query.aggregation
+    if agg_name not in AGGREGATIONS:
+        raise ProtocolError(f"unknown aggregation {agg_name!r}")
+    return {
+        "version": PROTOCOL_VERSION,
+        "dataset": query.dataset,
+        "region": _rect_to_dict(query.region),
+        "mapping": _mapping_to_dict(query.mapping),
+        "grid": _grid_to_dict(query.grid),
+        "aggregation": agg_name,
+        "strategy": query.strategy,
+        "value_components": query.value_components,
+    }
+
+
+def query_from_dict(payload: Dict[str, Any]) -> RangeQuery:
+    """Decode a query dictionary (validates the schema)."""
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {payload.get('version')!r} not supported"
+        )
+    for key in ("dataset", "region", "mapping", "grid", "aggregation"):
+        if key not in payload:
+            raise ProtocolError(f"query payload missing {key!r}")
+    return RangeQuery(
+        dataset=payload["dataset"],
+        region=_rect_from_dict(payload["region"]),
+        mapping=_mapping_from_dict(payload["mapping"]),
+        grid=_grid_from_dict(payload["grid"]),
+        aggregation=payload["aggregation"],
+        strategy=payload.get("strategy", "AUTO"),
+        value_components=int(payload.get("value_components", 1)),
+    )
+
+
+# -- results ------------------------------------------------------------------
+
+
+def result_to_dict(result: QueryResult) -> Dict[str, Any]:
+    """Encode a result (NaN travels as the string ``"nan"``)."""
+
+    def encode(arr: np.ndarray) -> list:
+        return [
+            ["nan" if np.isnan(v) else float(v) for v in row] for row in arr
+        ]
+
+    return {
+        "version": PROTOCOL_VERSION,
+        "strategy": result.strategy,
+        "output_ids": [int(o) for o in result.output_ids],
+        "chunk_values": [encode(v) for v in result.chunk_values],
+        "n_tiles": result.n_tiles,
+        "n_reads": result.n_reads,
+        "bytes_read": result.bytes_read,
+        "n_combines": result.n_combines,
+        "n_aggregations": result.n_aggregations,
+    }
+
+
+def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
+    if payload.get("version") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version {payload.get('version')!r} not supported"
+        )
+
+    def decode(rows: list) -> np.ndarray:
+        return np.asarray(
+            [[np.nan if v == "nan" else float(v) for v in row] for row in rows]
+        )
+
+    try:
+        return QueryResult(
+            strategy=payload["strategy"],
+            output_ids=np.asarray(payload["output_ids"], dtype=np.int64),
+            chunk_values=[decode(v) for v in payload["chunk_values"]],
+            n_tiles=int(payload["n_tiles"]),
+            n_reads=int(payload["n_reads"]),
+            bytes_read=int(payload["bytes_read"]),
+            n_combines=int(payload["n_combines"]),
+            n_aggregations=int(payload["n_aggregations"]),
+        )
+    except (KeyError, TypeError, ValueError) as e:
+        raise ProtocolError(f"bad result payload: {e}") from e

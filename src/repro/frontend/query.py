@@ -1,0 +1,68 @@
+"""Range queries.
+
+"Access to data items is described by a range query, namely a
+multi-dimensional bounding box in the underlying multi-dimensional
+attribute space of the dataset."  A :class:`RangeQuery` bundles that
+box with the references to user-defined processing the front end
+forwards to the back end: the input dataset, the output grid, the
+``Map`` function and the aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
+from repro.aggregation.output_grid import OutputGrid
+from repro.space.mapping import GridMapping
+from repro.util.geometry import Rect
+
+__all__ = ["RangeQuery"]
+
+
+@dataclass
+class RangeQuery:
+    """One client query against an ADR instance.
+
+    Attributes
+    ----------
+    dataset:
+        Name of the input dataset (must be loaded).
+    region:
+        Bounding box in the input dataset's attribute space.
+    mapping:
+        The user ``Map``: input space -> output grid coordinates.
+    grid:
+        Output dataset layout (cells + chunk blocking).
+    aggregation:
+        An :class:`AggregationSpec` or the name of a built-in one
+        (``"sum"``, ``"mean"``, ``"max"``, ``"best"``, ...).
+    strategy:
+        ``"FRA"``, ``"SRA"``, ``"DA"``, ``"HYBRID"``, or ``"AUTO"`` to
+        let the cost model choose (Section 6 future work).
+    value_components:
+        Components per input item value, used when *aggregation* is a
+        name.
+    """
+
+    dataset: str
+    region: Rect
+    mapping: GridMapping
+    grid: OutputGrid
+    aggregation: Union[str, AggregationSpec] = "mean"
+    strategy: str = "AUTO"
+    value_components: int = 1
+
+    def spec(self) -> AggregationSpec:
+        """Resolve the aggregation to a spec instance."""
+        if isinstance(self.aggregation, AggregationSpec):
+            return self.aggregation
+        try:
+            cls = AGGREGATIONS[self.aggregation]
+        except KeyError:
+            raise ValueError(
+                f"unknown aggregation {self.aggregation!r}; built-ins: "
+                f"{sorted(AGGREGATIONS)}"
+            ) from None
+        return cls(value_components=self.value_components)

@@ -1,0 +1,169 @@
+"""Parallel-client output delivery (the paper's Meta-Chaos interface).
+
+"The output can also be returned to the client from the back-end
+nodes, either through a socket interface or via Meta-Chaos [11].  The
+socket interface is used for sequential clients, while the Meta-Chaos
+interface is mainly used for parallel clients."
+
+A parallel client is itself a set of processes with a *data
+distribution* it wants the output in (Figure 2's client B).  This
+module computes the redistribution between the back end's output-chunk
+placement (wherever declustering put the owners) and the client's
+requested distribution, ships the data functionally, and estimates the
+transfer cost -- the interoperability service Meta-Chaos provided
+between data-parallel runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.machine.config import MachineConfig
+from repro.planner.plan import QueryPlan
+from repro.runtime.engine import QueryResult
+
+__all__ = [
+    "RedistributionSchedule",
+    "client_distribution",
+    "build_schedule",
+    "scatter_result",
+    "estimate_transfer_time",
+]
+
+
+def client_distribution(
+    n_chunks: int, n_client_procs: int, kind: str = "block"
+) -> np.ndarray:
+    """Per-output-chunk destination client process.
+
+    ``block`` gives each client process a contiguous run of chunk ids
+    (the common data-parallel array decomposition); ``cyclic`` deals
+    them round-robin.
+    """
+    if n_client_procs < 1:
+        raise ValueError("need at least one client process")
+    ids = np.arange(n_chunks)
+    if kind == "block":
+        per = -(-n_chunks // n_client_procs)  # ceil division
+        return np.minimum(ids // max(per, 1), n_client_procs - 1)
+    if kind == "cyclic":
+        return ids % n_client_procs
+    raise ValueError(f"unknown distribution {kind!r}; use 'block' or 'cyclic'")
+
+
+@dataclass(frozen=True)
+class RedistributionSchedule:
+    """Point-to-point transfers back end -> parallel client.
+
+    Parallel arrays over the plan's (dense local) output chunks:
+    ``src`` is the owning back-end processor, ``dst`` the client
+    process, ``nbytes`` the final output chunk size.
+    """
+
+    n_backend: int
+    n_client: int
+    chunk: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    nbytes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.chunk)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.nbytes.sum())
+
+    def bytes_per_src(self) -> np.ndarray:
+        out = np.zeros(self.n_backend, dtype=np.int64)
+        np.add.at(out, self.src, self.nbytes)
+        return out
+
+    def bytes_per_dst(self) -> np.ndarray:
+        out = np.zeros(self.n_client, dtype=np.int64)
+        np.add.at(out, self.dst, self.nbytes)
+        return out
+
+    @property
+    def client_balance(self) -> float:
+        """max/mean bytes across client processes (1.0 = perfect)."""
+        per = self.bytes_per_dst()
+        mean = per.mean()
+        return float(per.max() / mean) if mean > 0 else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{len(self)} output chunks, {self.total_bytes / 2**20:.1f} MB "
+            f"{self.n_backend} backend -> {self.n_client} client procs, "
+            f"client balance {self.client_balance:.2f}"
+        )
+
+
+def build_schedule(
+    plan: QueryPlan,
+    n_client_procs: int,
+    distribution: Union[str, np.ndarray] = "block",
+) -> RedistributionSchedule:
+    """The transfer schedule for a plan's output.
+
+    ``distribution`` is ``"block"``/``"cyclic"`` over the plan's output
+    chunks (in dataset-id order) or an explicit per-chunk destination
+    array.
+    """
+    p = plan.problem
+    n_out = p.n_out
+    if isinstance(distribution, str):
+        # distribute over the *sorted dataset ids*, the order a client
+        # addressing the output array would use
+        order = np.argsort(p.output_global_ids)
+        dst = np.empty(n_out, dtype=np.int64)
+        dst[order] = client_distribution(n_out, n_client_procs, distribution)
+    else:
+        dst = np.asarray(distribution, dtype=np.int64)
+        if dst.shape != (n_out,):
+            raise ValueError("distribution must name one client per output chunk")
+        if len(dst) and (dst.min() < 0 or dst.max() >= n_client_procs):
+            raise ValueError("client process ids out of range")
+    return RedistributionSchedule(
+        n_backend=p.n_procs,
+        n_client=n_client_procs,
+        chunk=np.arange(n_out, dtype=np.int64),
+        src=p.output_owner.astype(np.int64).copy(),
+        dst=dst,
+        nbytes=p.outputs.nbytes.copy(),
+    )
+
+
+def scatter_result(
+    result: QueryResult,
+    plan: QueryPlan,
+    schedule: RedistributionSchedule,
+) -> List[Dict[int, np.ndarray]]:
+    """Deliver a functional result per the schedule.
+
+    Returns one ``{output chunk id: values}`` mapping per client
+    process -- what each client process's memory would hold after the
+    Meta-Chaos move.
+    """
+    p = plan.problem
+    local_of = {int(g): i for i, g in enumerate(p.output_global_ids)}
+    buckets: List[Dict[int, np.ndarray]] = [dict() for _ in range(schedule.n_client)]
+    for out_id, values in zip(result.output_ids, result.chunk_values):
+        local = local_of.get(int(out_id))
+        if local is None:
+            raise KeyError(f"result chunk {int(out_id)} not in the plan's outputs")
+        buckets[int(schedule.dst[local])][int(out_id)] = values
+    return buckets
+
+
+def estimate_transfer_time(
+    schedule: RedistributionSchedule, machine: MachineConfig
+) -> float:
+    """Transfer time: every endpoint ships its bytes over its own link
+    (full duplex, client assumed symmetric), plus one latency."""
+    send = schedule.bytes_per_src().max(initial=0)
+    recv = schedule.bytes_per_dst().max(initial=0)
+    return float(max(send, recv)) / machine.link_bandwidth + machine.link_latency

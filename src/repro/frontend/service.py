@@ -1,0 +1,145 @@
+"""ADR front-end service: queries over a socket.
+
+Figure 2 of the paper shows a standalone "ADR Front-end Process" that
+clients connect to ("the socket interface is used for sequential
+clients").  :class:`ADRServer` is that process: it wraps an
+:class:`~repro.frontend.adr.ADR` instance and serves newline-delimited
+JSON messages of the :mod:`repro.frontend.protocol` schema on a TCP
+port.  :class:`ADRClient` is the matching sequential client.
+
+Message envelope (one JSON object per line):
+
+- request: ``{"op": "query", "query": {...}}`` or ``{"op": "ping"}``
+- response: ``{"ok": true, "result": {...}}`` or
+  ``{"ok": false, "error": "..."}``
+
+The server is intentionally synchronous (one request at a time): the
+parallelism ADR cares about lives in the back end, not in the
+front-end socket loop.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.frontend.adr import ADR
+from repro.frontend.protocol import (
+    ProtocolError,
+    query_from_dict,
+    query_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.frontend.query import RangeQuery
+from repro.runtime.engine import QueryResult
+
+__all__ = ["ADRServer", "ADRClient"]
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                response = self.server.adr_dispatch(json.loads(line))
+            except Exception as e:  # malformed JSON and friends
+                response = {"ok": False, "error": f"{type(e).__name__}: {e}"}
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+
+class ADRServer(socketserver.ThreadingTCPServer):
+    """Serves one ADR instance on ``(host, port)``.
+
+    Use as a context manager (binds immediately, serves on a daemon
+    thread)::
+
+        with ADRServer(adr, port=0) as server:
+            client = ADRClient(*server.address)
+            result = client.query(range_query)
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, adr: ADR, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.adr = adr
+        self._thread: Optional[threading.Thread] = None
+        super().__init__((host, port), _Handler)
+
+    # -- request dispatch ------------------------------------------------
+
+    def adr_dispatch(self, message: dict) -> dict:
+        op = message.get("op")
+        if op == "ping":
+            return {"ok": True, "result": "pong"}
+        if op == "query":
+            try:
+                query = query_from_dict(message.get("query", {}))
+                result = self.adr.execute(query)
+                return {"ok": True, "result": result_to_dict(result)}
+            except (ProtocolError, KeyError, ValueError) as e:
+                return {"ok": False, "error": f"{type(e).__name__}: {e}"}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    def __enter__(self) -> "ADRServer":
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+
+class ADRClient:
+    """A sequential client: one socket, blocking request/response."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def _call(self, message: dict) -> dict:
+        self._file.write((json.dumps(message) + "\n").encode("utf-8"))
+        self._file.flush()
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return json.loads(raw)
+
+    def ping(self) -> bool:
+        return self._call({"op": "ping"}).get("result") == "pong"
+
+    def query(self, query: RangeQuery) -> QueryResult:
+        """Submit a range query; raises ``RuntimeError`` on server-side
+        failure (the error text travels back)."""
+        response = self._call({"op": "query", "query": query_to_dict(query)})
+        if not response.get("ok"):
+            raise RuntimeError(f"server rejected query: {response.get('error')}")
+        return result_from_dict(response["result"])
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ADRClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

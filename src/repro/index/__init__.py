@@ -1,0 +1,22 @@
+"""Indexing service (paper Section 2.1--2.2).
+
+"After all data chunks are stored into the desired locations in the
+disk farm, an index (e.g., an R-tree) is constructed using the MBRs of
+the chunks.  The index is used by the back-end nodes to find the local
+chunks with MBRs that intersect the range query."
+
+This package implements that index from scratch:
+
+- :class:`RTree` -- dynamic inserts with quadratic split plus an STR
+  (Sort-Tile-Recursive) bulk loader used by the dataset loader;
+- :class:`GridIndex` -- a uniform-grid baseline;
+- :class:`BruteForceIndex` -- the vectorized linear scan every other
+  index is checked against in tests and benches.
+"""
+
+from repro.index.base import SpatialIndex
+from repro.index.brute import BruteForceIndex
+from repro.index.grid import GridIndex
+from repro.index.rtree import RTree
+
+__all__ = ["SpatialIndex", "BruteForceIndex", "GridIndex", "RTree"]

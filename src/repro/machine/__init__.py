@@ -1,0 +1,15 @@
+"""Parallel machine model.
+
+The paper's testbed is a 128-node IBM SP: thin nodes with 256 MB of
+memory and one local scratch disk each, connected by a High
+Performance Switch with 110 MB/s peak per-node bandwidth.  This
+package describes such machines (:class:`MachineConfig`), the
+per-chunk computation costs of an application
+(:class:`ComputeCosts`, Table 1's I-LR-GC-OH columns), and ships the
+calibrated IBM SP preset used by every reproduction experiment.
+"""
+
+from repro.machine.config import MachineConfig, ComputeCosts
+from repro.machine.presets import ibm_sp, IBM_SP_COSTS
+
+__all__ = ["MachineConfig", "ComputeCosts", "ibm_sp", "IBM_SP_COSTS"]

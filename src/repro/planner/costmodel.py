@@ -1,0 +1,271 @@
+"""Closed-form cost models and automatic strategy selection.
+
+Section 6 of the paper: "One of the long-term goals of our work on
+query planning strategies is to develop simple but reasonably accurate
+cost models to guide and automate the selection of an appropriate
+strategy."  This module is that future work: it estimates a plan's
+execution time phase by phase from plan statistics and the machine
+description, assuming the execution service overlaps I/O,
+communication and computation within each phase (so a phase costs
+about the busiest processor's busiest resource).
+
+The cost-model-accuracy bench compares these estimates against the
+discrete-event simulator across the paper's whole experiment grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.config import ComputeCosts, MachineConfig
+from repro.planner.plan import QueryPlan
+from repro.planner.problem import PlanningProblem
+from repro.planner.stats import plan_stats
+
+__all__ = ["CostModel", "CostEstimate", "estimate_cost", "select_strategy"]
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated per-phase and total execution time, seconds."""
+
+    strategy: str
+    init: float
+    reduction: float
+    combine: float
+    output: float
+
+    @property
+    def total(self) -> float:
+        return self.init + self.reduction + self.combine + self.output
+
+    def row(self) -> str:
+        return (
+            f"{self.strategy:>6}: est {self.total:8.2f} s "
+            f"(I {self.init:6.2f} / LR {self.reduction:8.2f} / "
+            f"GC {self.combine:6.2f} / OH {self.output:6.2f})"
+        )
+
+
+class CostModel:
+    """Estimates plan cost on a given machine and application.
+
+    Two granularities answer the paper's two Section-6 questions:
+
+    - ``per_tile=False`` (default): the *simple* model -- whole-query
+      per-processor totals, phase cost = busiest processor's busiest
+      resource.  Accurate when tiles are homogeneous; underestimates
+      when per-tile barriers dominate (many tiles, large machines),
+      which is exactly "under what circumstances do the simple cost
+      models provide inaccurate results".
+    - ``per_tile=True``: the *refined* model -- the same resource
+      reasoning applied tile by tile with a barrier after each phase,
+      "how can we refine the cost model in situations where it does
+      not provide reasonably accurate results".
+    """
+
+    def __init__(
+        self, machine: MachineConfig, costs: ComputeCosts, per_tile: bool = False
+    ) -> None:
+        self.machine = machine
+        self.costs = costs
+        self.per_tile = per_tile
+
+    def estimate(self, plan: QueryPlan) -> CostEstimate:
+        if self.per_tile:
+            return self._estimate_per_tile(plan)
+        return self._estimate_simple(plan)
+
+    # ------------------------------------------------------------------
+    # Simple model: whole-query totals
+    # ------------------------------------------------------------------
+
+    def _estimate_simple(self, plan: QueryPlan) -> CostEstimate:
+        m, c = self.machine, self.costs
+        p = plan.problem
+        P = p.n_procs
+        stats = plan_stats(plan)
+
+        # Initialization: pure CPU (plus optional output re-reads).
+        t_init = c.init * stats.init_chunks.max(initial=0)
+        if p.init_from_output:
+            it = plan.init_transfers
+            recv = np.zeros(P, dtype=np.int64)
+            if len(it):
+                np.add.at(recv, it.dst, p.outputs.nbytes[it.chunk])
+            t_init += float(recv.max(initial=0)) / m.link_bandwidth
+            t_init += (
+                stats.output_chunks.max(initial=0) * m.disk_seek
+                + float(
+                    np.bincount(p.output_owner, weights=p.outputs.nbytes, minlength=P).max()
+                )
+                / m.disk_bandwidth
+            )
+
+        # Local reduction: the busiest processor's busiest resource
+        # (disk, CPU, NIC), since operations pipeline within the phase.
+        io = stats.read_count * m.disk_seek + stats.read_bytes / m.disk_bandwidth
+        if p.init_from_output:
+            # those reads were charged to init above
+            io = io - (
+                stats.output_chunks * m.disk_seek
+                + np.bincount(p.output_owner, weights=p.outputs.nbytes, minlength=P)
+                / m.disk_bandwidth
+            )
+        it = plan.input_transfers
+        sent = np.zeros(P, dtype=np.int64)
+        recv = np.zeros(P, dtype=np.int64)
+        if len(it):
+            np.add.at(sent, it.src, p.inputs.nbytes[it.chunk])
+            np.add.at(recv, it.dst, p.inputs.nbytes[it.chunk])
+        # message handling is processor-driven (cpu_per_byte)
+        cpu = c.reduction * stats.reduction_pairs + (sent + recv) * m.cpu_per_byte
+        net = np.maximum(sent, recv) / m.link_bandwidth
+        t_lr = float(np.maximum(np.maximum(io, cpu), net).max(initial=0))
+
+        # Global combine: ghost shipment + merge at the owner.
+        gt = plan.ghost_transfers
+        g_sent = np.zeros(P, dtype=np.int64)
+        g_recv = np.zeros(P, dtype=np.int64)
+        if len(gt):
+            np.add.at(g_sent, gt.src, p.acc_nbytes[gt.chunk])
+            np.add.at(g_recv, gt.dst, p.acc_nbytes[gt.chunk])
+        t_gc = float(
+            np.maximum(
+                np.maximum(g_sent, g_recv) / m.link_bandwidth,
+                c.combine * stats.combine_ops
+                + (g_sent + g_recv) * m.cpu_per_byte,
+            ).max(initial=0)
+        )
+
+        # Output handling: finalize + write locally.
+        t_oh = float(
+            (
+                c.output * stats.output_chunks
+                + stats.output_chunks * m.disk_seek
+                + stats.write_bytes / m.disk_bandwidth
+            ).max(initial=0)
+        )
+
+        return CostEstimate(plan.strategy, t_init, t_lr, t_gc, t_oh)
+
+    # ------------------------------------------------------------------
+    # Refined model: per-tile barriers
+    # ------------------------------------------------------------------
+
+    def _estimate_per_tile(self, plan: QueryPlan) -> CostEstimate:
+        m, c = self.machine, self.costs
+        p = plan.problem
+        P = p.n_procs
+        T = max(plan.n_tiles, 1)
+
+        def grid(tile: np.ndarray, proc: np.ndarray, weights=None) -> np.ndarray:
+            out = np.zeros((T, P))
+            if len(tile):
+                np.add.at(
+                    out,
+                    (tile, proc),
+                    1.0 if weights is None else weights.astype(float),
+                )
+            return out
+
+        # Initialization: accumulator allocations per (tile, proc).
+        counts = np.diff(plan.holders_indptr)
+        flat_out = np.repeat(np.arange(p.n_out, dtype=np.int64), counts)
+        alloc = grid(plan.tile_of_output[flat_out], plan.holders_ids)
+        t_init = float((c.init * alloc).max(axis=1).sum())
+
+        # Local reduction per tile.
+        r = plan.reads
+        io = grid(r.tile, r.proc) * m.disk_seek + grid(
+            r.tile, r.proc, p.inputs.nbytes[r.chunk]
+        ) / (m.disk_bandwidth * m.disks_per_node)
+        edge_in, _ = plan.edge_arrays
+        pairs = grid(plan.edge_tile, plan.edge_proc)
+        it = plan.input_transfers
+        sent = grid(it.tile, it.src, p.inputs.nbytes[it.chunk])
+        recv = grid(it.tile, it.dst, p.inputs.nbytes[it.chunk])
+        cpu = c.reduction * pairs + (sent + recv) * m.cpu_per_byte
+        net = np.maximum(sent, recv) / m.link_bandwidth
+        t_lr = float(np.maximum(np.maximum(io, cpu), net).max(axis=1).sum())
+
+        # Global combine per tile.
+        g = plan.ghost_transfers
+        g_sent = grid(g.tile, g.src, p.acc_nbytes[g.chunk])
+        g_recv = grid(g.tile, g.dst, p.acc_nbytes[g.chunk])
+        g_ops = grid(g.tile, g.dst)
+        gc_cpu = c.combine * g_ops + (g_sent + g_recv) * m.cpu_per_byte
+        t_gc = float(
+            np.maximum(np.maximum(g_sent, g_recv) / m.link_bandwidth, gc_cpu)
+            .max(axis=1)
+            .sum()
+        )
+
+        # Output handling per tile.
+        out_tile = plan.tile_of_output
+        owner = p.output_owner.astype(np.int64)
+        outs = grid(out_tile, owner)
+        writes = grid(out_tile, owner, p.outputs.nbytes)
+        t_oh = float(
+            (
+                c.output * outs
+                + outs * m.disk_seek
+                + writes / (m.disk_bandwidth * m.disks_per_node)
+            )
+            .max(axis=1)
+            .sum()
+        )
+
+        # Initialization-from-output: owners re-read + forward, charged
+        # at whole-query granularity (it is rare and small).
+        if p.init_from_output:
+            base = self._estimate_simple(plan)
+            extra = base.init - float(
+                (c.init * alloc).max(axis=1).sum()
+            )
+            t_init += max(extra, 0.0)
+
+        return CostEstimate(plan.strategy, t_init, t_lr, t_gc, t_oh)
+
+
+def estimate_cost(
+    plan: QueryPlan, machine: MachineConfig, costs: ComputeCosts
+) -> CostEstimate:
+    """Functional wrapper around :class:`CostModel`."""
+    return CostModel(machine, costs).estimate(plan)
+
+
+def select_strategy(
+    problem: PlanningProblem,
+    machine: MachineConfig,
+    costs: ComputeCosts,
+    strategies: Optional[Iterable[str]] = None,
+) -> Tuple[QueryPlan, Dict[str, CostEstimate]]:
+    """Plan with every candidate strategy, estimate each, return the
+    cheapest plan plus all estimates (for reporting).
+
+    This is the automated selection the paper names as a long-term
+    goal; its accuracy against the simulator is quantified in
+    ``benchmarks/bench_costmodel_accuracy.py``.
+    """
+    from repro.planner.strategies import plan_query
+
+    names = list(strategies) if strategies is not None else ["FRA", "SRA", "DA"]
+    if not names:
+        raise ValueError("need at least one candidate strategy")
+    model = CostModel(machine, costs)
+    best_plan: Optional[QueryPlan] = None
+    best_cost = float("inf")
+    estimates: Dict[str, CostEstimate] = {}
+    for name in names:
+        plan = plan_query(problem, name)
+        est = model.estimate(plan)
+        estimates[plan.strategy] = est
+        if est.total < best_cost:
+            best_cost = est.total
+            best_plan = plan
+    assert best_plan is not None
+    return best_plan, estimates

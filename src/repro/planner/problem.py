@@ -1,0 +1,139 @@
+"""The planner's input: a query-restricted planning problem.
+
+Planning operates on the chunks a range query selects, not whole
+datasets.  A :class:`PlanningProblem` is that dense sub-universe:
+input chunks (with sizes and placements), output/accumulator chunks
+(sizes, accumulator sizes, placements, centers for Hilbert ordering)
+and the bipartite incidence between them.  The front end builds one by
+running the range query against the dataset indices and sub-setting
+the chunk graph; emulators construct problems directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+
+__all__ = ["PlanningProblem"]
+
+
+@dataclass
+class PlanningProblem:
+    """Everything tiling and workload partitioning need.
+
+    Attributes
+    ----------
+    n_procs:
+        Back-end processors (one node == one processor, as on the SP).
+    memory_per_proc:
+        Accumulator memory budget per processor, bytes.  Scalar or
+        ``(n_procs,)`` array.
+    inputs, outputs:
+        Placed chunk populations selected by the query (dense local
+        ids).  ``inputs.node`` / ``outputs.node`` are the owners.
+    graph:
+        Input -> output chunk incidence over the dense local ids.
+    acc_nbytes:
+        Accumulator bytes per output chunk; defaults to the output
+        chunk size, but accumulators are typically wider (running sums,
+        counts, best-value metadata), which is the knob the paper's
+        applications differ on.
+    init_from_output:
+        True when accumulator initialization must read the existing
+        output dataset (phase-1 retrieval + forwarding).
+    hilbert_bits:
+        Order of the Hilbert curve used to sort output chunks.
+    """
+
+    n_procs: int
+    memory_per_proc: np.ndarray
+    inputs: ChunkSet
+    outputs: ChunkSet
+    graph: ChunkGraph
+    acc_nbytes: Optional[np.ndarray] = None
+    init_from_output: bool = False
+    hilbert_bits: int = 16
+    #: Original dataset chunk ids behind the dense local ids (set when
+    #: the problem was restricted to a range query); default identity.
+    input_global_ids: Optional[np.ndarray] = None
+    output_global_ids: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.n_procs < 1:
+            raise ValueError("n_procs must be >= 1")
+        mem = np.asarray(self.memory_per_proc, dtype=np.int64)
+        if mem.ndim == 0:
+            mem = np.full(self.n_procs, int(mem), dtype=np.int64)
+        if mem.shape != (self.n_procs,):
+            raise ValueError("memory_per_proc must be scalar or (n_procs,)")
+        if np.any(mem <= 0):
+            raise ValueError("memory budgets must be positive")
+        self.memory_per_proc = mem
+        if self.graph.n_in != len(self.inputs) or self.graph.n_out != len(self.outputs):
+            raise ValueError("graph shape does not match chunk populations")
+        if not self.inputs.placed or not self.outputs.placed:
+            raise ValueError("planning requires placed chunks (run declustering first)")
+        if self.inputs.node.max(initial=-1) >= self.n_procs or self.outputs.node.max(initial=-1) >= self.n_procs:
+            raise ValueError("chunk placements reference processors beyond n_procs")
+        if self.acc_nbytes is None:
+            self.acc_nbytes = self.outputs.nbytes.copy()
+        else:
+            self.acc_nbytes = np.asarray(self.acc_nbytes, dtype=np.int64)
+            if self.acc_nbytes.shape != (len(self.outputs),):
+                raise ValueError("acc_nbytes must have one entry per output chunk")
+            if np.any(self.acc_nbytes < 0):
+                raise ValueError("acc_nbytes must be non-negative")
+        if self.input_global_ids is None:
+            self.input_global_ids = np.arange(len(self.inputs), dtype=np.int64)
+        else:
+            self.input_global_ids = np.asarray(self.input_global_ids, dtype=np.int64)
+            if self.input_global_ids.shape != (len(self.inputs),):
+                raise ValueError("input_global_ids must parallel the input chunks")
+        if self.output_global_ids is None:
+            self.output_global_ids = np.arange(len(self.outputs), dtype=np.int64)
+        else:
+            self.output_global_ids = np.asarray(self.output_global_ids, dtype=np.int64)
+            if self.output_global_ids.shape != (len(self.outputs),):
+                raise ValueError("output_global_ids must parallel the output chunks")
+
+    # -- convenient views ------------------------------------------------
+
+    @property
+    def n_in(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def n_out(self) -> int:
+        return len(self.outputs)
+
+    @property
+    def input_owner(self) -> np.ndarray:
+        return self.inputs.node
+
+    @property
+    def output_owner(self) -> np.ndarray:
+        return self.outputs.node
+
+    def output_hilbert_order(self) -> np.ndarray:
+        """Output chunk ids in the tiling selection order (Section 3)."""
+        return self.outputs.hilbert_order(self.hilbert_bits)
+
+    def procs_with_input_for(self, output_id: int) -> np.ndarray:
+        """The SRA set ``So``: processors owning at least one input
+        chunk that projects to *output_id* (Figure 5, step 5)."""
+        ins = self.graph.inputs_of(output_id)
+        return np.unique(self.input_owner[ins])
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.n_in} input chunks ({self.inputs.total_bytes / 2**20:.1f} MB) -> "
+            f"{self.n_out} output chunks ({self.outputs.total_bytes / 2**20:.1f} MB, "
+            f"acc {int(self.acc_nbytes.sum()) / 2**20:.1f} MB) on {self.n_procs} procs, "
+            f"fan-in {self.graph.avg_fan_in:.1f}, fan-out {self.graph.avg_fan_out:.2f}"
+        )

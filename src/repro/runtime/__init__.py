@@ -1,0 +1,16 @@
+"""Query execution service: the functional engine.
+
+Whereas :mod:`repro.sim` *times* a plan on a machine model, this
+package *executes* it on real data: virtual processors hold
+accumulator sets, input chunk payloads are retrieved and aggregated
+edge by edge exactly as the plan dictates (including ghost-chunk
+combining), and final output values are produced.  Running the same
+query under FRA, SRA and DA must -- and in the test suite does --
+yield the same answer as a serial reference execution, which is the
+correctness proof for the planner's workload partitioning.
+"""
+
+from repro.runtime.engine import QueryResult, execute_plan
+from repro.runtime.serial import execute_serial
+
+__all__ = ["QueryResult", "execute_plan", "execute_serial"]

@@ -1,0 +1,275 @@
+"""Parallel functional execution of a query plan.
+
+Executes the four phases per tile over *virtual processors*, each with
+its own :class:`~repro.aggregation.accumulator.AccumulatorSet`:
+
+1. **Initialization** -- every holder listed by the plan allocates and
+   initializes accumulator chunks for the tile's output chunks
+   (ghosts where it is not the owner).
+2. **Local reduction** -- each distinct read retrieves the input chunk
+   payload; items are mapped through the user ``Map`` into output grid
+   cells, and each (input chunk, output chunk) edge is aggregated on
+   the processor the plan assigned it to (the input owner under
+   FRA/SRA; the output owner under DA -- which is where forwarding the
+   chunk is implied).
+3. **Global combine** -- ghost accumulators are merged into the
+   owner's accumulator, following the plan's ghost-transfer list.
+4. **Output handling** -- owners post-process accumulators into final
+   output values.
+
+Because the virtual processors run in one address space the engine is
+sequential, but it honors the plan's *data placement* exactly: an
+aggregation only ever touches the accumulator set of its assigned
+processor, and a combine only merges data the plan actually ships.
+That is what makes "FRA == SRA == DA == serial" a meaningful test of
+the planner rather than a tautology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.aggregation.accumulator import AccumulatorSet
+from repro.aggregation.functions import AggregationSpec
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.chunk import Chunk
+from repro.dataset.dataset import Dataset
+from repro.planner.plan import QueryPlan
+from repro.runtime.serial import map_chunk_to_cells
+from repro.space.mapping import GridMapping
+
+__all__ = ["QueryResult", "execute_plan"]
+
+ChunkProvider = Callable[[int], Chunk]
+
+
+@dataclass
+class QueryResult:
+    """Final values per output chunk, plus execution counters."""
+
+    strategy: str
+    #: dataset-level output chunk ids, parallel to ``chunk_values``
+    output_ids: np.ndarray
+    chunk_values: List[np.ndarray]
+    n_tiles: int
+    #: distinct chunk retrievals performed (reads x tiles multiplicity)
+    n_reads: int
+    bytes_read: int
+    #: ghost accumulator merges performed in global-combine phases
+    n_combines: int
+    #: aggregate() calls, i.e. executed (input, accumulator) edges
+    n_aggregations: int
+
+    def value_of(self, output_id: int) -> np.ndarray:
+        pos = np.flatnonzero(self.output_ids == output_id)
+        if not len(pos):
+            raise KeyError(f"output chunk {output_id} was not computed")
+        return self.chunk_values[int(pos[0])]
+
+    def as_dict(self) -> Dict[int, np.ndarray]:
+        return {int(o): v for o, v in zip(self.output_ids, self.chunk_values)}
+
+    def assemble(self, grid: OutputGrid) -> np.ndarray:
+        """Dense output array; chunks outside the query are NaN."""
+        k = self.chunk_values[0].shape[1] if self.chunk_values else 1
+        parts = []
+        computed = self.as_dict()
+        for cid in range(grid.n_chunks):
+            if cid in computed:
+                parts.append(computed[cid])
+            else:
+                parts.append(np.full((grid.cells_in_chunk(cid), k), np.nan))
+        return grid.assemble(parts)
+
+
+def _provider(source: Union[Dataset, ChunkProvider]) -> ChunkProvider:
+    if isinstance(source, Dataset):
+        return source.payload
+    if callable(source):
+        return source
+    raise TypeError("chunk source must be a Dataset with payloads or a callable")
+
+
+def execute_plan(
+    plan: QueryPlan,
+    chunks: Union[Dataset, ChunkProvider],
+    mapping: GridMapping,
+    grid: OutputGrid,
+    spec: AggregationSpec,
+    enforce_memory: bool = False,
+    region=None,
+    prior: Optional[Callable[[int], np.ndarray]] = None,
+) -> QueryResult:
+    """Execute *plan* over real chunk payloads.
+
+    Parameters
+    ----------
+    plan:
+        Any validated plan (FRA/SRA/DA/hybrid) over a geometry-derived
+        problem.
+    chunks:
+        A payload-carrying :class:`Dataset` or a callable mapping
+        *dataset-level* input chunk ids to :class:`Chunk`.
+    mapping, grid, spec:
+        The user customization: ``Map``, the output dataset layout,
+        and the aggregation functions.
+    enforce_memory:
+        When True, virtual processors enforce the plan's accumulator
+        budget at allocation time (useful in tests; requires the
+        problem's ``acc_nbytes`` to match ``spec.acc_bytes``).
+    region:
+        Optional range-query box in the input attribute space; items
+        of retrieved chunks outside it are skipped (the paper's
+        item-level retrieval semantics).
+    prior:
+        For update queries (``problem.init_from_output``): maps a
+        dataset-level output chunk id to its *existing* output values;
+        owners seed their accumulators from it via
+        ``spec.initialize_from`` ("an output chunk is retrieved by the
+        processor that has the chunk on its local disk").  Replicated
+        (ghost) holders are seeded too only for idempotent
+        aggregations -- otherwise the global combine would double-count
+        the prior.
+    """
+    problem = plan.problem
+    provider = _provider(chunks)
+    in_global = problem.input_global_ids
+    out_global = problem.output_global_ids
+
+    acc_sets = [
+        AccumulatorSet(
+            spec,
+            memory_limit=int(problem.memory_per_proc[p]) if enforce_memory else None,
+        )
+        for p in range(problem.n_procs)
+    ]
+
+    # Dataset-level output chunk id -> dense local id (or -1).
+    sel_map = np.full(grid.n_chunks, -1, dtype=np.int64)
+    sel_map[out_global] = np.arange(problem.n_out)
+
+    # Per-input-chunk edge lookup: outputs_of(i) is sorted and aligned
+    # with the same slice of plan.edge_proc (forward-CSR order).
+    fwd_indptr, fwd_ids = problem.graph.forward_csr
+
+    # Reads grouped by tile.
+    reads = plan.reads
+    read_order = np.argsort(reads.tile, kind="stable")
+    read_bounds = np.searchsorted(reads.tile[read_order], np.arange(plan.n_tiles + 1))
+
+    # Ghost transfers grouped by tile.
+    gt = plan.ghost_transfers
+    gt_order = np.argsort(gt.tile, kind="stable")
+    gt_bounds = np.searchsorted(gt.tile[gt_order], np.arange(plan.n_tiles + 1))
+
+    # Outputs grouped by tile.
+    out_order = np.argsort(plan.tile_of_output, kind="stable")
+    out_bounds = np.searchsorted(
+        plan.tile_of_output[out_order], np.arange(plan.n_tiles + 1)
+    )
+
+    results: Dict[int, np.ndarray] = {}
+    n_reads = 0
+    bytes_read = 0
+    n_combines = 0
+    n_aggregations = 0
+
+    for t in range(plan.n_tiles):
+        # -- phase 1: initialization -----------------------------------
+        for k in range(out_bounds[t], out_bounds[t + 1]):
+            o = int(out_order[k])
+            n_cells = grid.cells_in_chunk(int(out_global[o]))
+            owner = int(problem.output_owner[o])
+            prior_acc = None
+            if problem.init_from_output and prior is not None:
+                prior_vals = prior(int(out_global[o]))
+                if prior_vals is not None:
+                    prior_acc = spec.initialize_from(prior_vals)
+            for p in plan.holders_of(o):
+                acc = acc_sets[int(p)].allocate(o, n_cells, ghost=int(p) != owner)
+                if prior_acc is not None and (int(p) == owner or spec.idempotent):
+                    acc.data[:] = prior_acc
+
+        # -- phase 2: local reduction --------------------------------------
+        for k in range(read_bounds[t], read_bounds[t + 1]):
+            r = int(read_order[k])
+            i = int(reads.chunk[r])
+            chunk = provider(int(in_global[i]))
+            n_reads += 1
+            bytes_read += int(problem.inputs.nbytes[i])
+
+            item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, region)
+            if len(cells) == 0:
+                continue
+            out_chunks = grid.chunk_of_cells(cells)
+            local_out = sel_map[out_chunks]
+            keep = local_out >= 0
+            keep &= np.where(keep, plan.tile_of_output[local_out] == t, False)
+            if not keep.any():
+                continue
+            item_idx, cells = item_idx[keep], cells[keep]
+            out_chunks, local_out = out_chunks[keep], local_out[keep]
+
+            values = np.asarray(chunk.values, dtype=float)
+            if values.ndim == 1:
+                values = values[:, None]
+
+            edges_out = fwd_ids[fwd_indptr[i] : fwd_indptr[i + 1]]
+            edges_proc = plan.edge_proc[fwd_indptr[i] : fwd_indptr[i + 1]]
+
+            order = np.argsort(local_out, kind="stable")
+            lo_sorted = local_out[order]
+            boundaries = np.flatnonzero(np.diff(lo_sorted)) + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(lo_sorted)]))
+            for s, e in zip(starts, ends):
+                o = int(lo_sorted[s])
+                pos = np.searchsorted(edges_out, o)
+                if pos >= len(edges_out) or edges_out[pos] != o:
+                    raise AssertionError(
+                        f"items of input chunk {i} land in output chunk {o} "
+                        "but the chunk graph has no such edge -- the graph "
+                        "must be a superset of the item-level mapping"
+                    )
+                q = int(edges_proc[pos])
+                sel = order[s:e]
+                local_cells = grid.local_cell_index(int(out_global[o]), cells[sel])
+                acc_sets[q].aggregate(o, local_cells, values[item_idx[sel]])
+                n_aggregations += 1
+
+        # -- phase 3: global combine ----------------------------------------
+        for k in range(gt_bounds[t], gt_bounds[t + 1]):
+            g = int(gt_order[k])
+            o = int(gt.chunk[g])
+            src, dst = int(gt.src[g]), int(gt.dst[g])
+            acc_sets[dst].combine_from(o, acc_sets[src].get(o).data)
+            n_combines += 1
+
+        # -- phase 4: output handling -----------------------------------------
+        for k in range(out_bounds[t], out_bounds[t + 1]):
+            o = int(out_order[k])
+            owner = int(problem.output_owner[o])
+            acc = acc_sets[owner].get(o)
+            if acc.ghost:
+                raise AssertionError("owner holds a ghost for its own chunk")
+            results[o] = spec.output(acc.data)
+
+        for s in acc_sets:
+            s.clear()
+
+    ordered = sorted(results)
+    return QueryResult(
+        strategy=plan.strategy,
+        output_ids=out_global[np.asarray(ordered, dtype=np.int64)]
+        if ordered
+        else np.empty(0, dtype=np.int64),
+        chunk_values=[results[o] for o in ordered],
+        n_tiles=plan.n_tiles,
+        n_reads=n_reads,
+        bytes_read=bytes_read,
+        n_combines=n_combines,
+        n_aggregations=n_aggregations,
+    )

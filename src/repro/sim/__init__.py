@@ -1,0 +1,32 @@
+"""Discrete-event simulation of ADR query execution.
+
+The paper's query execution service overlaps disk operations, network
+operations and processing by keeping per-kind operation queues and
+switching between them (Section 2.4).  This package reproduces that
+runtime as a discrete-event simulation: every node has a disk, a CPU
+and full-duplex NIC channels, each a FIFO server; query-plan traffic
+(reads, input forwards, ghost shipments) and per-chunk computation
+flow through them with real dependency chains, so overlap, contention,
+pipelining and load imbalance emerge rather than being assumed.
+
+- :mod:`repro.sim.events` -- the generic event core (simulator clock,
+  FIFO resources, barriers);
+- :mod:`repro.sim.query_sim` -- executes a
+  :class:`~repro.planner.plan.QueryPlan` on a
+  :class:`~repro.machine.config.MachineConfig` and reports
+  per-phase/per-processor timing (the Figure 8 and 9 quantities).
+"""
+
+from repro.sim.events import Simulator, Resource, Barrier
+from repro.sim.query_sim import SimResult, simulate_query
+from repro.sim.timeline import render_timeline, utilization
+
+__all__ = [
+    "Simulator",
+    "Resource",
+    "Barrier",
+    "SimResult",
+    "simulate_query",
+    "render_timeline",
+    "utilization",
+]

@@ -1,0 +1,134 @@
+"""ASCII timeline (Gantt) rendering for simulated executions.
+
+The paper's Section 2.4 performance story is about *overlap*: disk,
+network and CPU operations proceeding concurrently through per-kind
+operation queues.  A timeline makes that visible: one row per resource
+per processor, time bucketed across the terminal width, a filled cell
+whenever the resource was busy during that bucket.
+
+Usage::
+
+    res = simulate_query(plan, machine, costs, record_timeline=True)
+    print(render_timeline(res))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.query_sim import SimResult
+
+__all__ = ["render_timeline", "utilization", "timeline_records", "write_timeline_csv"]
+
+_KIND_ORDER = ("disk", "cpu", "out", "in")
+
+
+def _parse_name(name: str) -> Tuple[int, str]:
+    """Resource name -> (processor, kind); e.g. 'disk3.0' -> (3, 'disk')."""
+    for kind in _KIND_ORDER:
+        if name.startswith(kind):
+            rest = name[len(kind):]
+            proc = rest.split(".")[0]
+            return int(proc), kind
+    raise ValueError(f"unrecognized resource name {name!r}")
+
+
+def _coverage(intervals: List[tuple], t0: float, t1: float) -> float:
+    """Busy time inside the bucket [t0, t1)."""
+    total = 0.0
+    for s, e in intervals:
+        lo = max(s, t0)
+        hi = min(e, t1)
+        if hi > lo:
+            total += hi - lo
+    return total
+
+
+def render_timeline(
+    result: SimResult,
+    width: int = 72,
+    procs: Optional[List[int]] = None,
+) -> str:
+    """Render per-resource busy timelines as text.
+
+    Cells: `` `` idle, ``.`` <25% busy, ``-`` <50%, ``=`` <75%,
+    ``#`` >=75% of the bucket.
+    """
+    if result.timelines is None:
+        raise ValueError(
+            "result has no timelines; simulate with record_timeline=True"
+        )
+    if width < 8:
+        raise ValueError("width must be at least 8")
+    total = result.total_time
+    if total <= 0:
+        return "(empty simulation)"
+    bucket = total / width
+
+    rows: Dict[Tuple[int, str], List[tuple]] = {}
+    for name, intervals in result.timelines.items():
+        proc, kind = _parse_name(name)
+        rows.setdefault((proc, kind), []).extend(intervals)
+
+    wanted = procs if procs is not None else sorted({p for p, _ in rows})
+    shades = " .-=#"
+    lines = [
+        f"timeline: {result.strategy}, {result.total_time:.2f} s total, "
+        f"{width} buckets of {bucket * 1e3:.1f} ms"
+    ]
+    for p in wanted:
+        for kind in _KIND_ORDER:
+            intervals = rows.get((p, kind))
+            if intervals is None:
+                continue
+            cells = []
+            for b in range(width):
+                frac = _coverage(intervals, b * bucket, (b + 1) * bucket) / bucket
+                idx = min(int(frac * 4 + 0.999), 4) if frac > 0 else 0
+                cells.append(shades[idx])
+            lines.append(f"P{p:<3d}{kind:>4} |{''.join(cells)}|")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def utilization(result: SimResult) -> Dict[str, float]:
+    """Mean busy fraction per resource kind over the whole run."""
+    if result.total_time <= 0:
+        return {k: 0.0 for k in _KIND_ORDER}
+    return {
+        "disk": float(result.disk_busy.mean() / result.total_time),
+        "cpu": float(result.cpu_busy.mean() / result.total_time),
+        "out": float(result.net_out_busy.mean() / result.total_time),
+        "in": float(result.net_in_busy.mean() / result.total_time),
+    }
+
+
+def timeline_records(result: SimResult) -> List[Dict[str, object]]:
+    """Flatten recorded intervals into plottable records.
+
+    Each record: ``{"proc", "kind", "start", "end"}`` -- the schema a
+    notebook or plotting tool wants for a proper Gantt chart.
+    """
+    if result.timelines is None:
+        raise ValueError(
+            "result has no timelines; simulate with record_timeline=True"
+        )
+    records: List[Dict[str, object]] = []
+    for name, intervals in sorted(result.timelines.items()):
+        proc, kind = _parse_name(name)
+        for s, e in intervals:
+            records.append({"proc": proc, "kind": kind, "start": s, "end": e})
+    records.sort(key=lambda r: (r["proc"], r["kind"], r["start"]))
+    return records
+
+
+def write_timeline_csv(result: SimResult, path) -> int:
+    """Write the timeline records as CSV; returns the row count."""
+    import csv
+
+    records = timeline_records(result)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.DictWriter(fh, fieldnames=["proc", "kind", "start", "end"])
+        writer.writeheader()
+        writer.writerows(records)
+    return len(records)

@@ -1,0 +1,26 @@
+"""Attribute space service (paper Section 2.1).
+
+Manages the registration and use of multi-dimensional attribute spaces
+and user-defined mapping functions (``Map``).  An attribute space is
+specified by the number of dimensions and the range of values in each
+dimension; mappings project points (and, at planning granularity,
+chunk MBRs) from an input space into an output space.
+"""
+
+from repro.space.attribute_space import AttributeSpace, AttributeSpaceRegistry, Dimension
+from repro.space.mapping import (
+    Mapping,
+    IdentityMapping,
+    AffineMapping,
+    GridMapping,
+)
+
+__all__ = [
+    "AttributeSpace",
+    "AttributeSpaceRegistry",
+    "Dimension",
+    "Mapping",
+    "IdentityMapping",
+    "AffineMapping",
+    "GridMapping",
+]

@@ -1,0 +1,28 @@
+"""Storage substrate: the disk farm behind the ADR back end.
+
+The paper's back end is "a set of processing nodes and multiple disks
+attached to these nodes"; every chunk lives on exactly one disk and is
+read/written only by the node the disk is attached to.  This package
+provides that substrate for the functional path:
+
+- :mod:`repro.store.format` -- self-describing binary chunk files with
+  header and CRC;
+- :mod:`repro.store.chunk_store` -- the store interface plus a
+  file-backed :class:`FileChunkStore` (one directory per (node, disk))
+  and a :class:`MemoryChunkStore` for tests.
+
+Performance experiments never touch this package; they use the
+machine model in :mod:`repro.machine` / :mod:`repro.sim`.
+"""
+
+from repro.store.format import encode_chunk, decode_chunk, ChunkFormatError
+from repro.store.chunk_store import ChunkStore, FileChunkStore, MemoryChunkStore
+
+__all__ = [
+    "encode_chunk",
+    "decode_chunk",
+    "ChunkFormatError",
+    "ChunkStore",
+    "FileChunkStore",
+    "MemoryChunkStore",
+]

@@ -1,0 +1,229 @@
+"""Chunk stores: where loaded chunks live.
+
+A store holds the chunks of one or more datasets, organized by
+placement: every chunk belongs to a ``(node, disk)`` pair, mirroring
+the ADR rule that "each chunk is assigned to a single disk, and is
+read and/or written during query processing only by the local
+processor to which the disk is attached".
+
+:class:`FileChunkStore` materializes the disk farm as a directory tree
+
+    root/<dataset>/node<NNN>/disk<NN>/chunk<NNNNNNNN>.adc
+
+plus a per-dataset ``manifest.json`` recording placements, so a store
+can be reopened later.  :class:`MemoryChunkStore` implements the same
+interface in dictionaries for tests and small examples.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+from repro.dataset.chunk import Chunk
+from repro.store.format import ChunkFormatError, decode_chunk, encode_chunk
+
+__all__ = ["ChunkStore", "FileChunkStore", "MemoryChunkStore"]
+
+Placement = Tuple[int, int]
+
+
+class ChunkStore(ABC):
+    """Interface shared by file-backed and in-memory stores."""
+
+    @abstractmethod
+    def write_chunk(self, dataset: str, chunk: Chunk, node: int, disk: int) -> None:
+        """Store *chunk* on ``(node, disk)`` under *dataset*."""
+
+    @abstractmethod
+    def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
+        """Retrieve a chunk by id (raises ``KeyError`` if absent)."""
+
+    @abstractmethod
+    def placement(self, dataset: str, chunk_id: int) -> Placement:
+        """The ``(node, disk)`` a chunk was written to."""
+
+    @abstractmethod
+    def chunk_ids(self, dataset: str) -> List[int]:
+        """All chunk ids stored for *dataset* (sorted)."""
+
+    @abstractmethod
+    def delete_dataset(self, dataset: str) -> None:
+        """Remove a dataset and all its chunks."""
+
+    def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:
+        """Retrieve several chunks (in the given order)."""
+        for cid in chunk_ids:
+            yield self.read_chunk(dataset, cid)
+
+    def placements(self, dataset: str) -> Dict[int, Placement]:
+        return {cid: self.placement(dataset, cid) for cid in self.chunk_ids(dataset)}
+
+
+class MemoryChunkStore(ChunkStore):
+    """Dictionary-backed store (keeps encoded bytes, so the format
+    round-trip is exercised even in memory)."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Dict[int, bytes]] = {}
+        self._place: Dict[str, Dict[int, Placement]] = {}
+
+    def write_chunk(self, dataset: str, chunk: Chunk, node: int, disk: int) -> None:
+        if node < 0 or disk < 0:
+            raise ValueError("placement indices must be non-negative")
+        self._data.setdefault(dataset, {})[chunk.chunk_id] = encode_chunk(chunk)
+        self._place.setdefault(dataset, {})[chunk.chunk_id] = (node, disk)
+
+    def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
+        try:
+            raw = self._data[dataset][chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} of {dataset!r} not in store") from None
+        return decode_chunk(raw)
+
+    def placement(self, dataset: str, chunk_id: int) -> Placement:
+        try:
+            return self._place[dataset][chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} of {dataset!r} not in store") from None
+
+    def chunk_ids(self, dataset: str) -> List[int]:
+        return sorted(self._data.get(dataset, {}).keys())
+
+    def delete_dataset(self, dataset: str) -> None:
+        self._data.pop(dataset, None)
+        self._place.pop(dataset, None)
+
+    def nbytes(self) -> int:
+        """Total encoded bytes held (for memory accounting in tests)."""
+        return sum(len(b) for d in self._data.values() for b in d.values())
+
+
+class FileChunkStore(ChunkStore):
+    """Directory-tree store emulating a multi-disk farm."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        # dataset -> chunk_id -> (node, disk); lazily loaded from manifests.
+        self._manifests: Dict[str, Dict[int, Placement]] = {}
+
+    # -- paths -----------------------------------------------------------
+
+    def _dataset_dir(self, dataset: str) -> Path:
+        if not dataset or "/" in dataset or dataset.startswith("."):
+            raise ValueError(f"invalid dataset name {dataset!r}")
+        return self.root / dataset
+
+    def _chunk_path(self, dataset: str, chunk_id: int, node: int, disk: int) -> Path:
+        return (
+            self._dataset_dir(dataset)
+            / f"node{node:03d}"
+            / f"disk{disk:02d}"
+            / f"chunk{chunk_id:08d}.adc"
+        )
+
+    def _manifest_path(self, dataset: str) -> Path:
+        return self._dataset_dir(dataset) / "manifest.json"
+
+    # -- manifest ------------------------------------------------------------
+
+    def _manifest(self, dataset: str) -> Dict[int, Placement]:
+        if dataset not in self._manifests:
+            path = self._manifest_path(dataset)
+            if not path.exists():
+                raise KeyError(f"dataset {dataset!r} not in store")
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+            self._manifests[dataset] = {
+                int(k): (int(v[0]), int(v[1])) for k, v in raw["placements"].items()
+            }
+        return self._manifests[dataset]
+
+    def _save_manifest(self, dataset: str) -> None:
+        path = self._manifest_path(dataset)
+        payload = {
+            "placements": {
+                str(k): list(v) for k, v in self._manifests[dataset].items()
+            }
+        }
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+    # -- store interface ---------------------------------------------------------
+
+    def write_chunk(self, dataset: str, chunk: Chunk, node: int, disk: int) -> None:
+        if node < 0 or disk < 0:
+            raise ValueError("placement indices must be non-negative")
+        path = self._chunk_path(dataset, chunk.chunk_id, node, disk)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = encode_chunk(chunk)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+        manifest = self._manifests.setdefault(dataset, {})
+        if not manifest and self._manifest_path(dataset).exists():
+            manifest.update(self._manifest(dataset))
+        manifest[chunk.chunk_id] = (node, disk)
+        self._save_manifest(dataset)
+
+    def write_chunks(
+        self, dataset: str, chunks: List[Chunk], placements: List[Placement]
+    ) -> None:
+        """Bulk write with a single manifest flush (loader fast path)."""
+        if len(chunks) != len(placements):
+            raise ValueError("one placement per chunk required")
+        manifest = self._manifests.setdefault(dataset, {})
+        if not manifest and self._manifest_path(dataset).exists():
+            manifest.update(self._manifest(dataset))
+        for chunk, (node, disk) in zip(chunks, placements):
+            if node < 0 or disk < 0:
+                raise ValueError("placement indices must be non-negative")
+            path = self._chunk_path(dataset, chunk.chunk_id, node, disk)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "wb") as fh:
+                fh.write(encode_chunk(chunk))
+            manifest[chunk.chunk_id] = (node, disk)
+        self._save_manifest(dataset)
+
+    def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
+        node, disk = self.placement(dataset, chunk_id)
+        path = self._chunk_path(dataset, chunk_id, node, disk)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            raise ChunkFormatError(
+                f"manifest lists chunk {chunk_id} of {dataset!r} at "
+                f"node {node} disk {disk} but the file is missing"
+            ) from None
+        chunk = decode_chunk(data)
+        if chunk.chunk_id != chunk_id:
+            raise ChunkFormatError(
+                f"file {path} claims chunk id {chunk.chunk_id}, expected {chunk_id}"
+            )
+        return chunk
+
+    def placement(self, dataset: str, chunk_id: int) -> Placement:
+        manifest = self._manifest(dataset)
+        try:
+            return manifest[chunk_id]
+        except KeyError:
+            raise KeyError(f"chunk {chunk_id} of {dataset!r} not in store") from None
+
+    def chunk_ids(self, dataset: str) -> List[int]:
+        return sorted(self._manifest(dataset).keys())
+
+    def delete_dataset(self, dataset: str) -> None:
+        import shutil
+
+        directory = self._dataset_dir(dataset)
+        if directory.exists():
+            shutil.rmtree(directory)
+        self._manifests.pop(dataset, None)

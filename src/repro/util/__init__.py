@@ -1,0 +1,38 @@
+"""Low-level utilities shared by every ADR subsystem.
+
+This package is dependency-free (NumPy only) and provides:
+
+- :mod:`repro.util.geometry` -- axis-aligned rectangles (MBRs) and
+  vectorized rectangle predicates used by the indexing, dataset and
+  planning services.
+- :mod:`repro.util.hilbert` -- a d-dimensional Hilbert space-filling
+  curve (both directions), used for declustering (paper ref [12]) and
+  for ordering output chunks during tiling (Section 3 of the paper).
+- :mod:`repro.util.units` -- byte-size constants and formatting.
+- :mod:`repro.util.rng` -- deterministic random-generator helpers.
+"""
+
+from repro.util.geometry import Rect, rects_intersect_mask, union_rects
+from repro.util.hilbert import (
+    hilbert_index,
+    hilbert_point,
+    hilbert_indices,
+    hilbert_sort_keys,
+)
+from repro.util.units import KB, MB, GB, fmt_bytes
+from repro.util.rng import make_rng
+
+__all__ = [
+    "Rect",
+    "rects_intersect_mask",
+    "union_rects",
+    "hilbert_index",
+    "hilbert_point",
+    "hilbert_indices",
+    "hilbert_sort_keys",
+    "KB",
+    "MB",
+    "GB",
+    "fmt_bytes",
+    "make_rng",
+]

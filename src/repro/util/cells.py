@@ -1,0 +1,72 @@
+"""Grid-cell expansion helpers.
+
+A mapped input item covers an inclusive range of output grid cells
+(its footprint).  :func:`expand_cell_ranges` enumerates the individual
+cells, vectorized by grouping items with equal footprint shapes so the
+per-item fan-out loop never runs in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["expand_cell_ranges"]
+
+
+def expand_cell_ranges(
+    lo_cells: np.ndarray, hi_cells: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Enumerate all cells in per-item inclusive ranges.
+
+    Parameters
+    ----------
+    lo_cells, hi_cells:
+        ``(n, d)`` integer arrays with ``lo <= hi`` per item.
+
+    Returns
+    -------
+    (item_idx, cells):
+        ``item_idx`` is ``(m,)`` -- which input item each expanded cell
+        belongs to; ``cells`` is ``(m, d)`` cell coordinates.  Items
+        appear in input order; cells within an item in row-major order.
+    """
+    lo = np.asarray(lo_cells, dtype=np.int64)
+    hi = np.asarray(hi_cells, dtype=np.int64)
+    if lo.shape != hi.shape or lo.ndim != 2:
+        raise ValueError("lo_cells/hi_cells must be matching (n, d) arrays")
+    if np.any(lo > hi):
+        raise ValueError("some ranges have lo > hi")
+    n, d = lo.shape
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty((0, d), dtype=np.int64)
+
+    spans = hi - lo + 1  # (n, d)
+    # Group items by footprint shape; each group expands with one
+    # broadcast against a shared offsets table.
+    keys = spans
+    order = np.lexsort(tuple(keys[:, j] for j in range(d - 1, -1, -1)))
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.any(np.diff(sorted_keys, axis=0) != 0, axis=1)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [n]))
+
+    item_parts: list[np.ndarray] = []
+    cell_parts: list[np.ndarray] = []
+    for s, e in zip(starts, ends):
+        grp = order[s:e]
+        shape = tuple(int(x) for x in sorted_keys[s])
+        k = int(np.prod(shape))
+        offsets = np.stack(
+            np.unravel_index(np.arange(k), shape), axis=1
+        ).astype(np.int64)  # (k, d)
+        cells = lo[grp][:, None, :] + offsets[None, :, :]  # (g, k, d)
+        item_parts.append(np.repeat(grp, k))
+        cell_parts.append(cells.reshape(-1, d))
+
+    item_idx = np.concatenate(item_parts)
+    cells = np.concatenate(cell_parts)
+    # Restore input-item order (groups shuffled it).
+    back = np.argsort(item_idx, kind="stable")
+    return item_idx[back], cells[back]

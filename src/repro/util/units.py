@@ -1,0 +1,40 @@
+"""Byte-size constants and human-readable formatting.
+
+All sizes inside the library are plain ``int`` byte counts; these
+constants exist so that configuration code reads like the paper
+("256 MB of memory", "110 MB/sec peak bandwidth").
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with a binary suffix.
+
+    >>> fmt_bytes(25 * MB)
+    '25.0 MB'
+    >>> fmt_bytes(512)
+    '512 B'
+    """
+    n = float(n)
+    for unit, div in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= div:
+            return f"{n / div:.1f} {unit}"
+    return f"{int(n)} B"
+
+
+def fmt_seconds(t: float) -> str:
+    """Format a duration in seconds for report tables.
+
+    >>> fmt_seconds(123.456)
+    '123.46 s'
+    >>> fmt_seconds(0.001234)
+    '1.23 ms'
+    """
+    if abs(t) >= 1.0:
+        return f"{t:.2f} s"
+    return f"{t * 1e3:.2f} ms"

@@ -1,0 +1,150 @@
+"""Tests for the extra aggregations and the holistic rejection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.extra import (
+    HolisticAggregationError,
+    MedianAggregation,
+    VarianceAggregation,
+    WeightedMeanAggregation,
+)
+from repro.aggregation.functions import AGGREGATIONS
+
+
+class TestVariance:
+    def test_matches_numpy(self, rng):
+        spec = VarianceAggregation(1)
+        vals = rng.integers(0, 50, size=60).astype(float)
+        cells = rng.integers(0, 4, size=60)
+        acc = spec.initialize(4)
+        spec.aggregate(acc, cells, vals)
+        out = spec.output(acc)
+        for c in range(4):
+            mask = cells == c
+            if mask.any():
+                assert out[c, 0] == pytest.approx(np.var(vals[mask]))
+            else:
+                assert np.isnan(out[c, 0])
+
+    def test_multicomponent(self, rng):
+        spec = VarianceAggregation(2)
+        vals = rng.normal(size=(40, 2))
+        cells = np.zeros(40, dtype=int)
+        acc = spec.initialize(1)
+        spec.aggregate(acc, cells, vals)
+        out = spec.output(acc)
+        np.testing.assert_allclose(out[0], np.var(vals, axis=0))
+
+    @given(st.integers(0, 2**31), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_invariance(self, seed, n_parts):
+        rng = np.random.default_rng(seed)
+        spec = VarianceAggregation(1)
+        vals = rng.integers(-20, 20, size=(50, 1)).astype(float)
+        cells = rng.integers(0, 3, size=50)
+        serial = spec.initialize(3)
+        spec.aggregate(serial, cells, vals)
+        parts = rng.integers(0, n_parts, size=50)
+        merged = spec.initialize(3)
+        for p in range(n_parts):
+            acc = spec.initialize(3)
+            if (parts == p).any():
+                spec.aggregate(acc, cells[parts == p], vals[parts == p])
+            spec.combine(merged, acc)
+        np.testing.assert_allclose(
+            spec.output(merged), spec.output(serial), equal_nan=True
+        )
+
+    def test_variance_never_negative(self, rng):
+        spec = VarianceAggregation(1)
+        # constant values: exact variance 0, rounding must not go below
+        acc = spec.initialize(1)
+        spec.aggregate(acc, np.zeros(100, dtype=int), np.full(100, 1e8))
+        assert spec.output(acc)[0, 0] >= 0.0
+
+
+class TestWeightedMean:
+    def test_matches_numpy_average(self, rng):
+        spec = WeightedMeanAggregation(2)
+        v = rng.normal(size=30)
+        w = rng.uniform(0.1, 5, size=30)
+        acc = spec.initialize(1)
+        spec.aggregate(acc, np.zeros(30, dtype=int), np.stack((v, w), axis=1))
+        out = spec.output(acc)
+        assert out[0, 0] == pytest.approx(np.average(v, weights=w))
+
+    def test_zero_weight_cell_nan(self):
+        spec = WeightedMeanAggregation(2)
+        out = spec.output(spec.initialize(1))
+        assert np.isnan(out[0, 0])
+
+    def test_negative_weight_rejected(self):
+        spec = WeightedMeanAggregation(2)
+        acc = spec.initialize(1)
+        with pytest.raises(ValueError, match="non-negative"):
+            spec.aggregate(acc, np.array([0]), np.array([[1.0, -1.0]]))
+
+    def test_needs_weight_component(self):
+        with pytest.raises(ValueError):
+            WeightedMeanAggregation(1)
+
+    def test_partition_invariance(self, rng):
+        spec = WeightedMeanAggregation(3)
+        vals = rng.integers(0, 9, size=(40, 3)).astype(float)
+        cells = rng.integers(0, 2, size=40)
+        serial = spec.initialize(2)
+        spec.aggregate(serial, cells, vals)
+        merged = spec.initialize(2)
+        for half in (slice(0, 20), slice(20, 40)):
+            acc = spec.initialize(2)
+            spec.aggregate(acc, cells[half], vals[half])
+            spec.combine(merged, acc)
+        np.testing.assert_allclose(
+            spec.output(merged), spec.output(serial), equal_nan=True
+        )
+
+
+class TestHolisticRejection:
+    def test_median_raises(self):
+        with pytest.raises(HolisticAggregationError, match="holistic"):
+            MedianAggregation(1)
+
+    def test_registry_contains_extras_not_median(self):
+        assert "variance" in AGGREGATIONS
+        assert "wmean" in AGGREGATIONS
+        assert "median" not in AGGREGATIONS
+
+
+class TestEndToEnd:
+    def test_variance_query_through_adr(self, rng):
+        from repro.aggregation.output_grid import OutputGrid
+        from repro.dataset.partition import hilbert_partition
+        from repro.frontend.adr import ADR
+        from repro.frontend.query import RangeQuery
+        from repro.machine.config import MachineConfig
+        from repro.space.attribute_space import AttributeSpace
+        from repro.space.mapping import GridMapping
+        from repro.util.geometry import Rect
+        from repro.util.units import MB
+
+        adr = ADR(machine=MachineConfig(n_procs=3, memory_per_proc=MB))
+        space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+        coords = rng.uniform(0, 10, size=(300, 2))
+        values = rng.integers(0, 30, size=300).astype(float)
+        adr.load("d", space, hilbert_partition(coords, values, 20))
+        out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+        grid = OutputGrid(out_space, (4, 4), (2, 2))
+        mapping = GridMapping(space, out_space, (4, 4))
+        q = RangeQuery("d", Rect((0, 0), (10, 10)), mapping, grid,
+                       aggregation="variance", strategy="DA")
+        result = adr.execute(q)
+        full = result.assemble(grid)[:, :, 0]
+        cells = np.clip((coords * 0.4).astype(int), 0, 3)
+        for cx in range(4):
+            for cy in range(4):
+                mask = (cells[:, 0] == cx) & (cells[:, 1] == cy)
+                if mask.sum():
+                    assert full[cx, cy] == pytest.approx(np.var(values[mask]))

@@ -1,0 +1,165 @@
+"""Tests for aggregation functions.
+
+The load-bearing property is *partition invariance*: aggregating a
+batch in arbitrary sub-batches on arbitrary "processors" and merging
+the partial accumulators must equal aggregating everything at once.
+That is exactly what makes the FRA/SRA global-combine phase correct,
+so it gets a hypothesis-driven test per aggregation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation.functions import (
+    AGGREGATIONS,
+    BestValueComposite,
+    CountAggregation,
+    MaxAggregation,
+    MeanAggregation,
+    MinAggregation,
+    SumAggregation,
+)
+
+ALL_SPECS = [
+    SumAggregation(2),
+    CountAggregation(1),
+    MinAggregation(1),
+    MaxAggregation(2),
+    MeanAggregation(2),
+    BestValueComposite(3),
+]
+
+
+def run_once(spec, n_cells, cell_idx, values):
+    acc = spec.initialize(n_cells)
+    spec.aggregate(acc, cell_idx, values)
+    return acc
+
+
+class TestBasicSemantics:
+    def test_sum(self):
+        spec = SumAggregation(1)
+        acc = run_once(spec, 3, np.array([0, 0, 2]), np.array([1.0, 2.0, 5.0]))
+        assert spec.output(acc)[:, 0].tolist() == [3.0, 0.0, 5.0]
+
+    def test_count(self):
+        spec = CountAggregation()
+        acc = run_once(spec, 2, np.array([1, 1, 1]), np.zeros(3))
+        assert spec.output(acc)[:, 0].tolist() == [0.0, 3.0]
+
+    def test_min_max(self):
+        vals = np.array([3.0, -1.0, 7.0])
+        idx = np.array([0, 0, 0])
+        lo = run_once(MinAggregation(1), 1, idx, vals)
+        hi = run_once(MaxAggregation(1), 1, idx, vals)
+        assert lo[0, 0] == -1.0 and hi[0, 0] == 7.0
+
+    def test_min_empty_cell_is_inf(self):
+        spec = MinAggregation(1)
+        out = spec.output(spec.initialize(2))
+        assert np.isinf(out).all()
+
+    def test_mean(self):
+        spec = MeanAggregation(1)
+        acc = run_once(spec, 2, np.array([0, 0, 1]), np.array([2.0, 4.0, 10.0]))
+        out = spec.output(acc)
+        assert out[0, 0] == 3.0 and out[1, 0] == 10.0
+
+    def test_mean_empty_cell_nan(self):
+        spec = MeanAggregation(1)
+        out = spec.output(spec.initialize(1))
+        assert np.isnan(out[0, 0])
+
+    def test_best_value_selects_highest_score(self):
+        spec = BestValueComposite(2)  # (score, payload)
+        vals = np.array([[0.5, 10.0], [0.9, 20.0], [0.7, 30.0]])
+        acc = run_once(spec, 1, np.zeros(3, dtype=int), vals)
+        out = spec.output(acc)
+        assert out[0, 0] == 20.0
+
+    def test_best_value_empty_cell_nan(self):
+        spec = BestValueComposite(2)
+        out = spec.output(spec.initialize(1))
+        assert np.isnan(out[0, 0])
+
+    def test_best_value_needs_payload(self):
+        with pytest.raises(ValueError):
+            BestValueComposite(1)
+
+    def test_registry(self):
+        # core names plus the extras registered by aggregation.extra
+        assert {"sum", "count", "min", "max", "mean", "best"} <= set(AGGREGATIONS)
+        assert "variance" in AGGREGATIONS and "wmean" in AGGREGATIONS
+
+
+class TestValidation:
+    def test_component_mismatch(self):
+        spec = SumAggregation(2)
+        acc = spec.initialize(2)
+        with pytest.raises(ValueError):
+            spec.aggregate(acc, np.array([0]), np.array([[1.0, 2.0, 3.0]]))
+
+    def test_index_out_of_range(self):
+        spec = SumAggregation(1)
+        acc = spec.initialize(2)
+        with pytest.raises(IndexError):
+            spec.aggregate(acc, np.array([5]), np.array([1.0]))
+
+    def test_length_mismatch(self):
+        spec = SumAggregation(1)
+        acc = spec.initialize(2)
+        with pytest.raises(ValueError):
+            spec.aggregate(acc, np.array([0, 1]), np.array([1.0]))
+
+    def test_acc_bytes(self):
+        assert MeanAggregation(2).acc_bytes(10) == 10 * 3 * 8
+        assert SumAggregation(1).acc_bytes(4) == 4 * 8
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+class TestPartitionInvariance:
+    @given(seed=st.integers(0, 2**31), n_parts=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_split_aggregate_combine_equals_serial(self, spec, seed, n_parts):
+        rng = np.random.default_rng(seed)
+        n_cells, n_items = 6, 40
+        cell_idx = rng.integers(0, n_cells, size=n_items)
+        # integer-valued floats: exact arithmetic, no fp-order noise
+        values = rng.integers(-50, 50, size=(n_items, spec.value_components)).astype(float)
+
+        serial = run_once(spec, n_cells, cell_idx, values)
+
+        parts = rng.integers(0, n_parts, size=n_items)
+        merged = spec.initialize(n_cells)
+        partials = []
+        for p in range(n_parts):
+            mask = parts == p
+            acc = spec.initialize(n_cells)
+            if mask.any():
+                spec.aggregate(acc, cell_idx[mask], values[mask])
+            partials.append(acc)
+        rng.shuffle(partials)  # combine order must not matter
+        for acc in partials:
+            spec.combine(merged, acc)
+
+        np.testing.assert_array_equal(spec.output(merged), spec.output(serial))
+
+    def test_combine_with_initial_is_identity(self, spec):
+        rng = np.random.default_rng(0)
+        cell_idx = rng.integers(0, 4, size=10)
+        values = rng.integers(0, 9, size=(10, spec.value_components)).astype(float)
+        acc = run_once(spec, 4, cell_idx, values)
+        expected = spec.output(acc)
+        spec.combine(acc, spec.initialize(4))
+        np.testing.assert_array_equal(spec.output(acc), expected)
+
+    def test_aggregate_order_independent(self, spec):
+        rng = np.random.default_rng(1)
+        cell_idx = rng.integers(0, 3, size=30)
+        values = rng.integers(0, 100, size=(30, spec.value_components)).astype(float)
+        a = run_once(spec, 3, cell_idx, values)
+        perm = rng.permutation(30)
+        b = run_once(spec, 3, cell_idx[perm], values[perm])
+        np.testing.assert_array_equal(spec.output(a), spec.output(b))

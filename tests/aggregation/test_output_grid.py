@@ -1,0 +1,111 @@
+"""Tests for the chunked output grid."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.space.attribute_space import AttributeSpace
+from repro.util.geometry import Rect
+
+
+def make_grid(grid=(12, 8), chunk=(4, 4)):
+    space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+    return OutputGrid(space, grid, chunk)
+
+
+class TestShape:
+    def test_counts(self):
+        g = make_grid()
+        assert g.n_cells == 96
+        assert g.blocks == (3, 2)
+        assert g.n_chunks == 6
+
+    def test_uneven_blocking(self):
+        g = make_grid(grid=(10, 10), chunk=(4, 4))
+        assert g.blocks == (3, 3)
+        counts = g.chunk_cell_counts()
+        assert counts.sum() == 100
+        assert counts.max() == 16 and counts.min() == 4  # corner block 2x2
+
+    def test_chunk_block_ranges(self):
+        g = make_grid(grid=(10, 10), chunk=(4, 4))
+        start, stop = g.chunk_block(8)  # last block
+        assert start == (8, 8) and stop == (10, 10)
+
+    def test_validation(self):
+        space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            OutputGrid(space, (4,), (2, 2))
+        with pytest.raises(ValueError):
+            OutputGrid(space, (4, 4), (8, 2))
+        with pytest.raises(ValueError):
+            OutputGrid(space, (4, 4), (2, 2), cell_value_bytes=0)
+
+
+class TestChunkset:
+    def test_mbrs_tile_bounds(self):
+        g = make_grid()
+        cs = g.chunkset()
+        assert len(cs) == 6
+        assert cs.bounds == Rect((0, 0), (1, 1))
+        assert cs.nbytes.sum() == g.n_cells * g.cell_value_bytes
+
+    def test_uneven_sizes_reflected(self):
+        g = make_grid(grid=(10, 10), chunk=(4, 4))
+        cs = g.chunkset()
+        assert cs.nbytes.min() == 4 * g.cell_value_bytes
+
+
+class TestCellPlumbing:
+    def test_chunk_of_cells(self):
+        g = make_grid()
+        cells = np.array([[0, 0], [5, 5], [11, 7]])
+        assert g.chunk_of_cells(cells).tolist() == [0, 3, 5]
+
+    def test_local_cell_index_roundtrip(self):
+        g = make_grid(grid=(10, 10), chunk=(4, 4))
+        for cid in range(g.n_chunks):
+            start, stop = g.chunk_block(cid)
+            all_cells = np.stack(
+                np.meshgrid(
+                    np.arange(start[0], stop[0]),
+                    np.arange(start[1], stop[1]),
+                    indexing="ij",
+                ),
+                axis=-1,
+            ).reshape(-1, 2)
+            local = g.local_cell_index(cid, all_cells)
+            assert sorted(local.tolist()) == list(range(g.cells_in_chunk(cid)))
+
+    def test_local_cell_index_outside_chunk(self):
+        g = make_grid()
+        with pytest.raises(IndexError):
+            g.local_cell_index(0, np.array([[11, 7]]))
+
+    def test_clip_cells(self):
+        g = make_grid()
+        out = g.clip_cells(np.array([[-3, 5], [50, 9]]))
+        assert out.tolist() == [[0, 5], [11, 7]]
+
+
+class TestAssemble:
+    def test_roundtrip(self, rng):
+        g = make_grid(grid=(6, 6), chunk=(3, 2))
+        full = rng.normal(size=(6, 6, 2))
+        parts = []
+        for cid in range(g.n_chunks):
+            start, stop = g.chunk_block(cid)
+            block = full[start[0] : stop[0], start[1] : stop[1]]
+            parts.append(block.reshape(-1, 2))
+        np.testing.assert_array_equal(g.assemble(parts), full)
+
+    def test_wrong_chunk_count(self):
+        g = make_grid()
+        with pytest.raises(ValueError):
+            g.assemble([np.zeros((16, 1))])
+
+    def test_wrong_chunk_shape(self):
+        g = make_grid(grid=(4, 4), chunk=(2, 2))
+        parts = [np.zeros((4, 1))] * 3 + [np.zeros((3, 1))]
+        with pytest.raises(ValueError):
+            g.assemble(parts)

@@ -1,0 +1,68 @@
+"""Tests for chunk metadata and payloads."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.chunk import Chunk, ChunkMeta, UNPLACED
+from repro.util.geometry import Rect
+
+
+class TestChunkMeta:
+    def test_basic(self):
+        m = ChunkMeta(0, Rect((0, 0), (1, 1)), nbytes=1000, n_items=5)
+        assert not m.placed
+        assert (m.node, m.disk) == UNPLACED
+
+    def test_with_placement(self):
+        m = ChunkMeta(0, Rect((0, 0), (1, 1)), 1000)
+        p = m.with_placement(2, 0)
+        assert p.placed and (p.node, p.disk) == (2, 0)
+        assert not m.placed  # original untouched
+
+    def test_bad_placement(self):
+        m = ChunkMeta(0, Rect((0, 0), (1, 1)), 1000)
+        with pytest.raises(ValueError):
+            m.with_placement(-1, 0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"chunk_id": -1, "nbytes": 1},
+        {"chunk_id": 0, "nbytes": -1},
+        {"chunk_id": 0, "nbytes": 1, "n_items": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChunkMeta(mbr=Rect((0,), (1,)), **kwargs)
+
+
+class TestChunk:
+    def test_from_items(self, rng):
+        coords = rng.uniform(0, 10, size=(8, 2))
+        values = rng.normal(size=(8, 3))
+        c = Chunk.from_items(3, coords, values)
+        assert c.chunk_id == 3
+        assert c.n_items == 8
+        assert c.meta.mbr == Rect.from_points(coords)
+        assert c.meta.nbytes == coords.nbytes + values.nbytes
+
+    def test_items_outside_mbr_rejected(self):
+        meta = ChunkMeta(0, Rect((0, 0), (1, 1)), 100, n_items=1)
+        with pytest.raises(ValueError, match="escape"):
+            Chunk(meta, np.array([[2.0, 0.5]]), np.array([1.0]))
+
+    def test_count_mismatch_rejected(self):
+        meta = ChunkMeta(0, Rect((0, 0), (1, 1)), 100, n_items=2)
+        with pytest.raises(ValueError):
+            Chunk(meta, np.array([[0.5, 0.5]]), np.array([1.0]))
+
+    def test_values_coords_mismatch(self):
+        with pytest.raises(ValueError):
+            Chunk.from_items(0, np.array([[0.0, 0.0], [1.0, 1.0]]), np.array([1.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Chunk.from_items(0, np.empty((0, 2)), np.empty(0))
+
+    def test_dimensionality_check(self):
+        meta = ChunkMeta(0, Rect((0, 0, 0), (1, 1, 1)), 100, n_items=1)
+        with pytest.raises(ValueError):
+            Chunk(meta, np.array([[0.5, 0.5]]), np.array([1.0]))

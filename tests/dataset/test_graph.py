@@ -1,0 +1,108 @@
+"""Tests for the bipartite chunk graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import IdentityMapping
+
+
+class TestConstruction:
+    def test_from_lists(self):
+        g = ChunkGraph.from_lists(3, 2, [[0], [0, 1], []])
+        assert g.n_edges == 3
+        assert g.outputs_of(1).tolist() == [0, 1]
+        assert g.inputs_of(0).tolist() == [0, 1]
+        assert g.inputs_of(1).tolist() == [1]
+        assert g.outputs_of(2).tolist() == []
+
+    def test_duplicates_merged(self):
+        g = ChunkGraph(2, 2, np.array([0, 0, 1]), np.array([1, 1, 0]))
+        assert g.n_edges == 2
+        assert g.outputs_of(0).tolist() == [1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkGraph(2, 2, np.array([2]), np.array([0]))
+        with pytest.raises(ValueError):
+            ChunkGraph(2, 2, np.array([0]), np.array([-1]))
+
+    def test_empty(self):
+        g = ChunkGraph(3, 3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert g.n_edges == 0
+        assert g.avg_fan_in == 0.0
+        g.validate()
+
+    def test_from_lists_wrong_length(self):
+        with pytest.raises(ValueError):
+            ChunkGraph.from_lists(2, 2, [[0]])
+
+
+class TestDegrees:
+    def test_fan_stats(self):
+        g = ChunkGraph.from_lists(4, 2, [[0], [0, 1], [1], [0, 1]])
+        assert g.fan_out.tolist() == [1, 2, 1, 2]
+        assert g.fan_in.tolist() == [3, 3]
+        assert g.avg_fan_out == 1.5
+        assert g.avg_fan_in == 3.0
+
+    def test_edge_arrays(self):
+        g = ChunkGraph.from_lists(2, 2, [[1], [0, 1]])
+        in_ids, out_ids = g.edge_arrays()
+        assert in_ids.tolist() == [0, 1, 1]
+        assert out_ids.tolist() == [1, 0, 1]
+
+
+class TestValidate:
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_directions_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        n_in, n_out = int(rng.integers(1, 40)), int(rng.integers(1, 15))
+        n_edges = int(rng.integers(0, 120))
+        g = ChunkGraph(
+            n_in,
+            n_out,
+            rng.integers(0, n_in, size=n_edges),
+            rng.integers(0, n_out, size=n_edges),
+        )
+        g.validate()
+        # fan sums agree
+        assert g.fan_in.sum() == g.fan_out.sum() == g.n_edges
+        # adjacency round-trip
+        for i in range(n_in):
+            for o in g.outputs_of(i):
+                assert i in g.inputs_of(int(o))
+
+
+class TestFromGeometry:
+    def test_matches_brute_force(self, rng):
+        space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (100, 100))
+        in_los = rng.uniform(0, 90, size=(30, 2))
+        inputs = ChunkSet(in_los, in_los + rng.uniform(1, 10, size=(30, 2)),
+                          np.full(30, 10, dtype=np.int64))
+        out_los = rng.uniform(0, 90, size=(8, 2))
+        outputs = ChunkSet(out_los, out_los + 10, np.full(8, 10, dtype=np.int64))
+        mapping = IdentityMapping(space)
+        g = ChunkGraph.from_geometry(inputs, outputs, mapping)
+        g.validate()
+        for i in range(30):
+            expected = outputs.intersecting(inputs.mbr(i)).tolist()
+            assert g.outputs_of(i).tolist() == expected
+
+    def test_footprint_widens(self, rng):
+        space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (100, 100))
+        inputs = ChunkSet(np.array([[10.0, 10.0]]), np.array([[11.0, 11.0]]),
+                          np.array([10], dtype=np.int64))
+        outputs = ChunkSet(np.array([[12.0, 10.0]]), np.array([[13.0, 11.0]]),
+                           np.array([10], dtype=np.int64))
+        no_fp = ChunkGraph.from_geometry(inputs, outputs, IdentityMapping(space))
+        with_fp = ChunkGraph.from_geometry(
+            inputs, outputs, IdentityMapping(space, footprint=(2.0, 0.0))
+        )
+        assert no_fp.n_edges == 0
+        assert with_fp.n_edges == 1

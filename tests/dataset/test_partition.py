@@ -1,0 +1,85 @@
+"""Tests for dataset partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.partition import grid_partition, hilbert_partition, regular_grid_chunkset
+from repro.util.geometry import Rect
+
+
+class TestGridPartition:
+    def test_covers_all_items(self, rng):
+        coords = rng.uniform(0, 10, size=(200, 2))
+        values = rng.normal(size=200)
+        chunks = grid_partition(coords, values, Rect((0, 0), (10, 10)), (4, 4))
+        assert sum(c.n_items for c in chunks) == 200
+        ids = [c.chunk_id for c in chunks]
+        assert ids == list(range(len(chunks)))
+
+    def test_spatial_separation(self, rng):
+        coords = np.array([[1.0, 1.0], [9.0, 9.0], [1.2, 1.1]])
+        values = np.arange(3.0)
+        chunks = grid_partition(coords, values, Rect((0, 0), (10, 10)), (2, 2))
+        assert len(chunks) == 2
+        assert {c.n_items for c in chunks} == {1, 2}
+
+    def test_empty_cells_skipped(self, rng):
+        coords = rng.uniform(0, 1, size=(50, 2))  # all in one corner cell
+        chunks = grid_partition(coords, np.zeros(50), Rect((0, 0), (10, 10)), (10, 10))
+        assert len(chunks) == 1
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            grid_partition(np.empty((0, 2)), np.empty(0), Rect((0, 0), (1, 1)), (2, 2))
+        coords = rng.uniform(0, 1, size=(5, 2))
+        with pytest.raises(ValueError):
+            grid_partition(coords, np.zeros(5), Rect((0, 0), (1, 1)), (2,))
+        with pytest.raises(ValueError):
+            grid_partition(coords, np.zeros(4), Rect((0, 0), (1, 1)), (2, 2))
+
+
+class TestHilbertPartition:
+    def test_sizes(self, rng):
+        coords = rng.uniform(0, 10, size=(105, 2))
+        chunks = hilbert_partition(coords, np.zeros(105), items_per_chunk=20)
+        sizes = [c.n_items for c in chunks]
+        assert sizes == [20, 20, 20, 20, 20, 5]
+
+    def test_spatial_locality(self, rng):
+        coords = rng.uniform(0, 10, size=(400, 2))
+        chunks = hilbert_partition(coords, np.zeros(400), items_per_chunk=20)
+        # Hilbert grouping should give much smaller chunk MBRs than a
+        # random grouping of the same sizes.
+        hilbert_vol = np.mean([c.meta.mbr.volume for c in chunks])
+        perm = rng.permutation(400)
+        random_vols = []
+        for s in range(0, 400, 20):
+            idx = perm[s : s + 20]
+            r = Rect.from_points(coords[idx])
+            random_vols.append(r.volume)
+        assert hilbert_vol < 0.3 * np.mean(random_vols)
+
+    def test_bad_items_per_chunk(self, rng):
+        with pytest.raises(ValueError):
+            hilbert_partition(rng.uniform(size=(5, 2)), np.zeros(5), 0)
+
+
+class TestRegularGridChunkset:
+    def test_geometry(self):
+        cs = regular_grid_chunkset(Rect((0, 0), (4, 2)), (4, 2), 100)
+        assert len(cs) == 8
+        assert cs.total_bytes == 800
+        # row-major: chunk 0 = cell (0, 0), chunk 1 = cell (0, 1)
+        assert cs.mbr(0) == Rect((0, 0), (1, 1))
+        assert cs.mbr(1) == Rect((0, 1), (1, 2))
+        assert cs.mbr(2) == Rect((1, 0), (2, 1))
+
+    def test_covers_bounds_exactly(self):
+        cs = regular_grid_chunkset(Rect((-1, -1), (1, 1)), (3, 3), 10)
+        assert cs.bounds == Rect((-1, -1), (1, 1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            regular_grid_chunkset(Rect((0, 0), (1, 1)), (0, 2), 10)
+        with pytest.raises(ValueError):
+            regular_grid_chunkset(Rect((0, 0), (1, 1)), (2, 2), -5)

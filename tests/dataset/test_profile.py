@@ -1,0 +1,83 @@
+"""Tests for dataset/workload profiling."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+from repro.dataset.partition import regular_grid_chunkset
+from repro.dataset.profile import _gini, profile_chunkset, profile_graph
+from repro.util.geometry import Rect
+
+
+class TestChunkSetProfile:
+    def test_regular_grid_is_perfect_tiling(self):
+        cs = regular_grid_chunkset(Rect((0, 0), (1, 1)), (4, 4), 100)
+        prof = profile_chunkset(cs)
+        assert prof.n_chunks == 16
+        assert prof.overlap_factor == pytest.approx(1.0)
+        assert prof.chunk_bytes_cv == 0.0
+        np.testing.assert_allclose(prof.mean_extent, [0.25, 0.25])
+
+    def test_overlapping_population(self, rng):
+        los = rng.uniform(0, 0.5, size=(50, 2))
+        cs = ChunkSet(los, los + 0.5, np.full(50, 10, dtype=np.int64))
+        prof = profile_chunkset(cs)
+        assert prof.overlap_factor > 2.0
+
+    def test_placement_balance(self):
+        cs = regular_grid_chunkset(Rect((0, 0), (1, 1)), (4, 4), 100)
+        placed = cs.with_placement(
+            np.arange(16, dtype=np.int32) % 4, np.zeros(16, dtype=np.int32)
+        )
+        prof = profile_chunkset(placed, n_nodes=4)
+        assert prof.placement_balance == pytest.approx(1.0)
+        assert "placement balance" in prof.describe()
+
+    def test_unplaced_balance_nan(self):
+        cs = regular_grid_chunkset(Rect((0, 0), (1, 1)), (2, 2), 100)
+        assert np.isnan(profile_chunkset(cs).placement_balance)
+
+    def test_describe_smoke(self):
+        cs = regular_grid_chunkset(Rect((0, 0), (1, 1)), (2, 2), 100)
+        assert "4 chunks" in profile_chunkset(cs).describe()
+
+
+class TestGraphProfile:
+    def test_basic(self):
+        g = ChunkGraph.from_lists(4, 2, [[0], [0, 1], [], [1]])
+        prof = profile_graph(g)
+        assert prof.n_edges == 4
+        assert prof.fan_out_max == 2
+        assert prof.fan_in_mean == 2.0
+        assert prof.dangling_inputs == 0.25
+        assert "dangling" in prof.describe()
+
+    def test_skew_zero_for_uniform(self):
+        g = ChunkGraph.from_lists(6, 3, [[0], [1], [2], [0], [1], [2]])
+        assert profile_graph(g).fan_in_skew == pytest.approx(0.0, abs=1e-9)
+
+    def test_skew_positive_for_concentrated(self):
+        g = ChunkGraph.from_lists(6, 3, [[0], [0], [0], [0], [0], [1]])
+        assert profile_graph(g).fan_in_skew > 0.3
+
+    def test_sat_emulator_skew_exceeds_vm(self):
+        from repro.emulator import SATEmulator, VMEmulator
+
+        sat = profile_graph(SATEmulator(base_chunks=2000).scenario(1, seed=1).graph)
+        vm = profile_graph(VMEmulator(input_grid=(32, 32)).scenario(1, seed=1).graph)
+        assert sat.fan_in_skew > vm.fan_in_skew + 0.1
+
+
+class TestGini:
+    def test_equal_values(self):
+        assert _gini(np.ones(10)) == pytest.approx(0.0)
+
+    def test_all_in_one(self):
+        x = np.zeros(100)
+        x[0] = 1.0
+        assert _gini(x) > 0.95
+
+    def test_empty_and_zero(self):
+        assert _gini(np.array([])) == 0.0
+        assert _gini(np.zeros(5)) == 0.0

@@ -1,0 +1,125 @@
+"""Tests for the SAT/WCS/VM application emulators against Table 1."""
+
+import numpy as np
+import pytest
+
+from repro.emulator import EMULATORS, SATEmulator, VMEmulator, WCSEmulator
+from repro.machine.presets import ibm_sp
+from repro.util.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return {
+        "SAT": SATEmulator().scenario(1, seed=1),
+        "WCS": WCSEmulator().scenario(1, seed=1),
+        "VM": VMEmulator().scenario(1, seed=1),
+    }
+
+
+class TestTable1Characteristics:
+    """Published values: SAT 9K chunks / 1.6 GB / fan-in 161 / fan-out
+    4.6; WCS 7.5K / 1.7 GB / 60 / 1.2; VM 4K / 1.5 GB / 16 / 1.0."""
+
+    def test_sat(self, scenarios):
+        sc = scenarios["SAT"]
+        assert len(sc.inputs) == 9000
+        assert abs(sc.input_bytes - 1.6 * GB) < 0.15 * GB
+        assert sc.output_bytes == pytest.approx(25 * MB, rel=0.05)
+        assert len(sc.outputs) == 256
+        assert 4.0 <= sc.graph.avg_fan_out <= 5.2
+        assert 130 <= sc.graph.avg_fan_in <= 200
+
+    def test_wcs(self, scenarios):
+        sc = scenarios["WCS"]
+        assert len(sc.inputs) == 7500
+        assert abs(sc.input_bytes - 1.7 * GB) < 0.2 * GB
+        assert len(sc.outputs) == 150
+        assert 1.1 <= sc.graph.avg_fan_out <= 1.3
+        assert 55 <= sc.graph.avg_fan_in <= 70
+
+    def test_vm(self, scenarios):
+        sc = scenarios["VM"]
+        assert len(sc.inputs) == 4096
+        assert abs(sc.input_bytes - 1.5 * GB) < 0.15 * GB
+        assert len(sc.outputs) == 256
+        assert sc.graph.avg_fan_out == 1.0
+        assert sc.graph.avg_fan_in == 16.0
+
+    def test_costs_match_table1(self, scenarios):
+        assert scenarios["SAT"].costs.reduction == pytest.approx(0.040)
+        assert scenarios["WCS"].costs.reduction == pytest.approx(0.020)
+        assert scenarios["VM"].costs.reduction == pytest.approx(0.005)
+
+    def test_table1_row_smoke(self, scenarios):
+        for sc in scenarios.values():
+            row = sc.table1_row()
+            assert sc.name in row
+
+
+class TestScaling:
+    """Scaled inputs keep fan-out fixed while fan-in grows linearly --
+    the property the paper's scaled experiments rely on."""
+
+    @pytest.mark.parametrize("name", ["SAT", "WCS", "VM"])
+    def test_scale_grows_chunks_not_fan_out(self, name):
+        emu = EMULATORS[name]() if name != "SAT" else SATEmulator(base_chunks=2000)
+        s1 = emu.scenario(1, seed=2)
+        s4 = emu.scenario(4, seed=2)
+        assert len(s4.inputs) == 4 * len(s1.inputs)
+        assert s4.graph.avg_fan_out == pytest.approx(s1.graph.avg_fan_out, rel=0.05)
+        assert s4.graph.avg_fan_in == pytest.approx(4 * s1.graph.avg_fan_in, rel=0.1)
+        # output untouched
+        assert len(s4.outputs) == len(s1.outputs)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            VMEmulator().scenario(0)
+
+
+class TestSATIrregularity:
+    def test_polar_skew_in_fan_in(self):
+        """Output chunks in the polar rows receive far more input than
+        equatorial ones (the paper's load-imbalance driver)."""
+        sc = SATEmulator().scenario(1, seed=1)
+        fan_in = sc.graph.fan_in
+        # output ids are row-major over (lon, lat): lat index = id % 16
+        lat_band = np.arange(256) % 16
+        polar = fan_in[(lat_band <= 1) | (lat_band >= 14)].mean()
+        equatorial = fan_in[(lat_band >= 7) & (lat_band <= 8)].mean()
+        assert polar > 2.0 * equatorial
+
+    def test_determinism_by_seed(self):
+        a = SATEmulator(base_chunks=500).scenario(1, seed=9)
+        b = SATEmulator(base_chunks=500).scenario(1, seed=9)
+        assert np.array_equal(a.inputs.los, b.inputs.los)
+        c = SATEmulator(base_chunks=500).scenario(1, seed=10)
+        assert not np.array_equal(a.inputs.los, c.inputs.los)
+
+
+class TestVMRegularity:
+    def test_every_chunk_exactly_one_output(self):
+        sc = VMEmulator().scenario(1, seed=0)
+        assert (sc.graph.fan_out == 1).all()
+
+    def test_alignment_required(self):
+        with pytest.raises(ValueError, match="align"):
+            VMEmulator(input_grid=(60, 64))
+
+
+class TestProblemAssembly:
+    def test_problem_is_placed_and_consistent(self):
+        sc = WCSEmulator().scenario(1, seed=0)
+        m = ibm_sp(8)
+        prob = sc.problem(m)
+        assert prob.inputs.placed and prob.outputs.placed
+        assert prob.n_procs == 8
+        assert prob.inputs.node.max() < 8
+        # Hilbert declustering balances chunks across nodes
+        counts = np.bincount(prob.inputs.node, minlength=8)
+        assert counts.max() - counts.min() <= 1
+
+    def test_describe_smoke(self):
+        sc = VMEmulator().scenario(1, seed=0)
+        prob = sc.problem(ibm_sp(4))
+        assert "input chunks" in prob.describe()

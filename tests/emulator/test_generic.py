@@ -1,0 +1,60 @@
+"""Tests for the generic parameterized emulator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.profile import profile_graph
+from repro.emulator.generic import GenericEmulator
+from repro.machine.presets import ibm_sp
+from repro.planner.strategies import plan_query
+from repro.planner.validate import validate_plan
+
+
+class TestParameters:
+    @pytest.mark.parametrize("target", [1.0, 2.0, 4.0, 8.0])
+    def test_fan_out_calibration(self, target):
+        sc = GenericEmulator(base_chunks=3000, fan_out=target).scenario(1, seed=2)
+        measured = sc.graph.avg_fan_out
+        assert 0.8 * target <= measured <= 1.25 * target
+
+    def test_hotspot_skews_fan_in(self):
+        uni = GenericEmulator(base_chunks=2000, fan_out=2, spatial="uniform")
+        hot = GenericEmulator(base_chunks=2000, fan_out=2, spatial="hotspot")
+        s_uni = profile_graph(uni.scenario(1, seed=2).graph).fan_in_skew
+        s_hot = profile_graph(hot.scenario(1, seed=2).graph).fan_in_skew
+        assert s_hot > s_uni + 0.3
+
+    def test_polar_widens_near_poles(self):
+        sc = GenericEmulator(base_chunks=2000, fan_out=1, spatial="polar").scenario(1, seed=2)
+        widths = sc.inputs.his[:, 0] - sc.inputs.los[:, 0]
+        y = sc.inputs.centers[:, 1]
+        polar = widths[(y < 0.1) | (y > 0.9)].mean()
+        equatorial = widths[(y > 0.4) & (y < 0.6)].mean()
+        assert polar > 1.5 * equatorial
+
+    def test_scale_multiplies_chunks(self):
+        emu = GenericEmulator(base_chunks=500)
+        assert len(emu.scenario(3, seed=0).inputs) == 1500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenericEmulator(base_chunks=0)
+        with pytest.raises(ValueError):
+            GenericEmulator(fan_out=0.5)
+        with pytest.raises(ValueError):
+            GenericEmulator(spatial="spiral")
+        with pytest.raises(ValueError):
+            GenericEmulator().scenario(0)
+
+    def test_deterministic_by_seed(self):
+        a = GenericEmulator(base_chunks=300).scenario(1, seed=5)
+        b = GenericEmulator(base_chunks=300).scenario(1, seed=5)
+        assert np.array_equal(a.inputs.los, b.inputs.los)
+
+
+class TestPlannability:
+    @pytest.mark.parametrize("strategy", ["FRA", "SRA", "DA", "HYBRID"])
+    def test_all_strategies_plan_and_validate(self, strategy):
+        sc = GenericEmulator(base_chunks=1000, spatial="hotspot").scenario(1, seed=1)
+        prob = sc.problem(ibm_sp(4))
+        validate_plan(plan_query(prob, strategy))

@@ -1,0 +1,171 @@
+"""Integration tests for the ADR façade."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.frontend.adr import ADR
+from repro.frontend.query import RangeQuery
+from repro.machine.config import MachineConfig
+from repro.runtime.serial import execute_serial
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+from repro.store.chunk_store import FileChunkStore
+from repro.util.geometry import Rect
+from repro.util.units import MB
+
+
+def build_instance(rng, n_procs=3, store=None):
+    adr = ADR(machine=MachineConfig(n_procs=n_procs, memory_per_proc=1 * MB), store=store)
+    in_space = AttributeSpace.regular("readings", ("x", "y"), (0, 0), (10, 10))
+    out_space = AttributeSpace.regular("image", ("u", "v"), (0, 0), (1, 1))
+    coords = rng.uniform(0, 10, size=(400, 2))
+    values = rng.integers(0, 100, size=400).astype(float)
+    chunks = hilbert_partition(coords, values, items_per_chunk=25)
+    adr.load("sensors", in_space, chunks)
+    grid = OutputGrid(out_space, (12, 12), (4, 4))
+    mapping = GridMapping(in_space, out_space, (12, 12))
+    return adr, chunks, mapping, grid
+
+
+def full_query(mapping, grid, strategy="FRA", aggregation="mean"):
+    return RangeQuery(
+        dataset="sensors",
+        region=Rect((0, 0), (10, 10)),
+        mapping=mapping,
+        grid=grid,
+        aggregation=aggregation,
+        strategy=strategy,
+    )
+
+
+class TestLoading:
+    def test_load_registers_everything(self, rng):
+        adr, chunks, _, _ = build_instance(rng)
+        assert "sensors" in adr.catalog
+        assert "readings" in adr.spaces
+        assert adr.index("sensors").n_entries == len(chunks)
+        assert adr.dataset("sensors").chunks.placed
+
+    def test_unknown_dataset(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        q = full_query(mapping, grid)
+        q.dataset = "absent"
+        with pytest.raises(KeyError):
+            adr.execute(q)
+
+    def test_index_missing(self, rng):
+        adr, _, _, _ = build_instance(rng)
+        with pytest.raises(KeyError):
+            adr.index("absent")
+
+
+@pytest.mark.parametrize("strategy", ["FRA", "SRA", "DA", "HYBRID", "AUTO"])
+class TestExecution:
+    def test_matches_serial(self, rng, strategy):
+        adr, chunks, mapping, grid = build_instance(rng)
+        result = adr.execute(full_query(mapping, grid, strategy))
+        serial = execute_serial(chunks, mapping, grid, full_query(mapping, grid).spec())
+        assert set(result.output_ids.tolist()) == set(serial)
+        for o, vals in zip(result.output_ids, result.chunk_values):
+            np.testing.assert_allclose(vals, serial[int(o)], equal_nan=True)
+
+
+class TestPartialQueries:
+    def test_sub_region_selects_subset(self, rng):
+        adr, chunks, mapping, grid = build_instance(rng)
+        q = full_query(mapping, grid)
+        q.region = Rect((0, 0), (3, 3))
+        result = adr.execute(q)
+        assert 0 < len(result.output_ids) < grid.n_chunks
+
+    def test_sub_region_values_match_full(self, rng):
+        """Computed chunks of a partial query agree with the full query
+        wherever all contributing input falls inside the region."""
+        adr, chunks, mapping, grid = build_instance(rng)
+        full = adr.execute(full_query(mapping, grid, aggregation="sum")).as_dict()
+        q = full_query(mapping, grid, aggregation="sum")
+        q.region = Rect((0, 0), (10, 5))
+        part = adr.execute(q).as_dict()
+        # interior chunk fully inside the half-plane: identical sums
+        interior = [
+            o for o in part
+            if grid.chunkset().his[o][1] < 0.5 - 1e-9
+        ]
+        assert interior, "expected interior chunks in the test region"
+        for o in interior:
+            np.testing.assert_allclose(part[o], full[o])
+
+    def test_region_outside_space(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        q = full_query(mapping, grid)
+        q.region = Rect((20, 20), (30, 30))
+        with pytest.raises(ValueError):
+            adr.execute(q)
+
+    def test_empty_selection(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        q = full_query(mapping, grid)
+        # a sliver that intersects the space but (almost surely) no chunk
+        q.region = Rect((9.9999, 9.9999), (10, 10))
+        try:
+            adr.execute(q)
+        except ValueError as e:
+            assert "selects no input chunks" in str(e)
+
+
+class TestPlanningSurface:
+    def test_plan_validates_and_reports(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        plan = adr.plan(full_query(mapping, grid, "DA"))
+        assert plan.strategy == "DA"
+        assert plan.n_tiles >= 1
+
+    def test_auto_picks_a_strategy(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        plan = adr.plan(full_query(mapping, grid, "AUTO"))
+        assert plan.strategy in {"FRA", "SRA", "DA"}
+
+    def test_simulate(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        res = adr.simulate(full_query(mapping, grid), strategy="FRA")
+        assert res.total_time > 0
+        assert res.strategy == "FRA"
+
+    def test_build_problem_global_ids(self, rng):
+        adr, chunks, mapping, grid = build_instance(rng)
+        prob = adr.build_problem(full_query(mapping, grid))
+        assert len(prob.input_global_ids) == len(chunks)
+        assert len(prob.output_global_ids) == grid.n_chunks
+
+
+class TestFileStoreBacked:
+    def test_end_to_end_on_disk(self, rng, tmp_path):
+        store = FileChunkStore(tmp_path / "farm")
+        adr, chunks, mapping, grid = build_instance(rng, store=store)
+        result = adr.execute(full_query(mapping, grid, "DA", aggregation="sum"))
+        serial = execute_serial(chunks, mapping, grid, full_query(mapping, grid, aggregation="sum").spec())
+        for o, vals in zip(result.output_ids, result.chunk_values):
+            np.testing.assert_allclose(vals, serial[int(o)])
+
+
+class TestQuerySpec:
+    def test_unknown_aggregation(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        q = full_query(mapping, grid, aggregation="median")
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            q.spec()
+
+    def test_spec_instance_passthrough(self, rng):
+        from repro.aggregation.functions import SumAggregation
+
+        _, _, mapping, grid = build_instance(rng)
+        spec = SumAggregation(1)
+        q = full_query(mapping, grid, aggregation=spec)
+        assert q.spec() is spec
+
+    def test_unknown_strategy_at_plan_time(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        with pytest.raises(ValueError):
+            adr.plan(full_query(mapping, grid, "WAT"))

@@ -1,0 +1,136 @@
+"""Tests for the client wire protocol."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import SumAggregation
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.frontend.adr import ADR
+from repro.frontend.protocol import (
+    ProtocolError,
+    query_from_dict,
+    query_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.frontend.query import RangeQuery
+from repro.machine.config import MachineConfig
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping, IdentityMapping
+from repro.util.geometry import Rect
+from repro.util.units import MB
+
+
+def make_query():
+    in_space = AttributeSpace.regular("s", ("x", "y", "t"), (0, 0, 0), (10, 10, 5))
+    out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+    grid = OutputGrid(out_space, (8, 8), (4, 4), cell_value_bytes=16)
+    mapping = GridMapping(in_space, out_space, (8, 8), dim_select=(0, 1),
+                          footprint=(0.01, 0.02))
+    return RangeQuery("sensors", Rect((1, 2, 0), (9, 8, 5)), mapping, grid,
+                      aggregation="mean", strategy="SRA", value_components=3)
+
+
+class TestQueryRoundTrip:
+    def test_json_roundtrip_preserves_everything(self):
+        q = make_query()
+        payload = json.loads(json.dumps(query_to_dict(q)))
+        back = query_from_dict(payload)
+        assert back.dataset == q.dataset
+        assert back.region == q.region
+        assert back.strategy == "SRA"
+        assert back.aggregation == "mean"
+        assert back.value_components == 3
+        assert back.grid.grid_shape == q.grid.grid_shape
+        assert back.grid.chunk_shape == q.grid.chunk_shape
+        assert back.grid.cell_value_bytes == 16
+        assert back.mapping.dim_select == q.mapping.dim_select
+        assert back.mapping.footprint == q.mapping.footprint
+        assert back.mapping.input_space == q.mapping.input_space
+
+    def test_spec_instance_encoded_by_name(self):
+        q = make_query()
+        q.aggregation = SumAggregation(3)
+        payload = query_to_dict(q)
+        assert payload["aggregation"] == "sum"
+
+    def test_custom_spec_rejected(self):
+        class Weird(SumAggregation):
+            pass
+
+        q = make_query()
+        q.aggregation = Weird(1)
+        with pytest.raises(ProtocolError, match="not wire-serializable"):
+            query_to_dict(q)
+
+    def test_non_grid_mapping_rejected(self):
+        q = make_query()
+        q.mapping = IdentityMapping(q.mapping.output_space)
+        with pytest.raises(ProtocolError, match="GridMapping"):
+            query_to_dict(q)
+
+    def test_unknown_aggregation_rejected(self):
+        q = make_query()
+        q.aggregation = "median"
+        with pytest.raises(ProtocolError):
+            query_to_dict(q)
+
+    def test_bad_version(self):
+        payload = query_to_dict(make_query())
+        payload["version"] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            query_from_dict(payload)
+
+    def test_missing_field(self):
+        payload = query_to_dict(make_query())
+        del payload["grid"]
+        with pytest.raises(ProtocolError, match="grid"):
+            query_from_dict(payload)
+
+
+class TestResultRoundTrip:
+    def test_end_to_end_through_the_wire(self, rng):
+        """A full client interaction: encode query, decode server-side,
+        execute, encode result, decode client-side."""
+        adr = ADR(machine=MachineConfig(n_procs=2, memory_per_proc=MB))
+        in_space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+        coords = rng.uniform(0, 10, size=(200, 2))
+        values = rng.integers(1, 20, size=200).astype(float)
+        adr.load("sensors", in_space, hilbert_partition(coords, values, 20))
+        out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+        grid = OutputGrid(out_space, (6, 6), (3, 3))
+        mapping = GridMapping(in_space, out_space, (6, 6))
+        q = RangeQuery("sensors", Rect((0, 0), (10, 10)), mapping, grid,
+                       aggregation="mean", strategy="FRA")
+
+        wire_query = json.dumps(query_to_dict(q))
+        server_query = query_from_dict(json.loads(wire_query))
+        result = adr.execute(server_query)
+        wire_result = json.dumps(result_to_dict(result))
+        client_result = result_from_dict(json.loads(wire_result))
+
+        assert client_result.output_ids.tolist() == result.output_ids.tolist()
+        for a, b in zip(client_result.chunk_values, result.chunk_values):
+            np.testing.assert_allclose(a, b, equal_nan=True)
+        assert client_result.n_reads == result.n_reads
+
+    def test_nan_encoding(self):
+        from repro.runtime.engine import QueryResult
+
+        res = QueryResult(
+            strategy="FRA",
+            output_ids=np.array([0]),
+            chunk_values=[np.array([[1.0, np.nan]])],
+            n_tiles=1, n_reads=1, bytes_read=10, n_combines=0, n_aggregations=1,
+        )
+        payload = json.loads(json.dumps(result_to_dict(res)))
+        back = result_from_dict(payload)
+        assert back.chunk_values[0][0, 0] == 1.0
+        assert np.isnan(back.chunk_values[0][0, 1])
+
+    def test_result_bad_version(self):
+        with pytest.raises(ProtocolError):
+            result_from_dict({"version": 0})

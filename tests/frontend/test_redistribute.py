@@ -1,0 +1,132 @@
+"""Tests for parallel-client output redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.frontend.adr import ADR
+from repro.frontend.query import RangeQuery
+from repro.frontend.redistribute import (
+    build_schedule,
+    client_distribution,
+    estimate_transfer_time,
+    scatter_result,
+)
+from repro.machine.config import MachineConfig
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+from repro.util.geometry import Rect
+from repro.util.units import MB
+
+
+@pytest.fixture
+def executed(rng):
+    adr = ADR(machine=MachineConfig(n_procs=3, memory_per_proc=MB))
+    space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+    coords = rng.uniform(0, 10, size=(300, 2))
+    adr.load("d", space, hilbert_partition(coords, np.ones(300), 20))
+    out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+    grid = OutputGrid(out_space, (8, 8), (2, 2))  # 16 output chunks
+    mapping = GridMapping(space, out_space, (8, 8))
+    q = RangeQuery("d", Rect((0, 0), (10, 10)), mapping, grid,
+                   aggregation="sum", strategy="FRA")
+    plan = adr.plan(q)
+    result = adr.execute(q, plan=plan)
+    return adr, plan, result
+
+
+class TestDistribution:
+    def test_block(self):
+        d = client_distribution(10, 3, "block")
+        assert d.tolist() == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_cyclic(self):
+        d = client_distribution(7, 3, "cyclic")
+        assert d.tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_more_clients_than_chunks(self):
+        d = client_distribution(2, 5, "block")
+        assert d.max() < 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            client_distribution(4, 0)
+        with pytest.raises(ValueError):
+            client_distribution(4, 2, "diagonal")
+
+
+class TestSchedule:
+    def test_every_chunk_scheduled_once(self, executed):
+        _, plan, _ = executed
+        s = build_schedule(plan, 4)
+        assert len(s) == plan.problem.n_out
+        assert sorted(s.chunk.tolist()) == list(range(plan.problem.n_out))
+
+    def test_sources_are_owners(self, executed):
+        _, plan, _ = executed
+        s = build_schedule(plan, 4)
+        assert s.src.tolist() == plan.problem.output_owner.tolist()
+
+    def test_conservation(self, executed):
+        _, plan, _ = executed
+        s = build_schedule(plan, 4)
+        assert s.bytes_per_src().sum() == s.total_bytes
+        assert s.bytes_per_dst().sum() == s.total_bytes
+
+    def test_block_balance(self, executed):
+        _, plan, _ = executed
+        s = build_schedule(plan, 4)  # 16 equal chunks over 4 clients
+        assert s.client_balance == pytest.approx(1.0)
+
+    def test_explicit_distribution(self, executed):
+        _, plan, _ = executed
+        n = plan.problem.n_out
+        dst = np.zeros(n, dtype=np.int64)
+        s = build_schedule(plan, 2, dst)
+        assert s.bytes_per_dst()[1] == 0
+
+    def test_bad_explicit_distribution(self, executed):
+        _, plan, _ = executed
+        with pytest.raises(ValueError):
+            build_schedule(plan, 2, np.array([0]))
+        with pytest.raises(ValueError):
+            build_schedule(plan, 2, np.full(plan.problem.n_out, 7))
+
+    def test_summary(self, executed):
+        _, plan, _ = executed
+        assert "client balance" in build_schedule(plan, 2).summary()
+
+
+class TestScatter:
+    def test_every_value_delivered_exactly_once(self, executed):
+        _, plan, result = executed
+        s = build_schedule(plan, 3, "cyclic")
+        buckets = scatter_result(result, plan, s)
+        delivered = sorted(o for b in buckets for o in b)
+        assert delivered == sorted(int(o) for o in result.output_ids)
+
+    def test_values_unmodified(self, executed):
+        _, plan, result = executed
+        s = build_schedule(plan, 2)
+        buckets = scatter_result(result, plan, s)
+        merged = {o: v for b in buckets for o, v in b.items()}
+        for o, v in zip(result.output_ids, result.chunk_values):
+            np.testing.assert_array_equal(merged[int(o)], v)
+
+    def test_block_gives_contiguous_ids(self, executed):
+        _, plan, result = executed
+        s = build_schedule(plan, 4, "block")
+        buckets = scatter_result(result, plan, s)
+        for b in buckets:
+            ids = sorted(b)
+            if len(ids) > 1:
+                assert ids == list(range(ids[0], ids[-1] + 1))
+
+
+class TestTransferTime:
+    def test_positive_and_scales_with_clients(self, executed):
+        adr, plan, _ = executed
+        t1 = estimate_transfer_time(build_schedule(plan, 1), adr.machine)
+        t4 = estimate_transfer_time(build_schedule(plan, 4), adr.machine)
+        assert t1 > t4 > 0  # one client process is the receive bottleneck

@@ -1,0 +1,88 @@
+"""Tests for the socket front-end service."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.frontend.adr import ADR
+from repro.frontend.query import RangeQuery
+from repro.frontend.service import ADRClient, ADRServer
+from repro.machine.config import MachineConfig
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+from repro.util.geometry import Rect
+from repro.util.units import MB
+
+
+@pytest.fixture
+def service(rng):
+    adr = ADR(machine=MachineConfig(n_procs=2, memory_per_proc=MB))
+    in_space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+    coords = rng.uniform(0, 10, size=(200, 2))
+    values = rng.integers(1, 20, size=200).astype(float)
+    adr.load("sensors", in_space, hilbert_partition(coords, values, 20))
+    out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+    grid = OutputGrid(out_space, (6, 6), (3, 3))
+    mapping = GridMapping(in_space, out_space, (6, 6))
+    query = RangeQuery("sensors", Rect((0, 0), (10, 10)), mapping, grid,
+                       aggregation="sum", strategy="FRA")
+    with ADRServer(adr, port=0) as server:
+        yield adr, server, query
+
+
+class TestService:
+    def test_ping(self, service):
+        adr, server, _ = service
+        with ADRClient(*server.address) as client:
+            assert client.ping()
+
+    def test_query_over_the_wire_matches_local(self, service):
+        adr, server, query = service
+        local = adr.execute(query)
+        with ADRClient(*server.address) as client:
+            remote = client.query(query)
+        assert remote.output_ids.tolist() == local.output_ids.tolist()
+        for a, b in zip(remote.chunk_values, local.chunk_values):
+            np.testing.assert_allclose(a, b, equal_nan=True)
+
+    def test_multiple_requests_one_connection(self, service):
+        adr, server, query = service
+        with ADRClient(*server.address) as client:
+            assert client.ping()
+            r1 = client.query(query)
+            r2 = client.query(query)
+            assert r1.output_ids.tolist() == r2.output_ids.tolist()
+
+    def test_two_clients(self, service):
+        adr, server, query = service
+        with ADRClient(*server.address) as c1, ADRClient(*server.address) as c2:
+            assert c1.ping() and c2.ping()
+            assert c1.query(query).n_reads == c2.query(query).n_reads
+
+    def test_unknown_dataset_error_travels_back(self, service):
+        adr, server, query = service
+        query.dataset = "absent"
+        with ADRClient(*server.address) as client:
+            with pytest.raises(RuntimeError, match="rejected"):
+                client.query(query)
+
+    def test_unknown_op(self, service):
+        adr, server, _ = service
+        with ADRClient(*server.address) as client:
+            response = client._call({"op": "teleport"})
+            assert not response["ok"]
+            assert "unknown op" in response["error"]
+
+    def test_malformed_json_survives(self, service):
+        adr, server, _ = service
+        with ADRClient(*server.address) as client:
+            client._file.write(b"this is not json\n")
+            client._file.flush()
+            import json
+
+            raw = client._file.readline()
+            response = json.loads(raw)
+            assert not response["ok"]
+            # connection still usable afterwards
+            assert client.ping()

@@ -1,0 +1,93 @@
+"""Tests for in-place update queries (the paper's existing-dataset path)."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import MeanAggregation
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.frontend.adr import ADR
+from repro.frontend.query import RangeQuery
+from repro.machine.config import MachineConfig
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+from repro.util.geometry import Rect
+from repro.util.units import MB
+
+
+def build(rng, n=400):
+    adr = ADR(machine=MachineConfig(n_procs=3, memory_per_proc=MB))
+    space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+    coords = rng.uniform(0, 10, size=(n, 2))
+    values = rng.integers(1, 40, size=n).astype(float)
+    out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+    grid = OutputGrid(out_space, (8, 8), (4, 4))
+    mapping = GridMapping(space, out_space, (8, 8))
+    return adr, space, coords, values, mapping, grid
+
+
+FULL = Rect((0, 0), (10, 10))
+
+
+class TestUpdateQueries:
+    @pytest.mark.parametrize("agg,combine_np", [("sum", np.add), ("max", np.fmax)])
+    def test_update_equals_recompute_over_union(self, rng, agg, combine_np):
+        adr, space, coords, values, mapping, grid = build(rng)
+        half = len(coords) // 2
+        chunks1 = hilbert_partition(coords[:half], values[:half], 25)
+        adr.load("batch1", space, chunks1)
+        q1 = RangeQuery("batch1", FULL, mapping, grid, aggregation=agg, strategy="FRA")
+        adr.execute(q1, store_as="composite")
+
+        # second acquisition arrives; update the composite in place
+        chunks2 = hilbert_partition(coords[half:], values[half:], 25)
+        adr.load("batch2", space, chunks2)
+        q2 = RangeQuery("batch2", FULL, mapping, grid, aggregation=agg, strategy="DA")
+        adr.update(q2, target="composite")
+
+        # reference: one query over everything
+        adr.load("all", space, hilbert_partition(coords, values, 25))
+        q_all = RangeQuery("all", FULL, mapping, grid, aggregation=agg, strategy="FRA")
+        expected = adr.execute(q_all)
+
+        for i, (out_id, exp) in enumerate(
+            zip(expected.output_ids, expected.chunk_values)
+        ):
+            got = adr.store.read_chunk("composite", i).values
+            np.testing.assert_allclose(got, exp, equal_nan=True)
+
+    def test_update_returns_updated_values(self, rng):
+        adr, space, coords, values, mapping, grid = build(rng)
+        adr.load("b1", space, hilbert_partition(coords, values, 25))
+        q = RangeQuery("b1", FULL, mapping, grid, aggregation="sum", strategy="FRA")
+        first = adr.execute(q, store_as="c")
+        result = adr.update(q, target="c")  # same data again: doubles
+        for a, b in zip(result.chunk_values, first.chunk_values):
+            np.testing.assert_allclose(a, 2 * b)
+
+    def test_update_unknown_target(self, rng):
+        adr, space, coords, values, mapping, grid = build(rng)
+        adr.load("b1", space, hilbert_partition(coords, values, 25))
+        q = RangeQuery("b1", FULL, mapping, grid, aggregation="sum")
+        with pytest.raises(KeyError, match="materialized"):
+            adr.update(q, target="nope")
+
+    def test_update_with_non_invertible_aggregation(self, rng):
+        adr, space, coords, values, mapping, grid = build(rng)
+        adr.load("b1", space, hilbert_partition(coords, values, 25))
+        q = RangeQuery("b1", FULL, mapping, grid, aggregation="mean", strategy="FRA")
+        adr.execute(q, store_as="c")
+        with pytest.raises(NotImplementedError, match="rebuild"):
+            adr.update(q, target="c")
+
+    def test_idempotent_flagging(self):
+        from repro.aggregation.functions import (
+            MaxAggregation,
+            MinAggregation,
+            SumAggregation,
+        )
+
+        assert MaxAggregation(1).idempotent
+        assert MinAggregation(1).idempotent
+        assert not SumAggregation(1).idempotent
+        assert not MeanAggregation(1).idempotent

@@ -1,0 +1,63 @@
+"""Tests for the uniform-grid index and the brute-force baseline."""
+
+import numpy as np
+import pytest
+
+from repro.index.brute import BruteForceIndex
+from repro.index.grid import GridIndex
+from repro.util.geometry import Rect
+
+from helpers import random_rects
+
+
+class TestGridIndex:
+    def test_matches_brute_force(self, rng):
+        los, his = random_rects(rng, 400, 2)
+        grid = GridIndex(los, his)
+        brute = BruteForceIndex(los, his)
+        for _ in range(25):
+            lo = rng.uniform(0, 80, size=2)
+            q = Rect(tuple(lo), tuple(lo + rng.uniform(0, 30, size=2)))
+            assert grid.query(q).tolist() == brute.query(q).tolist()
+
+    def test_3d(self, rng):
+        los, his = random_rects(rng, 150, 3)
+        grid = GridIndex(los, his, cells_per_dim=4)
+        brute = BruteForceIndex(los, his)
+        q = Rect((10, 10, 10), (60, 60, 60))
+        assert grid.query(q).tolist() == brute.query(q).tolist()
+
+    def test_empty(self):
+        g = GridIndex(np.empty((0, 2)), np.empty((0, 2)))
+        assert g.query(Rect((0, 0), (1, 1))).tolist() == []
+
+    def test_n_cells_positive(self, rng):
+        los, his = random_rects(rng, 100, 2)
+        g = GridIndex(los, his)
+        assert g.n_cells >= 1
+        assert g.n_entries == 100
+
+    def test_bad_cells_per_dim(self, rng):
+        los, his = random_rects(rng, 10, 2)
+        with pytest.raises(ValueError):
+            GridIndex(los, his, cells_per_dim=0)
+
+    def test_query_dim_mismatch(self, rng):
+        los, his = random_rects(rng, 10, 2)
+        with pytest.raises(ValueError):
+            GridIndex(los, his).query(Rect((0,), (1,)))
+
+
+class TestBruteForce:
+    def test_build_from_chunkset(self, rng):
+        from repro.dataset.chunkset import ChunkSet
+
+        los, his = random_rects(rng, 50, 2)
+        cs = ChunkSet(los, his, np.full(50, 10, dtype=np.int64))
+        idx = BruteForceIndex.build(cs)
+        q = Rect((0, 0), (50, 50))
+        assert idx.query(q).tolist() == cs.intersecting(q).tolist()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BruteForceIndex(np.zeros((2, 2)), np.zeros((3, 2)))

@@ -1,0 +1,70 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are the public face of the API; a refactor that silently
+breaks one would otherwise only be caught by a human.  Each runs in a
+subprocess with the repository's interpreter.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+class TestExampleContent:
+    """Each example must demonstrate what its docstring promises."""
+
+    def run(self, name):
+        return subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True, text=True, timeout=300,
+        ).stdout
+
+    def test_quickstart_shows_plan_and_grid(self):
+        out = self.run("quickstart.py")
+        assert "planner chose" in out
+        assert "simulated execution" in out
+
+    def test_satellite_proves_strategy_equality(self):
+        out = self.run("satellite_composite.py")
+        assert "identical composites" in out
+
+    def test_walkthrough_shows_both_strategies(self):
+        out = self.run("strategy_walkthrough.py")
+        assert "--- FRA ---" in out and "--- DA ---" in out
+        assert "timeline:" in out
+
+    def test_service_demo_round_trips(self):
+        out = self.run("adr_service_demo.py")
+        assert "ping: ok" in out
+        assert "expected rejection" in out
+
+    def test_water_contamination_conserves_mass(self):
+        out = self.run("water_contamination.py")
+        masses = [
+            float(line.split("total mass")[1].split(",")[0])
+            for line in out.splitlines()
+            if "total mass" in line
+        ]
+        assert masses and all(m <= masses[0] + 1e-6 for m in masses)

@@ -1,0 +1,96 @@
+"""Tests for the experiment grid and its CLI."""
+
+import pytest
+
+from repro.experiments import ExperimentGrid
+from repro.experiments.__main__ import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return ExperimentGrid(fidelity="fast", seed=5)
+
+
+class TestExperimentGrid:
+    def test_fidelity_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(fidelity="medium")
+
+    def test_fast_grid_shape(self, grid):
+        assert grid.procs == (8, 16, 32)
+        assert grid.fast
+
+    def test_cell_caching(self, grid):
+        a = grid.cell("VM", "fixed", 8, "DA")
+        b = grid.cell("VM", "fixed", 8, "DA")
+        assert a is b  # memoized
+
+    def test_scale_for(self, grid):
+        assert grid.scale_for("fixed", 32) == 1
+        assert grid.scale_for("scaled", 32) == 4
+        with pytest.raises(ValueError):
+            grid.scale_for("diagonal", 8)
+
+    def test_series_keys_and_lengths(self, grid):
+        data = grid.series("VM", "fixed", lambda r: r.total_time)
+        assert set(data) == {"FRA", "DA", "SRA"}
+        assert all(len(v) == len(grid.procs) for v in data.values())
+
+    def test_table_rendering(self, grid):
+        text = grid.table("Figure 8", "VM", "fixed", "time")
+        assert "Figure 8" in text and "procs" in text and "seconds" in text
+        assert text.count("\n") >= 3 + len(grid.procs) - 1
+
+    def test_table1_rendering(self, grid):
+        text = grid.table1("WCS")
+        assert "WCS" in text and "1-20-1-1" in text
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig8", "--app", "VM", "--fidelity", "fast"])
+        assert args.what == "fig8" and args.app == "VM"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig7"])
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "--app", "VM", "--fidelity", "fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 -- VM" in out
+
+    def test_fig8_command(self, capsys):
+        assert main(
+            ["fig8", "--app", "VM", "--scaling", "fixed", "--fidelity", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8 (left)" in out and "VM" in out
+
+    def test_fig9_single_metric(self, capsys):
+        assert main(
+            ["fig9", "--app", "VM", "--scaling", "fixed", "--metric", "comm",
+             "--fidelity", "fast"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9(a)" in out
+        assert "9(c)" not in out
+
+
+class TestPhaseBreakdown:
+    def test_phase_table(self, grid):
+        text = grid.phase_table("VM", "fixed", 8)
+        assert "Phase breakdown" in text
+        assert "FRA" in text and "DA" in text
+        # DA has no combine phase
+        da_row = next(l for l in text.splitlines() if l.strip().startswith("DA"))
+        assert "0.00" in da_row
+
+    def test_phases_cli(self, capsys):
+        assert main(["phases", "--app", "VM", "--scaling", "fixed",
+                     "--fidelity", "fast", "--procs", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "16 processors" in out
+
+    def test_phase_totals_match_cells(self, grid):
+        r = grid.cell("VM", "fixed", 8, "FRA")
+        assert sum(r.phase_times.values()) == pytest.approx(r.total_time, rel=0.02)

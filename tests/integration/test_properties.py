@@ -1,0 +1,115 @@
+"""Cross-component property tests (hypothesis).
+
+Each property stitches several subsystems together on randomly
+generated workloads -- the kind of invariant a single-module unit test
+cannot check.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import ComputeCosts, MachineConfig
+from repro.planner.batch import plan_batch
+from repro.planner.costmodel import CostModel
+from repro.planner.stats import plan_stats
+from repro.planner.strategies import plan_query
+from repro.planner.validate import validate_plan
+from repro.sim.query_sim import simulate_query
+
+from helpers import make_problem, sub_problem
+
+COSTS = ComputeCosts.from_ms(1, 3, 1, 1)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    strategy=st.sampled_from(["FRA", "SRA", "DA", "HYBRID"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_sim_agrees_with_plan_stats(seed, strategy):
+    """Whatever the plan says moves is exactly what the simulator
+    moves: bytes read, sent and received per processor."""
+    rng = np.random.default_rng(seed)
+    n_procs = int(rng.integers(2, 6))
+    prob = make_problem(
+        rng, n_procs=n_procs,
+        n_in=int(rng.integers(10, 80)),
+        n_out=int(rng.integers(2, 15)),
+        memory=int(rng.integers(100_000, 1_000_000)),
+    )
+    plan = plan_query(prob, strategy)
+    validate_plan(plan)
+    machine = MachineConfig(n_procs=n_procs, memory_per_proc=1 << 20)
+    res = simulate_query(plan, machine, COSTS)
+    stats = plan_stats(plan)
+    assert res.read_bytes.tolist() == stats.read_bytes.tolist()
+    assert res.sent_bytes.tolist() == stats.sent_bytes.tolist()
+    assert res.recv_bytes.tolist() == stats.recv_bytes.tolist()
+    # total CPU busy equals the deterministic work total
+    expected_cpu = (
+        COSTS.init * stats.init_chunks.sum()
+        + COSTS.reduction * stats.reduction_pairs.sum()
+        + COSTS.combine * stats.combine_ops.sum()
+        + COSTS.output * stats.output_chunks.sum()
+    )
+    assert res.cpu_busy.sum() == pytest.approx(expected_cpu)
+
+
+@given(seed=st.integers(0, 2**31), strategy=st.sampled_from(["FRA", "DA"]))
+@settings(max_examples=15, deadline=None)
+def test_simulation_is_deterministic(seed, strategy):
+    rng = np.random.default_rng(seed)
+    prob = make_problem(rng, n_procs=3)
+    plan = plan_query(prob, strategy)
+    machine = MachineConfig(n_procs=3, memory_per_proc=1 << 20)
+    a = simulate_query(plan, machine, COSTS, seed=1)
+    b = simulate_query(plan, machine, COSTS, seed=1)
+    assert a.total_time == b.total_time
+    assert a.phase_times == b.phase_times
+
+
+@given(seed=st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_costmodels_bounded_by_serial_work(seed):
+    """Both cost models lie between the perfectly-parallel bound and
+    the fully-serial bound of the plan's total work."""
+    rng = np.random.default_rng(seed)
+    n_procs = int(rng.integers(1, 5))
+    prob = make_problem(rng, n_procs=n_procs)
+    plan = plan_query(prob, "FRA")
+    machine = MachineConfig(n_procs=n_procs, memory_per_proc=1 << 20)
+    stats = plan_stats(plan)
+    serial_cpu = (
+        COSTS.init * stats.init_chunks.sum()
+        + COSTS.reduction * stats.reduction_pairs.sum()
+        + COSTS.combine * stats.combine_ops.sum()
+        + COSTS.output * stats.output_chunks.sum()
+    )
+    serial_io = (
+        stats.read_count.sum() * machine.disk_seek
+        + (stats.read_bytes.sum() + stats.write_bytes.sum()) / machine.disk_bandwidth
+        + stats.output_chunks.sum() * machine.disk_seek
+    )
+    comm = 2 * stats.sent_bytes.sum() / machine.link_bandwidth
+    upper = serial_cpu + serial_io + comm + 1e-9
+    lower = max(serial_cpu, serial_io) / n_procs - 1e-9
+    for per_tile in (False, True):
+        est = CostModel(machine, COSTS, per_tile=per_tile).estimate(plan).total
+        assert lower <= est <= upper, (per_tile, lower, est, upper)
+
+
+@given(seed=st.integers(0, 2**31), k=st.integers(1, 5))
+@settings(max_examples=15, deadline=None)
+def test_batch_order_always_valid(seed, k):
+    rng = np.random.default_rng(seed)
+    problems = []
+    for _ in range(k):
+        lo = int(rng.integers(0, 50))
+        hi = lo + int(rng.integers(5, 40))
+        problems.append(sub_problem(rng, range(lo, hi)))
+    batch = plan_batch(problems)
+    assert sorted(batch.order) == list(range(k))
+    assert batch.consecutive_shared_bytes() <= batch.total_read_bytes()
+

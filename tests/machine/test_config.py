@@ -1,0 +1,68 @@
+"""Tests for machine configuration and compute costs."""
+
+import pytest
+
+from repro.machine.config import ComputeCosts, MachineConfig
+from repro.machine.presets import IBM_SP_COSTS, ibm_sp
+from repro.util.units import MB
+
+
+class TestMachineConfig:
+    def test_basic(self):
+        m = MachineConfig(n_procs=8, memory_per_proc=32 * MB)
+        assert m.n_disks == 8
+        assert m.read_time(10 * MB) == pytest.approx(0.010 + 1.0)
+        assert m.send_time(110 * MB) == pytest.approx(1.0)
+
+    def test_scaled_keeps_node_hardware(self):
+        m = ibm_sp(8)
+        m2 = m.scaled(128)
+        assert m2.n_procs == 128
+        assert m2.disk_bandwidth == m.disk_bandwidth
+        assert m2.memory_per_proc == m.memory_per_proc
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_procs": 0, "memory_per_proc": MB},
+            {"n_procs": 1, "memory_per_proc": 0},
+            {"n_procs": 1, "memory_per_proc": MB, "disks_per_node": 0},
+            {"n_procs": 1, "memory_per_proc": MB, "disk_bandwidth": 0},
+            {"n_procs": 1, "memory_per_proc": MB, "link_bandwidth": -1},
+            {"n_procs": 1, "memory_per_proc": MB, "disk_seek": -1},
+            {"n_procs": 1, "memory_per_proc": MB, "io_jitter": -0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MachineConfig(**kwargs)
+
+    def test_multi_disk(self):
+        m = MachineConfig(n_procs=4, memory_per_proc=MB, disks_per_node=3)
+        assert m.n_disks == 12
+
+
+class TestComputeCosts:
+    def test_from_ms(self):
+        c = ComputeCosts.from_ms(1, 40, 20, 1)
+        assert c.init == pytest.approx(0.001)
+        assert c.reduction == pytest.approx(0.040)
+        assert c.combine == pytest.approx(0.020)
+        assert c.output == pytest.approx(0.001)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeCosts(-1, 0, 0, 0)
+
+    def test_table1_presets(self):
+        assert set(IBM_SP_COSTS) == {"SAT", "WCS", "VM"}
+        assert IBM_SP_COSTS["SAT"].reduction == pytest.approx(0.040)
+        assert IBM_SP_COSTS["WCS"].reduction == pytest.approx(0.020)
+        assert IBM_SP_COSTS["VM"].reduction == pytest.approx(0.005)
+        assert IBM_SP_COSTS["SAT"].combine == pytest.approx(0.020)
+
+    def test_ibm_sp_preset(self):
+        m = ibm_sp(128)
+        assert m.n_procs == 128
+        assert m.link_bandwidth == pytest.approx(110 * MB)
+        assert m.disks_per_node == 1

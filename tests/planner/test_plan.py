@@ -1,0 +1,204 @@
+"""Tests for QueryPlan traffic derivation on a hand-built problem.
+
+Every number below is worked out by hand from the paper's strategy
+definitions, so these tests pin the exact semantics of reads, input
+forwarding and ghost shipment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+from repro.planner.plan import QueryPlan
+from repro.planner.problem import PlanningProblem
+from repro.planner.strategies import plan_da, plan_fra, plan_sra
+from repro.planner.validate import validate_plan
+from repro.util.units import MB
+
+
+def tiny_problem(memory=MB):
+    """2 procs; 3 inputs (owners 0,0,1); 2 outputs (owners 0,1).
+
+    Edges: in0 -> out0, in1 -> {out0, out1}, in2 -> out1.
+    """
+    in_los = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]])
+    inputs = ChunkSet(
+        in_los,
+        in_los + 1,
+        np.array([100, 200, 300], dtype=np.int64),
+        node=np.array([0, 0, 1], dtype=np.int32),
+        disk=np.zeros(3, dtype=np.int32),
+    )
+    out_los = np.array([[0.0, 0.0], [2.0, 0.0]])
+    outputs = ChunkSet(
+        out_los,
+        out_los + 1.5,
+        np.array([50, 60], dtype=np.int64),
+        node=np.array([0, 1], dtype=np.int32),
+        disk=np.zeros(2, dtype=np.int32),
+    )
+    graph = ChunkGraph.from_lists(3, 2, [[0], [0, 1], [1]])
+    return PlanningProblem(
+        n_procs=2,
+        memory_per_proc=np.int64(memory),
+        inputs=inputs,
+        outputs=outputs,
+        graph=graph,
+        acc_nbytes=np.array([80, 90], dtype=np.int64),
+    )
+
+
+class TestFRATraffic:
+    def test_single_tile(self):
+        plan = plan_fra(tiny_problem())
+        validate_plan(plan)
+        assert plan.n_tiles == 1
+
+    def test_holders_everywhere(self):
+        plan = plan_fra(tiny_problem())
+        assert plan.holders_of(0).tolist() == [0, 1]
+        assert plan.holders_of(1).tolist() == [0, 1]
+        assert plan.ghost_count == 2
+
+    def test_reads_by_input_owner(self):
+        plan = plan_fra(tiny_problem())
+        r = plan.reads
+        triples = sorted(zip(r.tile.tolist(), r.chunk.tolist(), r.proc.tolist()))
+        assert triples == [(0, 0, 0), (0, 1, 0), (0, 2, 1)]
+
+    def test_no_input_transfers(self):
+        plan = plan_fra(tiny_problem())
+        assert len(plan.input_transfers) == 0
+
+    def test_ghost_transfers(self):
+        plan = plan_fra(tiny_problem())
+        g = plan.ghost_transfers
+        rows = sorted(zip(g.chunk.tolist(), g.src.tolist(), g.dst.tolist()))
+        assert rows == [(0, 1, 0), (1, 0, 1)]
+        assert g.total_bytes(plan.problem.acc_nbytes) == 80 + 90
+
+    def test_comm_per_proc(self):
+        plan = plan_fra(tiny_problem())
+        sent, recv = plan.comm_bytes_per_proc()
+        assert sent.tolist() == [90, 80]
+        assert recv.tolist() == [80, 90]
+
+
+class TestSRATraffic:
+    def test_ghosts_only_where_input_projects(self):
+        plan = plan_sra(tiny_problem())
+        validate_plan(plan)
+        # out0: all projecting input on proc 0 = owner -> no ghost
+        assert plan.holders_of(0).tolist() == [0]
+        # out1: input on both procs -> ghost on proc 0
+        assert plan.holders_of(1).tolist() == [0, 1]
+        assert plan.ghost_count == 1
+
+    def test_ghost_transfer_subset_of_fra(self):
+        prob = tiny_problem()
+        sra = plan_sra(prob).ghost_transfers
+        rows = list(zip(sra.chunk.tolist(), sra.src.tolist(), sra.dst.tolist()))
+        assert rows == [(1, 0, 1)]
+
+    def test_same_reads_as_fra(self):
+        prob = tiny_problem()
+        fra, sra = plan_fra(prob), plan_sra(prob)
+        assert sorted(zip(fra.reads.tile, fra.reads.chunk)) == sorted(
+            zip(sra.reads.tile, sra.reads.chunk)
+        )
+
+
+class TestDATraffic:
+    def test_no_ghosts(self):
+        plan = plan_da(tiny_problem())
+        validate_plan(plan)
+        assert plan.ghost_count == 0
+        assert len(plan.ghost_transfers) == 0
+
+    def test_edges_at_output_owner(self):
+        plan = plan_da(tiny_problem())
+        edge_in, edge_out = plan.edge_arrays
+        expected = plan.problem.output_owner[edge_out]
+        assert plan.edge_proc.tolist() == expected.tolist()
+
+    def test_input_forwarding(self):
+        plan = plan_da(tiny_problem())
+        t = plan.input_transfers
+        rows = list(zip(t.chunk.tolist(), t.src.tolist(), t.dst.tolist()))
+        # only in1's edge to out1 (owner 1) crosses processors
+        assert rows == [(1, 0, 1)]
+        assert t.total_bytes(plan.problem.inputs.nbytes) == 200
+
+    def test_reads_unchanged(self):
+        plan = plan_da(tiny_problem())
+        r = plan.reads
+        assert sorted(zip(r.chunk.tolist(), r.proc.tolist())) == [(0, 0), (1, 0), (2, 1)]
+
+
+class TestTilingAndMultiplicity:
+    def test_tight_memory_splits_tiles_and_rereads(self):
+        # Budget fits one accumulator chunk at a time -> 2 tiles under
+        # FRA; in1 maps to outputs in both tiles -> read twice.
+        prob = tiny_problem(memory=100)
+        plan = plan_fra(prob)
+        validate_plan(plan)
+        assert plan.n_tiles == 2
+        r = plan.reads
+        assert len(r) == 4  # in0 once, in1 twice, in2 once
+        assert plan.read_multiplicity == pytest.approx(4 / 3)
+        counts = np.bincount(r.chunk, minlength=3)
+        assert counts.tolist() == [1, 2, 1]
+
+    def test_da_fewer_or_equal_tiles(self):
+        prob = tiny_problem(memory=100)
+        assert plan_da(prob).n_tiles <= plan_fra(prob).n_tiles
+
+    def test_total_read_bytes(self):
+        prob = tiny_problem(memory=100)
+        plan = plan_fra(prob)
+        assert plan.total_read_bytes == 100 + 200 * 2 + 300
+
+    def test_summary_smoke(self):
+        s = plan_fra(tiny_problem()).summary()
+        assert "FRA" in s and "tiles" in s
+
+
+class TestInitFromOutput:
+    def test_init_transfers_mirror_ghosts(self):
+        prob = tiny_problem()
+        prob.init_from_output = True
+        plan = plan_fra(prob)
+        init = plan.init_transfers
+        ghost = plan.ghost_transfers
+        assert len(init) == len(ghost)
+        assert init.src.tolist() == ghost.dst.tolist()
+        assert init.dst.tolist() == ghost.src.tolist()
+
+    def test_disabled_by_default(self):
+        plan = plan_fra(tiny_problem())
+        assert len(plan.init_transfers) == 0
+
+
+class TestPlanShapeValidation:
+    def test_wrong_tile_array_length(self):
+        prob = tiny_problem()
+        with pytest.raises(ValueError):
+            QueryPlan(
+                "X", prob, 1,
+                np.zeros(5, dtype=np.int64),
+                np.arange(3, dtype=np.int64),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(prob.graph.n_edges, dtype=np.int64),
+            )
+
+    def test_wrong_edge_proc_length(self):
+        prob = tiny_problem()
+        with pytest.raises(ValueError):
+            QueryPlan(
+                "X", prob, 1,
+                np.zeros(2, dtype=np.int64),
+                np.array([0, 1, 2], dtype=np.int64),
+                np.array([0, 1], dtype=np.int64),
+                np.zeros(99, dtype=np.int64),
+            )

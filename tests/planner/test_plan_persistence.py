@@ -1,0 +1,68 @@
+"""Tests for query-plan persistence (the planning service's cache)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.machine.config import ComputeCosts, MachineConfig
+from repro.planner.plan import QueryPlan
+from repro.planner.strategies import plan_da, plan_fra
+from repro.planner.validate import PlanValidationError
+from repro.sim.query_sim import simulate_query
+
+from helpers import make_problem
+
+COSTS = ComputeCosts.from_ms(1, 4, 1, 1)
+
+
+class TestPlanPersistence:
+    def test_roundtrip_preserves_structure(self, rng, tmp_path):
+        prob = make_problem(rng, n_procs=3, n_in=60, n_out=10, memory=300_000)
+        plan = plan_fra(prob)
+        path = tmp_path / "q1.plan"
+        plan.save(path)
+        loaded = QueryPlan.load(path)
+        assert loaded.strategy == plan.strategy
+        assert loaded.n_tiles == plan.n_tiles
+        assert loaded.tile_of_output.tolist() == plan.tile_of_output.tolist()
+        assert loaded.holders_ids.tolist() == plan.holders_ids.tolist()
+        assert loaded.edge_proc.tolist() == plan.edge_proc.tolist()
+
+    def test_loaded_plan_simulates_identically(self, rng, tmp_path):
+        prob = make_problem(rng, n_procs=3)
+        plan = plan_da(prob)
+        path = tmp_path / "q.plan"
+        plan.save(path)
+        loaded = QueryPlan.load(path)
+        machine = MachineConfig(n_procs=3, memory_per_proc=1 << 20)
+        a = simulate_query(plan, machine, COSTS)
+        b = simulate_query(loaded, machine, COSTS)
+        assert a.total_time == b.total_time
+        assert a.sent_bytes.tolist() == b.sent_bytes.tolist()
+
+    def test_derived_traffic_rebuilt_after_load(self, rng, tmp_path):
+        prob = make_problem(rng, n_procs=3)
+        plan = plan_fra(prob)
+        _ = plan.reads, plan.ghost_transfers  # populate caches pre-save
+        path = tmp_path / "q.plan"
+        plan.save(path)
+        loaded = QueryPlan.load(path)
+        assert len(loaded.reads) == len(plan.reads)
+        assert loaded.total_read_bytes == plan.total_read_bytes
+
+    def test_wrong_payload_rejected(self, tmp_path):
+        path = tmp_path / "bad.plan"
+        with open(path, "wb") as fh:
+            pickle.dump(("SomethingElse", {}), fh)
+        with pytest.raises(TypeError):
+            QueryPlan.load(path)
+
+    def test_corrupted_plan_fails_validation(self, rng, tmp_path):
+        prob = make_problem(rng, n_procs=3)
+        plan = plan_fra(prob)
+        plan.tile_of_output[0] = 999  # corrupt before saving
+        path = tmp_path / "bad.plan"
+        plan.save(path)
+        with pytest.raises(PlanValidationError):
+            QueryPlan.load(path)

@@ -1,0 +1,174 @@
+"""Tests for the FRA/SRA/DA tiling and workload-partitioning algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planner.plan import QueryPlan
+from repro.planner.strategies import STRATEGIES, plan_da, plan_fra, plan_query, plan_sra
+from repro.planner.validate import validate_plan
+
+from helpers import make_problem
+
+
+@pytest.fixture
+def problem(rng):
+    return make_problem(rng, n_procs=4, n_in=80, n_out=16, memory=200 * 1024)
+
+
+ALL = ["FRA", "SRA", "DA", "HYBRID"]
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestCommonInvariants:
+    def test_validates(self, problem, name):
+        validate_plan(plan_query(problem, name))
+
+    def test_every_output_in_one_tile(self, problem, name):
+        plan = plan_query(problem, name)
+        assert plan.tile_of_output.shape == (problem.n_out,)
+        assert (plan.tile_of_output >= 0).all()
+        assert (plan.tile_of_output < plan.n_tiles).all()
+
+    def test_owner_always_holds(self, problem, name):
+        plan = plan_query(problem, name)
+        for o in range(problem.n_out):
+            assert int(problem.output_owner[o]) in plan.holders_of(o)
+
+    def test_memory_respected_per_tile_per_proc(self, problem, name):
+        plan = plan_query(problem, name)
+        for t in range(plan.n_tiles):
+            usage = np.zeros(problem.n_procs, dtype=np.int64)
+            chunks_on = np.zeros(problem.n_procs, dtype=np.int64)
+            for o in np.flatnonzero(plan.tile_of_output == t):
+                for p in plan.holders_of(o):
+                    usage[p] += problem.acc_nbytes[o]
+                    chunks_on[p] += 1
+            over = usage > problem.memory_per_proc
+            assert not (over & (chunks_on > 1)).any()
+
+
+class TestFRA:
+    def test_holders_are_all_procs(self, problem):
+        plan = plan_fra(problem)
+        for o in range(problem.n_out):
+            assert plan.holders_of(o).tolist() == list(range(problem.n_procs))
+
+    def test_edges_at_input_owner(self, problem):
+        plan = plan_fra(problem)
+        edge_in, _ = plan.edge_arrays
+        assert plan.edge_proc.tolist() == problem.input_owner[edge_in].tolist()
+
+    def test_tiles_follow_hilbert_order(self, problem):
+        plan = plan_fra(problem)
+        order = problem.output_hilbert_order()
+        tiles = plan.tile_of_output[order]
+        assert (np.diff(tiles) >= 0).all()
+
+    def test_tile_count_formula(self, problem):
+        """Greedy packing against the min-memory budget."""
+        plan = plan_fra(problem)
+        budget = int(problem.memory_per_proc.min())
+        order = problem.output_hilbert_order()
+        tile, used = 0, 0
+        for o in order:
+            s = int(problem.acc_nbytes[o])
+            if used + s > budget and used > 0:
+                tile, used = tile + 1, 0
+            used += s
+        assert plan.n_tiles == tile + 1
+
+    def test_huge_memory_single_tile(self, rng):
+        prob = make_problem(rng, memory=1 << 40)
+        assert plan_fra(prob).n_tiles == 1
+
+
+class TestSRA:
+    def test_holders_subset_of_fra_superset_of_so(self, problem):
+        plan = plan_sra(problem)
+        for o in range(problem.n_out):
+            holders = set(plan.holders_of(o).tolist())
+            so = set(problem.procs_with_input_for(o).tolist())
+            owner = int(problem.output_owner[o])
+            assert holders == so | {owner}
+
+    def test_ghost_count_at_most_fra(self, problem):
+        assert plan_sra(problem).ghost_count <= plan_fra(problem).ghost_count
+
+    def test_equals_fra_when_fan_in_spans_all_procs(self, rng):
+        # every output receives input from every processor
+        prob = make_problem(rng, n_procs=2, n_in=200, n_out=4, fan_out=3)
+        sra, fra = plan_sra(prob), plan_fra(prob)
+        assert sra.ghost_count == fra.ghost_count
+
+    def test_edges_at_input_owner(self, problem):
+        plan = plan_sra(problem)
+        edge_in, _ = plan.edge_arrays
+        assert plan.edge_proc.tolist() == problem.input_owner[edge_in].tolist()
+
+
+class TestDA:
+    def test_owner_is_sole_holder(self, problem):
+        plan = plan_da(problem)
+        for o in range(problem.n_out):
+            assert plan.holders_of(o).tolist() == [int(problem.output_owner[o])]
+
+    def test_edges_at_output_owner(self, problem):
+        plan = plan_da(problem)
+        _, edge_out = plan.edge_arrays
+        assert plan.edge_proc.tolist() == problem.output_owner[edge_out].tolist()
+
+    def test_per_proc_tiles_monotone_in_hilbert_order(self, problem):
+        plan = plan_da(problem)
+        order = problem.output_hilbert_order()
+        for p in range(problem.n_procs):
+            mine = [o for o in order if problem.output_owner[o] == p]
+            tiles = plan.tile_of_output[mine]
+            assert (np.diff(tiles) >= 0).all()
+
+    def test_fewer_or_equal_tiles_than_fra(self, problem):
+        assert plan_da(problem).n_tiles <= plan_fra(problem).n_tiles
+
+    def test_aggregate_memory_advantage(self, rng):
+        """With per-chunk acc size ~ memory/2, FRA needs ~n_out/2
+        tiles while DA spreads chunks over all processors' memories."""
+        prob = make_problem(rng, n_procs=4, n_in=40, n_out=20, memory=100_000,
+                            acc_factor=1.5)
+        prob.acc_nbytes = np.full(20, 60_000, dtype=np.int64)
+        fra, da = plan_fra(prob), plan_da(prob)
+        assert fra.n_tiles == 20  # one chunk per tile
+        assert da.n_tiles <= 6
+
+
+class TestDispatch:
+    def test_plan_query_names(self, problem):
+        for name in ("fra", "SRA", "Da", "hybrid"):
+            plan = plan_query(problem, name)
+            assert isinstance(plan, QueryPlan)
+
+    def test_unknown_strategy(self, problem):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            plan_query(problem, "MAGIC")
+
+    def test_registry(self):
+        assert set(STRATEGIES) == {"FRA", "SRA", "DA"}
+
+
+@given(st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_property_all_strategies_valid_on_random_problems(seed):
+    rng = np.random.default_rng(seed)
+    n_procs = int(rng.integers(1, 6))
+    prob = make_problem(
+        rng,
+        n_procs=n_procs,
+        n_in=int(rng.integers(1, 60)),
+        n_out=int(rng.integers(1, 20)),
+        memory=int(rng.integers(50_000, 2_000_000)),
+    )
+    for name in ALL:
+        plan = plan_query(prob, name)
+        validate_plan(plan)
+        # conservation: every edge processed exactly once
+        assert len(plan.edge_proc) == prob.graph.n_edges

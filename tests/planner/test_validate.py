@@ -1,0 +1,99 @@
+"""Tests for the plan validator: corrupted plans must be rejected."""
+
+import numpy as np
+import pytest
+
+from repro.planner.plan import QueryPlan
+from repro.planner.strategies import plan_da, plan_fra
+from repro.planner.validate import PlanValidationError, validate_plan
+
+from helpers import make_problem
+
+
+@pytest.fixture
+def problem(rng):
+    return make_problem(rng, n_procs=3, n_in=30, n_out=8, memory=500_000)
+
+
+def rebuild(plan, **overrides):
+    kw = dict(
+        strategy=plan.strategy,
+        problem=plan.problem,
+        n_tiles=plan.n_tiles,
+        tile_of_output=plan.tile_of_output.copy(),
+        holders_indptr=plan.holders_indptr.copy(),
+        holders_ids=plan.holders_ids.copy(),
+        edge_proc=plan.edge_proc.copy(),
+    )
+    kw.update(overrides)
+    return QueryPlan(**kw)
+
+
+class TestValidator:
+    def test_accepts_good_plans(self, problem):
+        validate_plan(plan_fra(problem))
+        validate_plan(plan_da(problem))
+
+    def test_tile_out_of_range(self, problem):
+        plan = plan_fra(problem)
+        bad_tiles = plan.tile_of_output.copy()
+        bad_tiles[0] = plan.n_tiles + 3
+        with pytest.raises(PlanValidationError, match="tile ids"):
+            validate_plan(rebuild(plan, tile_of_output=bad_tiles))
+
+    def test_owner_not_holder(self, problem):
+        plan = plan_da(problem)
+        bad = plan.holders_ids.copy()
+        owner0 = int(problem.output_owner[0])
+        bad[0] = (owner0 + 1) % problem.n_procs
+        with pytest.raises(PlanValidationError, match="not a holder"):
+            validate_plan(rebuild(plan, holders_ids=bad))
+
+    def test_holder_proc_out_of_range(self, problem):
+        plan = plan_fra(problem)
+        bad = plan.holders_ids.copy()
+        bad[0] = 99
+        with pytest.raises(PlanValidationError):
+            validate_plan(rebuild(plan, holders_ids=bad))
+
+    def test_duplicate_holder(self, problem):
+        plan = plan_fra(problem)
+        bad = plan.holders_ids.copy()
+        bad[1] = bad[0]
+        with pytest.raises(PlanValidationError, match="duplicate"):
+            validate_plan(rebuild(plan, holders_ids=bad))
+
+    def test_edge_on_non_holder(self, problem):
+        plan = plan_da(problem)
+        if not plan.problem.graph.n_edges:
+            pytest.skip("no edges in random problem")
+        bad = plan.edge_proc.copy()
+        _, edge_out = plan.edge_arrays
+        owner = int(problem.output_owner[edge_out[0]])
+        bad[0] = (owner + 1) % problem.n_procs
+        with pytest.raises(PlanValidationError, match="holds no accumulator"):
+            validate_plan(rebuild(plan, edge_proc=bad))
+
+    def test_edge_proc_out_of_range(self, problem):
+        plan = plan_fra(problem)
+        if not plan.problem.graph.n_edges:
+            pytest.skip("no edges")
+        bad = plan.edge_proc.copy()
+        bad[0] = -1
+        with pytest.raises(PlanValidationError):
+            validate_plan(rebuild(plan, edge_proc=bad))
+
+    def test_memory_overflow_detected(self, rng):
+        prob = make_problem(rng, n_procs=2, n_in=20, n_out=6, memory=1 << 40)
+        prob.acc_nbytes = np.full(6, 1000, dtype=np.int64)
+        plan = plan_fra(prob)
+        # shrink the budget after planning: single tile now overflows
+        prob.memory_per_proc = np.full(2, 1500, dtype=np.int64)
+        with pytest.raises(PlanValidationError, match="overflows"):
+            validate_plan(plan)
+
+    def test_single_oversized_chunk_tolerated(self, rng):
+        prob = make_problem(rng, n_procs=2, n_in=10, n_out=1, memory=100)
+        prob.acc_nbytes = np.array([10_000], dtype=np.int64)
+        plan = plan_fra(prob)  # one chunk alone exceeds the budget
+        validate_plan(plan)  # allowed: degenerate single-chunk tile

@@ -1,0 +1,72 @@
+"""Tests for the serial reference executor."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import MeanAggregation, SumAggregation
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.chunk import Chunk
+from repro.runtime.serial import execute_serial, map_chunk_to_cells
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+
+from helpers import make_functional_setup
+
+
+class TestMapChunkToCells:
+    def test_no_footprint_one_cell_per_item(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        item_idx, cells = map_chunk_to_cells(chunks[0], mapping, grid)
+        assert len(item_idx) == chunks[0].n_items
+        assert item_idx.tolist() == list(range(chunks[0].n_items))
+
+    def test_footprint_fans_out(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(
+            rng, footprint=(0.1, 0.1)
+        )
+        item_idx, cells = map_chunk_to_cells(chunks[0], mapping, grid)
+        assert len(item_idx) > chunks[0].n_items
+
+
+class TestExecuteSerial:
+    def test_mean_against_manual_numpy(self, rng):
+        """Hand-rolled per-cell mean over the raw items must match."""
+        in_space = AttributeSpace.regular("in", ("x", "y"), (0, 0), (1, 1))
+        out_space = AttributeSpace.regular("out", ("u", "v"), (0, 0), (1, 1))
+        coords = rng.uniform(0, 1, size=(300, 2))
+        values = rng.integers(0, 50, size=300).astype(float)
+        chunk = Chunk.from_items(0, coords, values)
+        grid = OutputGrid(out_space, (4, 4), (2, 2))
+        mapping = GridMapping(in_space, out_space, (4, 4))
+        result = execute_serial([chunk], mapping, grid, MeanAggregation(1))
+
+        # manual binning
+        cells = np.clip((coords * 4).astype(int), 0, 3)
+        expected = np.full((4, 4), np.nan)
+        for cx in range(4):
+            for cy in range(4):
+                mask = (cells[:, 0] == cx) & (cells[:, 1] == cy)
+                if mask.any():
+                    expected[cx, cy] = values[mask].mean()
+        full = grid.assemble([result[c] for c in range(grid.n_chunks)])[:, :, 0]
+        np.testing.assert_allclose(full, expected)
+
+    def test_restricted_outputs(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        result = execute_serial(
+            chunks, mapping, grid, SumAggregation(1), output_ids=np.array([0, 3])
+        )
+        assert set(result) == {0, 3}
+
+    def test_sum_conserves_total(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        result = execute_serial(chunks, mapping, grid, SumAggregation(1))
+        total_out = sum(v.sum() for v in result.values())
+        total_in = sum(c.values.sum() for c in chunks)
+        assert total_out == pytest.approx(total_in)
+
+    def test_bad_output_ids(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        with pytest.raises(ValueError):
+            execute_serial(chunks, mapping, grid, SumAggregation(1),
+                           output_ids=np.array([999]))

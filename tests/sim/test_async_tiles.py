@@ -1,0 +1,106 @@
+"""Tests for asynchronous per-processor tile progression.
+
+Figure 6 gives DA per-processor tile counters; ``sync_tiles=False``
+simulates that literal semantics, replacing the global per-tile phase
+barriers with the message-count waits the data itself imposes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.config import ComputeCosts, MachineConfig
+from repro.planner.strategies import plan_fra, plan_query
+from repro.sim.query_sim import simulate_query
+
+from helpers import make_problem
+
+COSTS = ComputeCosts.from_ms(1, 5, 2, 1)
+MACHINE = MachineConfig(n_procs=4, memory_per_proc=200_000)
+
+
+def run_both(prob, strategy):
+    plan = plan_query(prob, strategy)
+    machine = MachineConfig(n_procs=prob.n_procs, memory_per_proc=200_000)
+    sync = simulate_query(plan, machine, COSTS)
+    asyn = simulate_query(plan, machine, COSTS, sync_tiles=False)
+    return sync, asyn
+
+
+@pytest.mark.parametrize("strategy", ["FRA", "SRA", "DA", "HYBRID"])
+class TestConservation:
+    def test_same_traffic_and_work(self, rng, strategy):
+        prob = make_problem(rng, n_procs=4, n_in=100, n_out=14, memory=200_000)
+        sync, asyn = run_both(prob, strategy)
+        assert asyn.read_bytes.tolist() == sync.read_bytes.tolist()
+        assert asyn.sent_bytes.tolist() == sync.sent_bytes.tolist()
+        assert asyn.recv_bytes.tolist() == sync.recv_bytes.tolist()
+        np.testing.assert_allclose(asyn.cpu_busy, sync.cpu_busy)
+        np.testing.assert_allclose(asyn.disk_busy.sum(), sync.disk_busy.sum())
+
+    def test_async_not_slower(self, rng, strategy):
+        """Dropping barriers can only relax the schedule (same work,
+        fewer ordering constraints), up to FIFO reordering noise."""
+        prob = make_problem(rng, n_procs=4, n_in=100, n_out=14, memory=200_000)
+        sync, asyn = run_both(prob, strategy)
+        assert asyn.total_time <= 1.05 * sync.total_time
+
+
+class TestSemantics:
+    def test_single_tile_bounded_by_sync_and_critical_path(self, rng):
+        # Even with one tile, async drops the LR/GC/OH phase barriers
+        # (a processor ships ghosts while others still reduce), so it
+        # may finish earlier -- but never below the busiest processor's
+        # own work, and never above the fully barriered schedule.
+        prob = make_problem(rng, n_procs=3, memory=1 << 40)
+        sync, asyn = run_both(prob, "FRA")
+        assert sync.n_tiles == 1
+        assert asyn.total_time <= 1.02 * sync.total_time
+        assert asyn.total_time >= asyn.cpu_busy.max()
+
+    def test_deterministic(self, rng):
+        prob = make_problem(rng, n_procs=3)
+        plan = plan_fra(prob)
+        m = MachineConfig(n_procs=3, memory_per_proc=1 << 20)
+        a = simulate_query(plan, m, COSTS, sync_tiles=False)
+        b = simulate_query(plan, m, COSTS, sync_tiles=False)
+        assert a.total_time == b.total_time
+
+    def test_phase_times_undefined(self, rng):
+        prob = make_problem(rng, n_procs=3)
+        res = simulate_query(plan_fra(prob), MachineConfig(n_procs=3, memory_per_proc=1 << 20), COSTS, sync_tiles=False)
+        assert all(v == 0.0 for v in res.phase_times.values())
+
+    def test_init_from_output_unsupported(self, rng):
+        prob = make_problem(rng, n_procs=3)
+        prob.init_from_output = True
+        plan = plan_fra(prob)
+        with pytest.raises(NotImplementedError):
+            simulate_query(plan, MachineConfig(n_procs=3, memory_per_proc=1 << 20), COSTS, sync_tiles=False)
+
+    def test_empty_problemish_tiles(self, rng):
+        # single output chunk, one processor
+        prob = make_problem(rng, n_procs=1, n_in=5, n_out=1, memory=1 << 20)
+        _, asyn = run_both(prob, "DA")
+        assert asyn.total_time > 0
+
+
+@given(seed=st.integers(0, 2**31), strategy=st.sampled_from(["FRA", "DA"]))
+@settings(max_examples=15, deadline=None)
+def test_property_async_conserves_and_completes(seed, strategy):
+    rng = np.random.default_rng(seed)
+    n_procs = int(rng.integers(1, 5))
+    prob = make_problem(
+        rng, n_procs=n_procs,
+        n_in=int(rng.integers(5, 60)),
+        n_out=int(rng.integers(1, 12)),
+        memory=int(rng.integers(60_000, 500_000)),
+    )
+    plan = plan_query(prob, strategy)
+    m = MachineConfig(n_procs=n_procs, memory_per_proc=1 << 20)
+    sync = simulate_query(plan, m, COSTS)
+    asyn = simulate_query(plan, m, COSTS, sync_tiles=False)
+    assert asyn.read_bytes.tolist() == sync.read_bytes.tolist()
+    assert np.isclose(asyn.cpu_busy.sum(), sync.cpu_busy.sum())
+    assert 0 < asyn.total_time <= 1.1 * sync.total_time

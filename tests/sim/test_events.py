@@ -1,0 +1,130 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.sim.events import Barrier, Resource, Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(2.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(3.0, lambda: log.append("c"))
+        assert sim.run() == 3.0
+        assert log == ["a", "b", "c"]
+
+    def test_ties_fire_in_submission_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: sim.at(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.at(2.0, lambda: sim.after(3.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [5.0]
+
+    def test_event_limit_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(1.0, forever)
+
+        sim.after(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            sim.run(max_events=100)
+
+    def test_empty_run(self):
+        assert Simulator().run() == 0.0
+
+
+class TestResource:
+    def test_fifo_serialization(self):
+        sim = Simulator()
+        r = Resource(sim, "disk")
+        done = []
+        r.submit(2.0, lambda: done.append(sim.now))
+        r.submit(3.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0, 5.0]
+        assert r.busy_time == 5.0
+        assert r.op_count == 2
+
+    def test_parallel_resources_overlap(self):
+        sim = Simulator()
+        a, b = Resource(sim), Resource(sim)
+        done = []
+        a.submit(2.0, lambda: done.append(("a", sim.now)))
+        b.submit(2.0, lambda: done.append(("b", sim.now)))
+        total = sim.run()
+        assert total == 2.0
+        assert sorted(done) == [("a", 2.0), ("b", 2.0)]
+
+    def test_submit_from_callback(self):
+        sim = Simulator()
+        r = Resource(sim)
+        done = []
+        r.submit(1.0, lambda: r.submit(1.0, lambda: done.append(sim.now)))
+        sim.run()
+        assert done == [2.0]
+
+    def test_zero_duration(self):
+        sim = Simulator()
+        r = Resource(sim)
+        done = []
+        r.submit(0.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator()).submit(-1.0)
+
+    def test_queue_depth(self):
+        sim = Simulator()
+        r = Resource(sim)
+        r.submit(1.0)
+        r.submit(1.0)
+        assert r.queue_depth == 2
+
+
+class TestBarrier:
+    def test_fires_after_count(self):
+        sim = Simulator()
+        fired = []
+        b = Barrier(sim, 3, lambda: fired.append(sim.now))
+        r = Resource(sim)
+        for _ in range(3):
+            r.submit(1.0, b.hit)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_zero_count_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+        Barrier(sim, 0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_over_hit_rejected(self):
+        sim = Simulator()
+        b = Barrier(sim, 1, lambda: None)
+        b.hit()
+        with pytest.raises(RuntimeError):
+            b.hit()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Barrier(Simulator(), -1, lambda: None)

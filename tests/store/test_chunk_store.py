@@ -1,0 +1,130 @@
+"""Tests for chunk stores (file-backed and in-memory)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.chunk import Chunk
+from repro.store.chunk_store import FileChunkStore, MemoryChunkStore
+from repro.store.format import ChunkFormatError
+
+
+def make_chunks(rng, n=5):
+    out = []
+    for i in range(n):
+        coords = rng.uniform(0, 10, size=(4, 2))
+        out.append(Chunk.from_items(i, coords, rng.normal(size=4)))
+    return out
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryChunkStore()
+    return FileChunkStore(tmp_path / "farm")
+
+
+class TestStoreInterface:
+    def test_write_read_roundtrip(self, store, rng):
+        chunks = make_chunks(rng)
+        for i, c in enumerate(chunks):
+            store.write_chunk("ds", c, node=i % 2, disk=0)
+        for i, c in enumerate(chunks):
+            back = store.read_chunk("ds", i)
+            np.testing.assert_array_equal(back.coords, c.coords)
+            np.testing.assert_array_equal(back.values, c.values)
+
+    def test_placement(self, store, rng):
+        c = make_chunks(rng, 1)[0]
+        store.write_chunk("ds", c, node=3, disk=1)
+        assert store.placement("ds", 0) == (3, 1)
+        assert store.placements("ds") == {0: (3, 1)}
+
+    def test_chunk_ids_sorted(self, store, rng):
+        for c in reversed(make_chunks(rng, 4)):
+            store.write_chunk("ds", c, 0, 0)
+        assert store.chunk_ids("ds") == [0, 1, 2, 3]
+
+    def test_missing_chunk(self, store, rng):
+        store.write_chunk("ds", make_chunks(rng, 1)[0], 0, 0)
+        with pytest.raises(KeyError):
+            store.read_chunk("ds", 99)
+
+    def test_missing_dataset(self, store):
+        with pytest.raises(KeyError):
+            store.chunk_ids("absent") if isinstance(store, FileChunkStore) else store.read_chunk("absent", 0)
+
+    def test_delete_dataset(self, store, rng):
+        store.write_chunk("ds", make_chunks(rng, 1)[0], 0, 0)
+        store.delete_dataset("ds")
+        with pytest.raises(KeyError):
+            store.read_chunk("ds", 0)
+
+    def test_negative_placement_rejected(self, store, rng):
+        with pytest.raises(ValueError):
+            store.write_chunk("ds", make_chunks(rng, 1)[0], -1, 0)
+
+    def test_read_many_order(self, store, rng):
+        for c in make_chunks(rng, 3):
+            store.write_chunk("ds", c, 0, 0)
+        got = [c.chunk_id for c in store.read_many("ds", [2, 0, 1])]
+        assert got == [2, 0, 1]
+
+    def test_multiple_datasets_isolated(self, store, rng):
+        a, b = make_chunks(rng, 2)
+        store.write_chunk("d1", a, 0, 0)
+        store.write_chunk("d2", b, 1, 0)
+        assert store.chunk_ids("d1") == [0]
+        assert store.placement("d2", 1) == (1, 0)
+
+
+class TestFileStoreSpecifics:
+    def test_reopen_from_manifest(self, tmp_path, rng):
+        root = tmp_path / "farm"
+        chunks = make_chunks(rng, 3)
+        s1 = FileChunkStore(root)
+        s1.write_chunks("ds", chunks, [(0, 0), (1, 0), (0, 0)])
+        s2 = FileChunkStore(root)  # fresh handle, manifest-driven
+        assert s2.chunk_ids("ds") == [0, 1, 2]
+        assert s2.placement("ds", 1) == (1, 0)
+        np.testing.assert_array_equal(s2.read_chunk("ds", 2).coords, chunks[2].coords)
+
+    def test_directory_layout(self, tmp_path, rng):
+        s = FileChunkStore(tmp_path / "farm")
+        s.write_chunk("ds", make_chunks(rng, 1)[0], node=2, disk=1)
+        expected = tmp_path / "farm" / "ds" / "node002" / "disk01" / "chunk00000000.adc"
+        assert expected.exists()
+
+    def test_corrupt_file_detected(self, tmp_path, rng):
+        s = FileChunkStore(tmp_path / "farm")
+        s.write_chunk("ds", make_chunks(rng, 1)[0], 0, 0)
+        path = tmp_path / "farm" / "ds" / "node000" / "disk00" / "chunk00000000.adc"
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ChunkFormatError):
+            s.read_chunk("ds", 0)
+
+    def test_missing_file_with_manifest_entry(self, tmp_path, rng):
+        s = FileChunkStore(tmp_path / "farm")
+        s.write_chunk("ds", make_chunks(rng, 1)[0], 0, 0)
+        (tmp_path / "farm" / "ds" / "node000" / "disk00" / "chunk00000000.adc").unlink()
+        with pytest.raises(ChunkFormatError, match="missing"):
+            s.read_chunk("ds", 0)
+
+    def test_invalid_dataset_name(self, tmp_path, rng):
+        s = FileChunkStore(tmp_path / "farm")
+        with pytest.raises(ValueError):
+            s.write_chunk("../evil", make_chunks(rng, 1)[0], 0, 0)
+
+    def test_bulk_write_length_mismatch(self, tmp_path, rng):
+        s = FileChunkStore(tmp_path / "farm")
+        with pytest.raises(ValueError):
+            s.write_chunks("ds", make_chunks(rng, 2), [(0, 0)])
+
+
+class TestMemoryStoreSpecifics:
+    def test_nbytes_accounting(self, rng):
+        s = MemoryChunkStore()
+        assert s.nbytes() == 0
+        s.write_chunk("ds", make_chunks(rng, 1)[0], 0, 0)
+        assert s.nbytes() > 0

@@ -1,0 +1,81 @@
+"""Tests for the binary chunk format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.chunk import Chunk
+from repro.store.format import ChunkFormatError, decode_chunk, encode_chunk
+
+
+def make_chunk(rng, n=10, ndim=2, comps=0, dtype=np.float64):
+    coords = rng.uniform(0, 100, size=(n, ndim))
+    shape = (n,) if comps == 0 else (n, comps)
+    values = rng.uniform(0, 1, size=shape).astype(dtype)
+    return Chunk.from_items(7, coords, values)
+
+
+class TestRoundTrip:
+    def test_basic(self, rng):
+        chunk = make_chunk(rng)
+        back = decode_chunk(encode_chunk(chunk))
+        assert back.chunk_id == 7
+        np.testing.assert_array_equal(back.coords, chunk.coords)
+        np.testing.assert_array_equal(back.values, chunk.values)
+        assert back.meta.mbr == chunk.meta.mbr
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32, np.uint8])
+    def test_value_dtypes(self, rng, dtype):
+        chunk = make_chunk(rng, dtype=dtype)
+        back = decode_chunk(encode_chunk(chunk))
+        assert back.values.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(back.values, chunk.values)
+
+    def test_multicomponent_values(self, rng):
+        chunk = make_chunk(rng, comps=3)
+        back = decode_chunk(encode_chunk(chunk))
+        assert back.values.shape == chunk.values.shape
+
+    @given(
+        st.integers(0, 2**31),
+        st.integers(1, 4),
+        st.integers(1, 30),
+        st.integers(0, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, seed, ndim, n, comps):
+        rng = np.random.default_rng(seed)
+        chunk = make_chunk(rng, n=n, ndim=ndim, comps=comps)
+        back = decode_chunk(encode_chunk(chunk))
+        np.testing.assert_array_equal(back.coords, chunk.coords)
+        np.testing.assert_array_equal(back.values, chunk.values)
+
+
+class TestCorruption:
+    def test_flipped_payload_byte_detected(self, rng):
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[60] ^= 0xFF
+        with pytest.raises(ChunkFormatError, match="CRC|corrupt"):
+            decode_chunk(bytes(data))
+
+    def test_truncated(self, rng):
+        data = encode_chunk(make_chunk(rng))
+        with pytest.raises(ChunkFormatError, match="length|short"):
+            decode_chunk(data[:-5])
+
+    def test_too_short_for_header(self):
+        with pytest.raises(ChunkFormatError, match="short"):
+            decode_chunk(b"x" * 10)
+
+    def test_bad_magic(self, rng):
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[0:4] = b"NOPE"
+        with pytest.raises(ChunkFormatError, match="magic"):
+            decode_chunk(bytes(data))
+
+    def test_bad_version(self, rng):
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[4] = 99
+        with pytest.raises(ChunkFormatError, match="version"):
+            decode_chunk(bytes(data))

@@ -1,0 +1,78 @@
+"""Tests for grid-cell range expansion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.cells import expand_cell_ranges
+
+
+def brute_force(lo, hi):
+    items, cells = [], []
+    for k in range(len(lo)):
+        ranges = [range(int(a), int(b) + 1) for a, b in zip(lo[k], hi[k])]
+        idx = [r.start for r in ranges]
+        while True:
+            items.append(k)
+            cells.append(tuple(idx))
+            for d in range(len(ranges) - 1, -1, -1):
+                idx[d] += 1
+                if idx[d] < ranges[d].stop:
+                    break
+                idx[d] = ranges[d].start
+            else:
+                break
+    return np.asarray(items), np.asarray(cells)
+
+
+class TestExpandCellRanges:
+    def test_single_cells(self):
+        lo = np.array([[1, 2], [3, 4]])
+        item, cells = expand_cell_ranges(lo, lo)
+        assert item.tolist() == [0, 1]
+        assert cells.tolist() == [[1, 2], [3, 4]]
+
+    def test_row_major_order_within_item(self):
+        lo = np.array([[0, 0]])
+        hi = np.array([[1, 1]])
+        _, cells = expand_cell_ranges(lo, hi)
+        assert cells.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+    def test_mixed_shapes_grouping(self):
+        lo = np.array([[0, 0], [5, 5], [2, 2]])
+        hi = np.array([[0, 1], [5, 5], [3, 3]])
+        item, cells = expand_cell_ranges(lo, hi)
+        # items appear in input order
+        assert item.tolist() == [0, 0, 1, 2, 2, 2, 2]
+
+    def test_empty(self):
+        item, cells = expand_cell_ranges(np.empty((0, 2)), np.empty((0, 2)))
+        assert len(item) == 0 and cells.shape == (0, 2)
+
+    def test_lo_above_hi_rejected(self):
+        with pytest.raises(ValueError):
+            expand_cell_ranges(np.array([[2, 0]]), np.array([[1, 5]]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expand_cell_ranges(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    @given(st.integers(0, 2**31), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, seed, ndim):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 30))
+        lo = rng.integers(0, 10, size=(n, ndim))
+        hi = lo + rng.integers(0, 3, size=(n, ndim))
+        item, cells = expand_cell_ranges(lo, hi)
+        b_item, b_cells = brute_force(lo, hi)
+        assert item.tolist() == b_item.tolist()
+        assert cells.tolist() == b_cells.tolist()
+
+    def test_counts(self, rng):
+        lo = rng.integers(0, 20, size=(50, 2))
+        hi = lo + rng.integers(0, 4, size=(50, 2))
+        item, _ = expand_cell_ranges(lo, hi)
+        expected = np.prod(hi - lo + 1, axis=1)
+        assert np.bincount(item, minlength=50).tolist() == expected.tolist()

@@ -1,0 +1,47 @@
+"""Tests for units formatting and RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.units import GB, KB, MB, fmt_bytes, fmt_seconds
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024 and MB == KB * 1024 and GB == MB * 1024
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512 B"),
+            (25 * MB, "25.0 MB"),
+            (int(1.6 * GB), "1.6 GB"),
+            (2048, "2.0 KB"),
+            (0, "0 B"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(123.456) == "123.46 s"
+        assert fmt_seconds(0.001234) == "1.23 ms"
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert make_rng(7).integers(1 << 30) == make_rng(7).integers(1 << 30)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_spawn_independent_and_deterministic(self):
+        a = [g.integers(1 << 30) for g in spawn_rngs(42, 4)]
+        b = [g.integers(1 << 30) for g in spawn_rngs(42, 4)]
+        assert a == b
+        assert len(set(a)) == 4
