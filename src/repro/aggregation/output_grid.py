@@ -150,6 +150,8 @@ class OutputGrid:
         """
         if len(chunk_values) != self.n_chunks:
             raise ValueError("one value array per chunk required")
+        if not len(chunk_values):  # zero-chunk grid: nothing to stitch
+            return np.full(self.grid_shape + (1,), np.nan)
         k = chunk_values[0].shape[1]
         full = np.empty(self.grid_shape + (k,), dtype=chunk_values[0].dtype)
         for cid, vals in enumerate(chunk_values):

@@ -1,0 +1,68 @@
+"""Static analysis and dynamic checking for the ADR reproduction.
+
+Three cooperating passes, all reporting structured
+:class:`~repro.analysis.diagnostics.Diagnostic` objects with stable
+codes:
+
+- :mod:`repro.analysis.verifier` (``ADR1xx``) -- statically proves a
+  :class:`~repro.planner.plan.QueryPlan` upholds the strategy
+  contracts of paper Figures 4-6 (replication, ``So ∪ {owner}``
+  holders, no DA ghosts, edge-to-holder assignment, ghost-transfer
+  completeness, per-tile memory budgets);
+- :mod:`repro.analysis.races` (``ADR2xx``) -- an opt-in
+  ownership/happens-before log the functional engine feeds, flagging
+  any accumulator access the plan did not authorize (what would be a
+  data race on the real parallel machine);
+- :mod:`repro.analysis.lint` (``ADR3xx``) -- an AST lint pass over
+  the source tree enforcing repo rules (seeded randomness, no float
+  equality on accumulators, immutable chunk payloads, explicit
+  ``__all__``), runnable as ``python -m repro.analysis.lint``.
+
+:mod:`repro.analysis.corpus` glues the verifier into CI: it plans a
+canned corpus of problems with every strategy and fails on any
+diagnostic.  See ``docs/static_analysis.md`` for the code catalog.
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    max_severity,
+)
+from repro.analysis.races import (
+    RACE_CODES,
+    AccessEvent,
+    RaceDetector,
+    races_enabled_by_env,
+)
+from repro.analysis.verifier import VERIFIER_CODES, verify_plan
+
+_LINT_EXPORTS = ("lint_paths", "lint_file", "lint_source", "LINT_CODES")
+
+
+def __getattr__(name):
+    # Lazy so ``python -m repro.analysis.lint`` does not double-import
+    # the lint module (runpy warns when the package pre-imports it).
+    if name in _LINT_EXPORTS:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticCollector",
+    "Severity",
+    "max_severity",
+    "verify_plan",
+    "VERIFIER_CODES",
+    "RaceDetector",
+    "AccessEvent",
+    "races_enabled_by_env",
+    "RACE_CODES",
+    "lint_paths",
+    "lint_file",
+    "lint_source",
+    "LINT_CODES",
+]

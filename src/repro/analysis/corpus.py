@@ -1,0 +1,129 @@
+"""Canned plan corpus for CI: plan it, verify it, exit nonzero on drift.
+
+The verifier is only useful if something runs it routinely.  This
+module generates a deterministic corpus of planning problems -- random
+synthetic graphs across processor counts / memory pressures plus the
+paper's three application emulators on a small machine -- plans every
+one with FRA, SRA, DA and the hybrid, and verifies each plan with
+:func:`repro.analysis.verifier.verify_plan`.  CI runs::
+
+    python -m repro.analysis.corpus
+
+which exits 1 if any plan produces a diagnostic, making every planner
+change prove the Figure 4-6 contracts before it lands.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.verifier import verify_plan
+from repro.util.rng import make_rng
+from repro.util.units import KB, MB
+
+__all__ = ["corpus_problems", "verify_corpus", "main"]
+
+
+def _random_problem(seed: int, n_procs: int, n_in: int, n_out: int, memory: int,
+                    fan_out: int, acc_factor: float):
+    """A synthetic planning problem (mirrors the test-suite generator)."""
+    from repro.dataset.chunkset import ChunkSet
+    from repro.dataset.graph import ChunkGraph
+    from repro.planner.problem import PlanningProblem
+
+    rng = make_rng(seed)
+
+    def chunkset(n: int, nbytes: int) -> ChunkSet:
+        los = rng.uniform(0, 90.0, size=(n, 2))
+        his = los + rng.uniform(0, 10.0, size=(n, 2))
+        cs = ChunkSet(los, his, np.full(n, nbytes, dtype=np.int64))
+        return cs.with_placement(
+            rng.integers(0, n_procs, size=n).astype(np.int32),
+            np.zeros(n, dtype=np.int32),
+        )
+
+    inputs = chunkset(n_in, 64 * KB)
+    outputs = chunkset(n_out, 32 * KB)
+    outs_per_in = [
+        rng.choice(n_out, size=min(n_out, max(1, int(rng.poisson(fan_out)))),
+                   replace=False)
+        for _ in range(n_in)
+    ]
+    return PlanningProblem(
+        n_procs=n_procs,
+        memory_per_proc=np.int64(memory),
+        inputs=inputs,
+        outputs=outputs,
+        graph=ChunkGraph.from_lists(n_in, n_out, outs_per_in),
+        acc_nbytes=(outputs.nbytes * acc_factor).astype(np.int64),
+    )
+
+
+def corpus_problems(include_emulators: bool = True) -> Iterator[Tuple[str, object]]:
+    """Yield ``(label, PlanningProblem)`` for the canned corpus."""
+    shapes = [
+        # (n_procs, n_in, n_out, memory, fan_out, acc_factor)
+        (1, 20, 5, 1 * MB, 2, 1.0),       # degenerate: single processor
+        (2, 40, 8, 256 * KB, 2, 2.0),     # tight memory -> many tiles
+        (4, 60, 12, 1 * MB, 2, 2.0),      # the test-suite default shape
+        (8, 120, 24, 512 * KB, 3, 4.0),   # wide accumulators
+        (16, 200, 40, 2 * MB, 1, 1.5),    # many processors, sparse fan-out
+        (4, 30, 30, 96 * KB, 4, 1.0),     # outputs ~ inputs, dense graph
+    ]
+    for i, (n_procs, n_in, n_out, memory, fan_out, acc) in enumerate(shapes):
+        yield (
+            f"synthetic[{i}] p={n_procs} in={n_in} out={n_out}",
+            _random_problem(1000 + i, n_procs, n_in, n_out, memory, fan_out, acc),
+        )
+    if include_emulators:
+        from repro.emulator import EMULATORS
+        from repro.machine.config import MachineConfig
+
+        machine = MachineConfig(n_procs=4, memory_per_proc=4 * MB)
+        for name, cls in sorted(EMULATORS.items()):
+            scenario = cls().scenario(scale=1, seed=7)
+            yield (f"emulator[{name}] p=4", scenario.problem(machine))
+
+
+def verify_corpus(
+    include_emulators: bool = True, strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID")
+) -> List[Tuple[str, Diagnostic]]:
+    """Plan + verify the whole corpus; return (plan label, diagnostic) pairs."""
+    from repro.planner.strategies import plan_query
+
+    findings: List[Tuple[str, Diagnostic]] = []
+    for label, problem in corpus_problems(include_emulators):
+        for strategy in strategies:
+            plan = plan_query(problem, strategy)
+            for diag in verify_plan(plan):
+                findings.append((f"{label} / {strategy}", diag))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    unknown = [a for a in argv if a != "--no-emulators"]
+    if unknown:
+        print(f"repro.analysis.corpus: unknown argument(s): {' '.join(unknown)}")
+        print("usage: python -m repro.analysis.corpus [--no-emulators]")
+        return 2
+    include_emulators = "--no-emulators" not in argv
+    findings = verify_corpus(include_emulators=include_emulators)
+    n_plans = 0
+    for label, diag in findings:
+        print(f"{label}: {diag.format()}")
+    for label, _problem in corpus_problems(include_emulators):
+        n_plans += 4  # FRA, SRA, DA, HYBRID
+    if findings:
+        print(f"repro.analysis.corpus: {len(findings)} diagnostic(s) over {n_plans} plans")
+        return 1
+    print(f"repro.analysis.corpus: {n_plans} plans verified, zero diagnostics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

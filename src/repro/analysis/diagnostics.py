@@ -1,0 +1,129 @@
+"""Structured diagnostics shared by every analysis pass.
+
+All three passes (plan verifier, simulated-race detector, project
+lint) report problems the same way: a :class:`Diagnostic` with a
+stable code, a severity, a location and a human-readable message.
+Stable codes let tests pin individual invariants, let CI gate on
+severity, and let source lines suppress a finding explicitly
+(``# noqa: ADR3xx -- rationale``).
+
+Code ranges
+-----------
+- ``ADR1xx`` -- static plan invariants (:mod:`repro.analysis.verifier`)
+- ``ADR2xx`` -- simulated races observed at execution time
+  (:mod:`repro.analysis.races`)
+- ``ADR3xx`` -- project lint over the source tree
+  (:mod:`repro.analysis.lint`)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticCollector", "max_severity"]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity levels; comparisons follow integer order."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:  # "error", not "Severity.ERROR"
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from an analysis pass.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``ADR101`` ...); never reuse a retired code.
+    severity:
+        :class:`Severity`; ``validate_plan`` raises only on ERROR.
+    location:
+        Where the problem is: ``"output chunk 3"``, ``"tile 2 /
+        processor 1"``, or ``"path.py:12:4"`` for lint findings.
+    message:
+        Human-readable explanation, specific enough to act on.
+    """
+
+    code: str
+    severity: Severity
+    location: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.location}: {self.severity}: {self.code} {self.message}"
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """Highest severity present, or None for an empty report."""
+    worst: Optional[Severity] = None
+    for d in diagnostics:
+        if worst is None or d.severity > worst:
+            worst = d.severity
+    return worst
+
+
+@dataclass
+class DiagnosticCollector:
+    """Accumulates diagnostics; every pass appends into one of these.
+
+    ``limit_per_code`` caps repeats of the same code so a corrupted
+    plan with thousands of identical violations stays readable; the
+    final occurrence of a capped code is replaced by a summary NOTE.
+    """
+
+    limit_per_code: Optional[int] = None
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    _counts: dict = field(default_factory=dict)
+
+    def emit(
+        self, code: str, severity: Severity, location: str, message: str
+    ) -> None:
+        n = self._counts.get(code, 0)
+        self._counts[code] = n + 1
+        if self.limit_per_code is not None:
+            if n == self.limit_per_code:
+                self.diagnostics.append(
+                    Diagnostic(
+                        code,
+                        Severity.NOTE,
+                        location,
+                        f"further {code} findings suppressed "
+                        f"(limit {self.limit_per_code} per code)",
+                    )
+                )
+                return
+            if n > self.limit_per_code:
+                return
+        self.diagnostics.append(Diagnostic(code, severity, location, message))
+
+    def error(self, code: str, location: str, message: str) -> None:
+        self.emit(code, Severity.ERROR, location, message)
+
+    def warning(self, code: str, location: str, message: str) -> None:
+        self.emit(code, Severity.WARNING, location, message)
+
+    def note(self, code: str, location: str, message: str) -> None:
+        self.emit(code, Severity.NOTE, location, message)
+
+    def count(self, code: str) -> int:
+        """Total findings emitted for *code* (including suppressed)."""
+        return self._counts.get(code, 0)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.code for d in self.diagnostics}))

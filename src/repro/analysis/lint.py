@@ -1,0 +1,316 @@
+"""AST-based project lint pass.
+
+Enforces the repo-wide rules that keep the reproduction trustworthy
+(reproducible randomness, no accidental float-equality on accumulator
+math, immutable chunk payloads, explicit public APIs).  Run it as::
+
+    python -m repro.analysis.lint src tests benchmarks
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` objects
+with ``path:line:col`` locations; the CLI exits nonzero when any
+finding survives suppression.  A line can opt out with a rationale::
+
+    legacy_sample = np.random.rand(3)  # noqa: ADR301 -- seeded upstream
+
+Rules (``ADR3xx``):
+
+========  ==========================================================
+ADR301    unseeded / legacy ``np.random`` use outside ``util/rng.py``
+          -- legacy global-state functions (``np.random.rand`` etc.)
+          always, and ``np.random.default_rng()`` with no seed
+ADR302    ``==`` / ``!=`` on float accumulator values (operands that
+          reference accumulator data); use ``np.isclose`` or compare
+          integer counters instead
+ADR303    mutation of a ``Chunk`` payload (``.coords`` / ``.values``
+          / ``.meta``) after construction -- chunks are shared across
+          virtual processors and must stay read-only
+ADR304    ``__all__`` missing from a public library module (packages
+          under ``src/``; ``__main__.py`` and private modules exempt)
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Severity
+
+__all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
+
+LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304")
+
+#: np.random functions backed by the legacy global RandomState --
+#: unseedable per call site, therefore never reproducible.
+_LEGACY_RANDOM = frozenset(
+    {
+        "rand", "randn", "randint", "random", "random_sample", "ranf",
+        "sample", "choice", "bytes", "shuffle", "permutation", "seed",
+        "get_state", "set_state", "uniform", "normal", "standard_normal",
+        "poisson", "binomial", "exponential", "beta", "gamma", "lognormal",
+    }
+)
+
+#: Modules exempt from ADR301: the one place that may mint generators.
+_RNG_EXEMPT = ("util/rng.py", "util\\rng.py")
+
+_NOQA_RE = re.compile(r"#\s*noqa:\s*((?:ADR\d+[,\s]*)+)", re.IGNORECASE)
+
+#: Identifiers that denote accumulator *values* (float partial sums).
+_ACC_NAME_RE = re.compile(r"^acc(_|$|s$|umulator)|_acc(_|$)|^ghost_data$")
+#: ...unless the name is clearly a count/size/id, which compares exactly.
+_NON_VALUE_RE = re.compile(r"bytes|count|size|len|idx|ids|indptr|chunk")
+#: Structural attributes of an array/accumulator -- not float data.
+_STRUCTURAL_ATTRS = frozenset(
+    {"shape", "dtype", "ndim", "size", "nbytes", "itemsize",
+     "output_chunk", "ghost", "n_items", "strategy"}
+)
+
+
+def _is_acc_value_name(name: str) -> bool:
+    low = name.lower()
+    return bool(_ACC_NAME_RE.search(low)) and not _NON_VALUE_RE.search(low)
+
+
+def _noqa_lines(source: str) -> dict:
+    """line number -> set of suppressed codes."""
+    out: dict = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if m:
+            out[i] = {c.strip().upper() for c in re.split(r"[,\s]+", m.group(1)) if c.strip()}
+    return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """'np.random.rand' for nested Attribute/Name chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions_accumulator(node: ast.AST) -> bool:
+    """Does the expression denote accumulator float data?
+
+    Follows the access chain outward: ``acc``, ``acc.data[i]`` and
+    ``tile_acc[0]`` qualify; ``acc.data.shape``, ``acc_nbytes`` and
+    ``spec.acc_bytes(5)`` (counts, structure, call results) do not.
+    """
+    if isinstance(node, ast.Name):
+        return _is_acc_value_name(node.id)
+    if isinstance(node, ast.Subscript):
+        return _mentions_accumulator(node.value)
+    if isinstance(node, ast.Attribute):
+        if node.attr in _STRUCTURAL_ATTRS:
+            return False
+        if _is_acc_value_name(node.attr):
+            return True
+        return _mentions_accumulator(node.value)
+    return False
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, out: DiagnosticCollector, rng_exempt: bool) -> None:
+        self.path = path
+        self.out = out
+        self.rng_exempt = rng_exempt
+
+    def _loc(self, node: ast.AST) -> str:
+        return f"{self.path}:{node.lineno}:{node.col_offset}"
+
+    # -- ADR301: unseeded randomness --------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if not self.rng_exempt:
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                tail = dotted.split(".")
+                if len(tail) >= 3 and tail[-3] in ("np", "numpy") and tail[-2] == "random":
+                    fn = tail[-1]
+                    if fn in _LEGACY_RANDOM:
+                        self.out.emit(
+                            "ADR301",
+                            Severity.ERROR,
+                            self._loc(node),
+                            f"legacy global-state RNG call np.random.{fn}(); "
+                            "route randomness through repro.util.rng.make_rng",
+                        )
+                    elif fn == "default_rng" and (
+                        not node.args
+                        or (
+                            isinstance(node.args[0], ast.Constant)
+                            and node.args[0].value is None
+                        )
+                    ) and not node.keywords:
+                        self.out.emit(
+                            "ADR301",
+                            Severity.ERROR,
+                            self._loc(node),
+                            "np.random.default_rng() without a seed is "
+                            "nondeterministic; thread a seed or Generator "
+                            "through repro.util.rng.make_rng",
+                        )
+        self.generic_visit(node)
+
+    # -- ADR302: float equality on accumulator values ----------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            operands = [node.left, *node.comparators]
+            if any(_mentions_accumulator(o) for o in operands):
+                self.out.emit(
+                    "ADR302",
+                    Severity.ERROR,
+                    self._loc(node),
+                    "== / != on float accumulator values; partial sums are "
+                    "order-dependent -- use np.isclose/np.allclose or "
+                    "compare integer counters",
+                )
+        self.generic_visit(node)
+
+    # -- ADR303: chunk payload mutation ------------------------------------
+
+    def _check_mutation_target(self, target: ast.AST, node: ast.AST) -> None:
+        attr = target
+        if isinstance(attr, ast.Subscript):  # chunk.values[i] = ...
+            attr = attr.value
+        if isinstance(attr, ast.Attribute) and attr.attr in ("coords", "values", "meta"):
+            root = _root_name(attr.value)
+            if root and "chunk" in root.lower():
+                self.out.emit(
+                    "ADR303",
+                    Severity.ERROR,
+                    self._loc(node),
+                    f"mutation of Chunk payload '.{attr.attr}' after "
+                    "construction; chunk payloads are shared between "
+                    "virtual processors and must stay read-only",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._check_mutation_target(t, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_mutation_target(node.target, node)
+        self.generic_visit(node)
+
+
+def _is_public_library_module(path: Path) -> bool:
+    """ADR304 applies to importable modules inside a package tree."""
+    if path.name in ("__main__.py", "conftest.py", "setup.py"):
+        return False
+    if path.name != "__init__.py" and path.name.startswith("_"):
+        return False
+    return (path.parent / "__init__.py").exists()
+
+
+def lint_source(
+    source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False
+) -> List[Diagnostic]:
+    """Lint one module's source text (the testable core)."""
+    out = DiagnosticCollector()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        out.error("ADR300", f"{path}:{exc.lineno or 0}:0", f"syntax error: {exc.msg}")
+        return out.diagnostics
+    _Visitor(path, out, rng_exempt).visit(tree)
+    if check_all and not any(
+        isinstance(n, ast.Assign)
+        and any(isinstance(t, ast.Name) and t.id == "__all__" for t in n.targets)
+        for n in tree.body
+    ):
+        out.emit(
+            "ADR304",
+            Severity.WARNING,
+            f"{path}:1:0",
+            "public module defines no __all__; declare the public API "
+            "explicitly",
+        )
+    suppressed = _noqa_lines(source)
+    kept: List[Diagnostic] = []
+    for d in out.diagnostics:
+        try:
+            line = int(d.location.rsplit(":", 2)[-2])
+        except (ValueError, IndexError):
+            line = 0
+        if d.code in suppressed.get(line, ()):  # explicit, per-line opt-out
+            continue
+        kept.append(d)
+    return kept
+
+
+def lint_file(path: Path) -> List[Diagnostic]:
+    text = path.read_text(encoding="utf-8")
+    posix = path.as_posix()
+    return lint_source(
+        text,
+        str(path),
+        rng_exempt=any(posix.endswith(e) for e in _RNG_EXEMPT),
+        check_all=_is_public_library_module(path),
+    )
+
+
+def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
+    """Lint every ``*.py`` file under *paths* (files or directories).
+
+    A path that does not exist is itself an ``ADR300`` error: a typo'd
+    path in CI must not pass as vacuously clean.
+    """
+    files: List[Path] = []
+    missing: List[Diagnostic] = []
+    for p in paths:
+        root = Path(p)
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.is_file() and root.suffix == ".py":
+            files.append(root)
+        else:
+            missing.append(
+                Diagnostic(
+                    "ADR300",
+                    Severity.ERROR,
+                    f"{p}:0:0",
+                    "path does not exist or is not a directory/.py file",
+                )
+            )
+    findings: List[Diagnostic] = list(missing)
+    for f in files:
+        if "egg-info" in f.as_posix():
+            continue
+        findings.extend(lint_file(f))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    paths = argv or ["src"]
+    findings = lint_paths(paths)
+    for d in findings:
+        print(d.format())
+    n_err = sum(1 for d in findings if d.severity >= Severity.ERROR)
+    n_warn = len(findings) - n_err
+    if findings:
+        print(f"repro.analysis.lint: {n_err} error(s), {n_warn} warning(s)")
+        return 1
+    print(f"repro.analysis.lint: clean ({', '.join(paths)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

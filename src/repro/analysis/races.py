@@ -1,0 +1,223 @@
+"""Simulated-race detector for the functional engine.
+
+The engine runs the plan's virtual processors sequentially, so a data
+race cannot corrupt memory -- but a plan/engine mismatch *would* be a
+race on the real parallel machine: a processor writing an accumulator
+chunk the plan never assigned it, or the combine phase shipping a
+ghost the plan never declared, is exactly the unsynchronized access
+the strategies exist to prevent.  :class:`RaceDetector` makes those
+mismatches observable: the engine (under the opt-in ``detect_races``
+flag, or the ``REPRO_DETECT_RACES=1`` environment variable) reports
+every accumulator access to the detector, which checks it against the
+plan's ownership tables and a happens-before order within each tile
+(initialize < aggregate < combine < output, with a shipped ghost
+frozen after its combine).
+
+Codes (``ADR2xx``):
+
+========  ==========================================================
+ADR201    accumulator write (aggregation) by a processor the plan did
+          not assign any edge for that output chunk
+ADR202    combine shipping ghost data the plan never declared (or
+          shipping the same declared ghost twice)
+ADR203    write to a ghost accumulator after it was already shipped
+          to the owner (happens-before violation)
+ADR204    accumulator allocated on a processor that is not a holder
+ADR205    output produced before every declared ghost of the chunk
+          was combined into the owner
+ADR206    access (write/combine/output) to an accumulator chunk never
+          initialized in this tile
+========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector
+
+if TYPE_CHECKING:  # avoid a hard import cycle with repro.planner
+    from repro.planner.plan import QueryPlan
+
+__all__ = ["RaceDetector", "AccessEvent", "races_enabled_by_env", "RACE_CODES"]
+
+RACE_CODES = ("ADR201", "ADR202", "ADR203", "ADR204", "ADR205", "ADR206")
+
+_ENV_FLAG = "REPRO_DETECT_RACES"
+
+
+def races_enabled_by_env() -> bool:
+    """True when ``REPRO_DETECT_RACES`` opts the process in."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One logged accumulator access (for post-mortem inspection)."""
+
+    seq: int
+    kind: str  # "allocate" | "aggregate" | "combine" | "output"
+    tile: int
+    output_chunk: int
+    proc: int  # writing processor (combine: destination)
+    src: int = -1  # combine only: shipping processor
+
+
+class RaceDetector:
+    """Ownership / happens-before log for one plan execution.
+
+    Build one from the plan being executed and hand it to
+    :func:`repro.runtime.engine.execute_plan`; after the run,
+    :meth:`report` lists every access the plan did not authorize.  A
+    correct engine executing the very plan the detector was built from
+    reports nothing -- the detector earns its keep when the engine
+    drifts from the plan (or, in tests, when a corrupted plan is
+    executed against a detector built from the sound one).
+    """
+
+    def __init__(self, plan: "QueryPlan") -> None:
+        p = plan.problem
+        self.n_out = p.n_out
+        self.owner = p.output_owner.astype(np.int64)
+
+        # (output chunk, proc) pairs allowed to hold an accumulator.
+        counts = np.diff(plan.holders_indptr)
+        flat_out = np.repeat(np.arange(p.n_out, dtype=np.int64), counts)
+        self._holders: Set[Tuple[int, int]] = set(
+            zip(flat_out.tolist(), plan.holders_ids.tolist())
+        )
+        # (output chunk, proc) pairs assigned at least one aggregation edge.
+        _, edge_out = plan.edge_arrays
+        self._writers: Set[Tuple[int, int]] = set(
+            zip(edge_out.tolist(), plan.edge_proc.tolist())
+        )
+        # Declared ghost shipments: (tile, output chunk, src, dst).
+        gt = plan.ghost_transfers
+        self._declared: Set[Tuple[int, int, int, int]] = set(
+            zip(gt.tile.tolist(), gt.chunk.tolist(), gt.src.tolist(), gt.dst.tolist())
+        )
+        # Ghosts that must arrive before the owner may produce output:
+        # output chunk -> number of declared inbound combines.
+        self._inbound: Dict[int, int] = {}
+        for _, o, _, _ in self._declared:
+            self._inbound[o] = self._inbound.get(o, 0) + 1
+
+        self.events: List[AccessEvent] = []
+        self._out = DiagnosticCollector(limit_per_code=50)
+        # Per-tile state, reset by end_tile().
+        self._live: Set[Tuple[int, int]] = set()  # allocated (o, proc)
+        self._shipped: Set[Tuple[int, int]] = set()  # combined-away (o, src)
+        self._combined: Dict[int, int] = {}  # o -> inbound combines seen
+        self._used: Set[Tuple[int, int, int, int]] = set()  # declared keys used
+
+    # -- engine hooks ---------------------------------------------------
+
+    def _log(self, kind: str, tile: int, o: int, proc: int, src: int = -1) -> None:
+        self.events.append(
+            AccessEvent(len(self.events), kind, tile, o, proc, src)
+        )
+
+    def on_allocate(self, proc: int, output_chunk: int, tile: int) -> None:
+        self._log("allocate", tile, output_chunk, proc)
+        if (output_chunk, proc) not in self._holders:
+            self._out.error(
+                "ADR204",
+                f"tile {tile} / processor {proc}",
+                f"processor {proc} allocated an accumulator for output "
+                f"chunk {output_chunk} but the plan lists it as no holder",
+            )
+        self._live.add((output_chunk, proc))
+
+    def on_aggregate(self, proc: int, output_chunk: int, tile: int) -> None:
+        self._log("aggregate", tile, output_chunk, proc)
+        if (output_chunk, proc) not in self._writers:
+            self._out.error(
+                "ADR201",
+                f"tile {tile} / processor {proc}",
+                f"unauthorized accumulator write: processor {proc} "
+                f"aggregated into output chunk {output_chunk}, but the "
+                "plan assigns it no edge for that chunk",
+            )
+        if (output_chunk, proc) not in self._live:
+            self._out.error(
+                "ADR206",
+                f"tile {tile} / processor {proc}",
+                f"aggregation into output chunk {output_chunk} on "
+                f"processor {proc} before any initialization this tile",
+            )
+        if (output_chunk, proc) in self._shipped:
+            self._out.error(
+                "ADR203",
+                f"tile {tile} / processor {proc}",
+                f"processor {proc} wrote ghost accumulator of output "
+                f"chunk {output_chunk} after shipping it to the owner "
+                "(combine does not happen-before local writes)",
+            )
+
+    def on_combine(self, src: int, dst: int, output_chunk: int, tile: int) -> None:
+        self._log("combine", tile, output_chunk, dst, src)
+        key = (tile, output_chunk, src, dst)
+        if key not in self._declared:
+            self._out.error(
+                "ADR202",
+                f"tile {tile} / processor {dst}",
+                f"combine ships ghost of output chunk {output_chunk} from "
+                f"processor {src} to {dst}, which the plan never declared",
+            )
+        elif key in self._used:
+            self._out.error(
+                "ADR202",
+                f"tile {tile} / processor {dst}",
+                f"declared ghost transfer {key} executed twice",
+            )
+        else:
+            self._used.add(key)
+        if (output_chunk, src) not in self._live:
+            self._out.error(
+                "ADR206",
+                f"tile {tile} / processor {src}",
+                f"combine reads ghost of output chunk {output_chunk} on "
+                f"processor {src} which was never initialized this tile",
+            )
+        self._shipped.add((output_chunk, src))
+        self._combined[output_chunk] = self._combined.get(output_chunk, 0) + 1
+
+    def on_output(self, proc: int, output_chunk: int, tile: int) -> None:
+        self._log("output", tile, output_chunk, proc)
+        if (output_chunk, proc) not in self._live:
+            self._out.error(
+                "ADR206",
+                f"tile {tile} / processor {proc}",
+                f"output of chunk {output_chunk} read on processor {proc} "
+                "before any initialization this tile",
+            )
+        want = self._inbound.get(output_chunk, 0)
+        got = self._combined.get(output_chunk, 0)
+        if got < want:
+            self._out.error(
+                "ADR205",
+                f"tile {tile} / processor {proc}",
+                f"output chunk {output_chunk} finalized after {got} of "
+                f"{want} declared ghost combines -- partial results would "
+                "be emitted on the real machine",
+            )
+
+    def end_tile(self, tile: int) -> None:
+        """Reset per-tile happens-before state (accumulators released)."""
+        self._live.clear()
+        self._shipped.clear()
+        self._combined.clear()
+
+    # -- results ------------------------------------------------------------
+
+    def report(self) -> List[Diagnostic]:
+        """All race diagnostics observed so far."""
+        return list(self._out.diagnostics)
+
+    @property
+    def ok(self) -> bool:
+        return not self._out.diagnostics

@@ -160,6 +160,8 @@ class ChunkSet:
         index [and] the chunks are sorted with respect to this index".
         Ties are broken by chunk id so the order is deterministic.
         """
+        if not len(self):  # empty selection: bounds are undefined
+            return np.empty(0, dtype=np.int64)
         keys = hilbert_sort_keys(self.centers, self.bounds, bits)
         return np.lexsort((np.arange(len(self)), keys))
 

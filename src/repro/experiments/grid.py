@@ -18,6 +18,8 @@ from repro.planner.stats import PlanStats, plan_stats
 from repro.planner.strategies import plan_query
 from repro.sim.query_sim import SimResult, simulate_query
 
+__all__ = ["APPS", "SCALINGS", "STRATEGIES", "METRICS", "ExperimentGrid"]
+
 APPS: Tuple[str, ...] = ("SAT", "WCS", "VM")
 SCALINGS: Tuple[str, ...] = ("fixed", "scaled")
 STRATEGIES: Tuple[str, ...] = ("FRA", "DA", "SRA")

@@ -1,15 +1,19 @@
-"""Plan validation.
+"""Plan validation (compatibility wrapper over :mod:`repro.analysis`).
 
 Executing an invalid plan would silently corrupt results (an edge
 aggregated on a processor with no accumulator for its output chunk) or
-blow the memory budget the tiling step promised.  ``validate_plan``
-checks every invariant the executors rely on and raises
-``PlanValidationError`` with a precise complaint.
+blow the memory budget the tiling step promised.  The checks
+themselves now live in :func:`repro.analysis.verifier.verify_plan`,
+which reports *all* violated invariants as structured diagnostics with
+stable ``ADR1xx`` codes; ``validate_plan`` keeps the historical
+raise-on-first-error contract by raising ``PlanValidationError`` when
+any ERROR-severity diagnostic is present.
+
+Callers that want the full report (or to tolerate warnings) should use
+``verify_plan`` directly.
 """
 
 from __future__ import annotations
-
-import numpy as np
 
 from repro.planner.plan import QueryPlan
 
@@ -21,69 +25,25 @@ class PlanValidationError(AssertionError):
 
 
 def validate_plan(plan: QueryPlan) -> None:
-    p = plan.problem
-    n_out, n_procs = p.n_out, p.n_procs
+    """Raise :class:`PlanValidationError` on any ERROR diagnostic.
 
-    # -- tile assignment ------------------------------------------------
-    if n_out and (plan.tile_of_output.min() < 0 or plan.tile_of_output.max() >= plan.n_tiles):
-        raise PlanValidationError("tile ids outside [0, n_tiles)")
-    if n_out == 0 and plan.n_tiles != 0:
-        raise PlanValidationError("empty problem must have zero tiles")
+    Strategy contracts (ADR12x) are *not* enforced here: historical
+    callers validate hand-built and mutated plans that are
+    structurally executable without matching a paper strategy's exact
+    placement.  Use ``verify_plan(plan)`` for the full proof.
+    """
+    # Imported lazily: repro.analysis.verifier reaches back into
+    # repro.planner for the SRA contract, so a module-level import
+    # would cycle during package initialization.
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.verifier import verify_plan
 
-    # -- holders -----------------------------------------------------------
-    if len(plan.holders_ids) and (
-        plan.holders_ids.min() < 0 or plan.holders_ids.max() >= n_procs
-    ):
-        raise PlanValidationError("holder ids outside the processor range")
-    for o in range(n_out):
-        holders = plan.holders_of(o)
-        if len(np.unique(holders)) != len(holders):
-            raise PlanValidationError(f"duplicate holders for output chunk {o}")
-        if int(p.output_owner[o]) not in holders:
-            raise PlanValidationError(
-                f"owner {int(p.output_owner[o])} of output chunk {o} is not a holder"
-            )
-
-    # -- edges ------------------------------------------------------------
-    edge_in, edge_out = plan.edge_arrays
-    if len(edge_in):
-        if plan.edge_proc.min() < 0 or plan.edge_proc.max() >= n_procs:
-            raise PlanValidationError("edge processors outside the processor range")
-        # Every edge must execute on a processor that holds the
-        # accumulator chunk for its output chunk.
-        counts = np.diff(plan.holders_indptr)
-        flat_out = np.repeat(np.arange(n_out, dtype=np.int64), counts)
-        holder_keys = set(zip(flat_out.tolist(), plan.holders_ids.tolist()))
-        bad = [
-            (int(o), int(q))
-            for o, q in zip(edge_out, plan.edge_proc)
-            if (int(o), int(q)) not in holder_keys
-        ]
-        if bad:
-            o, q = bad[0]
-            raise PlanValidationError(
-                f"edge for output chunk {o} assigned to processor {q}, "
-                f"which holds no accumulator for it ({len(bad)} such edges)"
-            )
-
-    # -- memory budget ------------------------------------------------------
-    # Per (tile, processor) accumulator bytes must respect the budget;
-    # a tile may exceed it only when it consists of a single chunk that
-    # alone is over budget (the pseudo-code's degenerate case).
-    counts = np.diff(plan.holders_indptr)
-    flat_out = np.repeat(np.arange(n_out, dtype=np.int64), counts)
-    flat_proc = plan.holders_ids
-    flat_tile = plan.tile_of_output[flat_out]
-    flat_bytes = p.acc_nbytes[flat_out]
-    if len(flat_out):
-        key = flat_tile * n_procs + flat_proc
-        usage = np.bincount(key, weights=flat_bytes.astype(float))
-        nchunks = np.bincount(key)
-        budget = np.tile(p.memory_per_proc.astype(float), plan.n_tiles)[: len(usage)]
-        over = (usage > budget) & (nchunks > 1)
-        if over.any():
-            k = int(np.flatnonzero(over)[0])
-            raise PlanValidationError(
-                f"tile {k // n_procs} overflows processor {k % n_procs}: "
-                f"{usage[k]:.0f} bytes of accumulator vs budget {budget[k]:.0f}"
-            )
+    errors = [
+        d
+        for d in verify_plan(plan, strategy_contracts=False)
+        if d.severity >= Severity.ERROR
+    ]
+    if errors:
+        first = errors[0]
+        extra = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        raise PlanValidationError(f"[{first.code}] {first.message}{extra}")

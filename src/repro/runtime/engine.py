@@ -62,6 +62,9 @@ class QueryResult:
     n_combines: int
     #: aggregate() calls, i.e. executed (input, accumulator) edges
     n_aggregations: int
+    #: simulated-race findings (empty unless executed with the
+    #: ``detect_races`` opt-in; see :mod:`repro.analysis.races`)
+    race_diagnostics: List = field(default_factory=list)
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)
@@ -73,8 +76,13 @@ class QueryResult:
         return {int(o): v for o, v in zip(self.output_ids, self.chunk_values)}
 
     def assemble(self, grid: OutputGrid) -> np.ndarray:
-        """Dense output array; chunks outside the query are NaN."""
-        k = self.chunk_values[0].shape[1] if self.chunk_values else 1
+        """Dense output array; chunks outside the query are NaN.
+
+        An empty result (a query selecting nothing, or a plan with
+        zero tiles) assembles to an all-NaN single-component grid
+        rather than failing on ``chunk_values[0]``.
+        """
+        k = self.chunk_values[0].shape[1] if len(self.chunk_values) else 1
         parts = []
         computed = self.as_dict()
         for cid in range(grid.n_chunks):
@@ -102,6 +110,8 @@ def execute_plan(
     enforce_memory: bool = False,
     region=None,
     prior: Optional[Callable[[int], np.ndarray]] = None,
+    detect_races: Optional[bool] = None,
+    race_detector=None,
 ) -> QueryResult:
     """Execute *plan* over real chunk payloads.
 
@@ -133,8 +143,28 @@ def execute_plan(
         (ghost) holders are seeded too only for idempotent
         aggregations -- otherwise the global combine would double-count
         the prior.
+    detect_races:
+        Opt-in simulated-race detection: every accumulator access is
+        checked against the plan's ownership tables by a
+        :class:`repro.analysis.races.RaceDetector`, and findings land
+        in ``QueryResult.race_diagnostics``.  ``None`` (the default)
+        defers to the ``REPRO_DETECT_RACES`` environment variable.
+    race_detector:
+        A pre-built detector to report to (overrides *detect_races*);
+        tests pass a detector built from a *reference* plan to catch
+        an engine/plan drifting apart.
     """
     problem = plan.problem
+    detector = race_detector
+    if detector is None:
+        if detect_races is None:
+            from repro.analysis.races import races_enabled_by_env
+
+            detect_races = races_enabled_by_env()
+        if detect_races:
+            from repro.analysis.races import RaceDetector
+
+            detector = RaceDetector(plan)
     provider = _provider(chunks)
     in_global = problem.input_global_ids
     out_global = problem.output_global_ids
@@ -190,6 +220,8 @@ def execute_plan(
                     prior_acc = spec.initialize_from(prior_vals)
             for p in plan.holders_of(o):
                 acc = acc_sets[int(p)].allocate(o, n_cells, ghost=int(p) != owner)
+                if detector is not None:
+                    detector.on_allocate(int(p), o, t)
                 if prior_acc is not None and (int(p) == owner or spec.idempotent):
                     acc.data[:] = prior_acc
 
@@ -237,6 +269,8 @@ def execute_plan(
                 q = int(edges_proc[pos])
                 sel = order[s:e]
                 local_cells = grid.local_cell_index(int(out_global[o]), cells[sel])
+                if detector is not None:
+                    detector.on_aggregate(q, o, t)
                 acc_sets[q].aggregate(o, local_cells, values[item_idx[sel]])
                 n_aggregations += 1
 
@@ -245,6 +279,8 @@ def execute_plan(
             g = int(gt_order[k])
             o = int(gt.chunk[g])
             src, dst = int(gt.src[g]), int(gt.dst[g])
+            if detector is not None:
+                detector.on_combine(src, dst, o, t)
             acc_sets[dst].combine_from(o, acc_sets[src].get(o).data)
             n_combines += 1
 
@@ -255,10 +291,14 @@ def execute_plan(
             acc = acc_sets[owner].get(o)
             if acc.ghost:
                 raise AssertionError("owner holds a ghost for its own chunk")
+            if detector is not None:
+                detector.on_output(owner, o, t)
             results[o] = spec.output(acc.data)
 
         for s in acc_sets:
             s.clear()
+        if detector is not None:
+            detector.end_tile(t)
 
     ordered = sorted(results)
     return QueryResult(
@@ -272,4 +312,5 @@ def execute_plan(
         bytes_read=bytes_read,
         n_combines=n_combines,
         n_aggregations=n_aggregations,
+        race_diagnostics=detector.report() if detector is not None else [],
     )

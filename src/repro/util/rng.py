@@ -12,6 +12,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+__all__ = ["SeedLike", "make_rng", "spawn_rngs"]
+
 SeedLike = Union[int, np.random.Generator, None]
 
 

@@ -7,6 +7,8 @@ constants exist so that configuration code reads like the paper
 
 from __future__ import annotations
 
+__all__ = ["KB", "MB", "GB", "fmt_bytes", "fmt_seconds"]
+
 KB: int = 1024
 MB: int = 1024 * 1024
 GB: int = 1024 * 1024 * 1024

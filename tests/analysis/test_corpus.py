@@ -1,0 +1,23 @@
+"""The CI plan corpus must verify clean (and stay deterministic)."""
+
+import numpy as np
+
+from repro.analysis.corpus import corpus_problems, main, verify_corpus
+
+
+class TestCorpus:
+    def test_synthetic_corpus_verifies_clean(self):
+        assert verify_corpus(include_emulators=False) == []
+
+    def test_corpus_is_deterministic(self):
+        (label_a, prob_a), *_ = corpus_problems(include_emulators=False)
+        (label_b, prob_b), *_ = corpus_problems(include_emulators=False)
+        assert label_a == label_b
+        np.testing.assert_array_equal(prob_a.inputs.node, prob_b.inputs.node)
+        np.testing.assert_array_equal(
+            prob_a.graph.edge_arrays()[0], prob_b.graph.edge_arrays()[0]
+        )
+
+    def test_cli_exits_zero(self, capsys):
+        assert main(["--no-emulators"]) == 0
+        assert "zero diagnostics" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Tests for the AST project lint pass."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Severity, lint_paths, lint_source
+from repro.analysis.lint import main
+
+
+def findings(src, path="mod.py", **kwargs):
+    return lint_source(textwrap.dedent(src), path, **kwargs)
+
+
+def codes(src, **kwargs):
+    return {d.code for d in findings(src, **kwargs)}
+
+
+class TestUnseededRandom:
+    def test_legacy_global_rng_flagged(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == {"ADR301"}
+        assert codes("import numpy as np\nnp.random.seed(0)\n") == {"ADR301"}
+        assert codes("import numpy\nx = numpy.random.normal(0, 1)\n") == {"ADR301"}
+
+    def test_unseeded_default_rng_flagged(self):
+        assert codes("import numpy as np\nr = np.random.default_rng()\n") == {"ADR301"}
+        assert codes("import numpy as np\nr = np.random.default_rng(None)\n") == {"ADR301"}
+
+    def test_seeded_default_rng_ok(self):
+        assert codes("import numpy as np\nr = np.random.default_rng(42)\n") == set()
+        assert codes("import numpy as np\nr = np.random.default_rng(seed)\n") == set()
+
+    def test_generator_annotations_ok(self):
+        assert codes(
+            "import numpy as np\ndef f(rng: np.random.Generator) -> None: ...\n"
+        ) == set()
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\nr = np.random.default_rng()\n"
+        assert codes(src, rng_exempt=True) == set()
+
+
+class TestFloatAccumulatorEquality:
+    def test_accumulator_equality_flagged(self):
+        assert codes("ok = acc.data[0] == 0.5\n") == {"ADR302"}
+        assert codes("ok = 1.5 != accumulator[0]\n") == {"ADR302"}
+        assert codes("ok = ghost_data[0] == local_acc[0]\n") == {"ADR302"}
+
+    def test_ordinary_float_equality_untouched(self):
+        # Exact comparisons on non-accumulator values are a test-suite
+        # idiom (integer-valued floats); the rule targets accumulators.
+        assert codes("assert r.volume == 0.0\n") == set()
+        assert codes("assert out[0, 0] == 3.0\n") == set()
+
+    def test_structural_and_count_accesses_untouched(self):
+        assert codes("ok = acc.data.shape == (10, 1)\n") == set()
+        assert codes("ok = s.acc_nbytes == total\n") == set()  # byte counts
+        assert codes("ok = s.bytes_in_use == spec.acc_bytes(5)\n") == set()
+        assert codes("ok = spec.output(acc)[:, 0].tolist() == [3.0]\n") == set()
+
+    def test_accumulator_ordering_ok(self):
+        assert codes("ok = acc.data[0] < 0.5\n") == set()
+
+
+class TestChunkMutation:
+    def test_payload_assignment_flagged(self):
+        assert codes("chunk.values = new\n") == {"ADR303"}
+        assert codes("chunk.coords[0] = 1.0\n") == {"ADR303"}
+        assert codes("my_chunk.values[idx] += 2\n") == {"ADR303"}
+        assert codes("chunk.meta = other\n") == {"ADR303"}
+
+    def test_reads_and_other_names_ok(self):
+        assert codes("v = np.asarray(chunk.values)\n") == set()
+        assert codes("table.values = x\n") == set()
+        assert codes("chunk2 = replace(chunk)\n") == set()
+
+
+class TestDunderAll:
+    def test_missing_all_flagged(self):
+        out = findings("def api(): ...\n", check_all=True)
+        assert [d.code for d in out] == ["ADR304"]
+        assert out[0].severity == Severity.WARNING
+
+    def test_present_all_ok(self):
+        assert codes('__all__ = ["api"]\ndef api(): ...\n', check_all=True) == set()
+
+    def test_not_checked_by_default(self):
+        assert codes("def api(): ...\n") == set()
+
+
+class TestSuppression:
+    def test_noqa_with_rationale_suppresses(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # noqa: ADR301 -- test fixture\n"
+        assert codes(src) == set()
+
+    def test_noqa_other_code_does_not_suppress(self):
+        src = "import numpy as np\nx = np.random.rand(3)  # noqa: ADR302\n"
+        assert codes(src) == {"ADR301"}
+
+
+class TestTree:
+    def test_src_tree_is_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        assert (root / "src" / "repro").is_dir()
+        out = lint_paths([str(root / "src")])
+        assert out == [], "\n".join(d.format() for d in out)
+
+    def test_tests_and_benchmarks_are_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        out = lint_paths([str(root / "tests"), str(root / "benchmarks")])
+        assert out == [], "\n".join(d.format() for d in out)
+
+
+class TestCli:
+    def test_clean_dir_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import numpy as np\nnp.random.seed(1)\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "ADR301" in out and "error" in out
+
+    def test_syntax_error_reported(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        assert main([str(tmp_path)]) == 1
+
+    def test_missing_path_is_an_error(self, tmp_path, capsys):
+        # a typo'd path in CI must not pass as vacuously clean
+        assert main([str(tmp_path / "no_such_dir")]) == 1
+        assert "ADR300" in capsys.readouterr().out

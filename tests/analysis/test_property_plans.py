@@ -1,0 +1,61 @@
+"""Property test: every plan the strategies produce verifies clean.
+
+The paper's equivalence claim (FRA == SRA == DA) presumes each plan
+upholds its strategy's contract; here hypothesis searches the space of
+random planning problems for a counterexample.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import verify_plan
+from repro.planner.strategies import plan_da, plan_fra, plan_sra
+
+from helpers import make_problem
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n_procs=st.integers(1, 8),
+    n_in=st.integers(5, 80),
+    n_out=st.integers(1, 24),
+    mem_kb=st.sampled_from([64, 256, 1024, 16 * 1024]),
+    fan_out=st.integers(1, 4),
+    acc_factor=st.sampled_from([0.5, 1.0, 2.0, 8.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_planned_strategies_have_zero_diagnostics(
+    seed, n_procs, n_in, n_out, mem_kb, fan_out, acc_factor
+):
+    rng = np.random.default_rng(seed)
+    problem = make_problem(
+        rng,
+        n_procs=n_procs,
+        n_in=n_in,
+        n_out=n_out,
+        memory=mem_kb * 1024,
+        fan_out=fan_out,
+        acc_factor=acc_factor,
+    )
+    for planner in (plan_fra, plan_sra, plan_da):
+        plan = planner(problem)
+        diagnostics = verify_plan(plan)
+        assert diagnostics == [], (
+            f"{plan.strategy} produced diagnostics on seed {seed}: "
+            + "; ".join(d.format() for d in diagnostics)
+        )
+
+
+@given(seed=st.integers(0, 2**31), n_procs=st.integers(2, 6))
+@settings(max_examples=10, deadline=None)
+def test_hybrid_passes_structural_checks(seed, n_procs):
+    from repro.planner.hybrid import plan_hybrid
+
+    rng = np.random.default_rng(seed)
+    problem = make_problem(rng, n_procs=n_procs, n_in=30, n_out=10, memory=512 * 1024)
+    plan = plan_hybrid(problem)
+    # Hybrid owes no Figure 4-6 placement contract, but must be
+    # structurally executable.
+    structural = [d for d in verify_plan(plan, strategy_contracts=False)]
+    assert structural == [], "; ".join(d.format() for d in structural)

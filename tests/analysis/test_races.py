@@ -1,0 +1,194 @@
+"""Simulated-race detector tests.
+
+A clean engine run over the plan it was built from reports nothing;
+an injected unauthorized accumulator write (an engine/plan mismatch
+that would be a data race on the real machine) is flagged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import SumAggregation
+from repro.analysis import RaceDetector, races_enabled_by_env
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+from repro.planner.plan import QueryPlan
+from repro.planner.problem import PlanningProblem
+from repro.planner.strategies import plan_da, plan_fra, plan_query
+from repro.runtime.engine import execute_plan
+
+from helpers import make_functional_setup, make_problem
+
+
+def build_pinned_problem(chunks, grid, mapping, spec, n_procs=2):
+    """A functional problem with every chunk pinned to processor 0,
+    so the set of plan-authorized writers is known exactly."""
+    metas = [c.meta for c in chunks]
+    inputs = ChunkSet.from_metas(metas)
+    zeros_in = np.zeros(len(inputs), dtype=np.int32)
+    inputs = inputs.with_placement(zeros_in, zeros_in.copy())
+    outputs = grid.chunkset()
+    zeros_out = np.zeros(len(outputs), dtype=np.int32)
+    outputs = outputs.with_placement(zeros_out, zeros_out.copy())
+    graph = ChunkGraph.from_geometry(inputs, outputs, mapping)
+    acc = np.asarray(
+        [spec.acc_bytes(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)],
+        dtype=np.int64,
+    )
+    return PlanningProblem(
+        n_procs=n_procs,
+        memory_per_proc=np.int64(1 << 15),
+        inputs=inputs,
+        outputs=outputs,
+        graph=graph,
+        acc_nbytes=acc,
+    )
+
+
+def rebuild(plan, **overrides):
+    kw = dict(
+        strategy=plan.strategy,
+        problem=plan.problem,
+        n_tiles=plan.n_tiles,
+        tile_of_output=plan.tile_of_output.copy(),
+        holders_indptr=plan.holders_indptr.copy(),
+        holders_ids=plan.holders_ids.copy(),
+        edge_proc=plan.edge_proc.copy(),
+    )
+    kw.update(overrides)
+    return QueryPlan(**kw)
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("strategy", ["FRA", "SRA", "DA", "HYBRID"])
+    def test_clean_execution_reports_nothing(self, rng, strategy):
+        spec = SumAggregation(1)
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        prob = build_pinned_problem(chunks, grid, mapping, spec, n_procs=3)
+        plan = plan_query(prob, strategy)
+        result = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec, detect_races=True
+        )
+        assert result.race_diagnostics == []
+
+    def test_injected_unauthorized_write_is_flagged(self, rng):
+        """The acceptance scenario: an engine drifting from the plan.
+
+        Every chunk lives on processor 0, so under FRA the plan
+        authorizes only processor 0 to aggregate.  Rerouting every
+        edge to processor 1 (a legal holder -- FRA replicates
+        everywhere -- so the corrupted plan still executes) is an
+        unauthorized accumulator write the detector must flag.
+        """
+        spec = SumAggregation(1)
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        prob = build_pinned_problem(chunks, grid, mapping, spec, n_procs=2)
+        plan = plan_fra(prob)
+        assert set(plan.edge_proc.tolist()) == {0}
+        detector = RaceDetector(plan)
+        corrupted = rebuild(plan, edge_proc=np.ones_like(plan.edge_proc))
+
+        result = execute_plan(
+            corrupted, lambda i: chunks[i], mapping, grid, spec,
+            race_detector=detector,
+        )
+        assert result.n_aggregations > 0
+        flagged = {d.code for d in result.race_diagnostics}
+        assert "ADR201" in flagged
+        assert any("unauthorized accumulator write" in d.message
+                   for d in result.race_diagnostics)
+
+    def test_undeclared_combine_is_flagged(self, rng):
+        """Executing a ghost-shipping plan against a DA detector: the
+        combines (and ghost allocations) were never declared."""
+        spec = SumAggregation(1)
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        prob = build_pinned_problem(chunks, grid, mapping, spec, n_procs=2)
+        da = plan_da(prob)
+        fra = plan_fra(prob)
+        assert len(fra.ghost_transfers) > 0
+        detector = RaceDetector(da)
+        result = execute_plan(
+            fra, lambda i: chunks[i], mapping, grid, spec, race_detector=detector
+        )
+        flagged = {d.code for d in result.race_diagnostics}
+        assert "ADR202" in flagged  # combine the plan never declared
+        assert "ADR204" in flagged  # ghost allocated on a non-holder
+
+
+class TestDetectorUnit:
+    @pytest.fixture
+    def plan(self, rng):
+        return plan_fra(make_problem(rng, n_procs=3, n_in=30, n_out=8))
+
+    def test_happens_before_write_after_ship(self, plan):
+        det = RaceDetector(plan)
+        gt = plan.ghost_transfers
+        assert len(gt)
+        o, src, dst, t = (int(gt.chunk[0]), int(gt.src[0]),
+                          int(gt.dst[0]), int(gt.tile[0]))
+        det.on_allocate(src, o, t)
+        det.on_allocate(dst, o, t)
+        det.on_combine(src, dst, o, t)
+        det.on_aggregate(src, o, t)  # write after the ghost shipped
+        assert "ADR203" in {d.code for d in det.report()}
+
+    def test_access_before_initialization(self, plan):
+        det = RaceDetector(plan)
+        _, edge_out = plan.edge_arrays
+        o = int(edge_out[0])
+        q = int(plan.edge_proc[0])
+        det.on_aggregate(q, o, int(plan.tile_of_output[o]))  # no allocate
+        assert "ADR206" in {d.code for d in det.report()}
+
+    def test_output_before_all_combines(self, plan):
+        det = RaceDetector(plan)
+        gt = plan.ghost_transfers
+        o = int(gt.chunk[0])
+        t = int(gt.tile[0])
+        owner = int(plan.problem.output_owner[o])
+        det.on_allocate(owner, o, t)
+        det.on_output(owner, o, t)  # declared ghosts never arrived
+        assert "ADR205" in {d.code for d in det.report()}
+
+    def test_tile_state_resets(self, plan):
+        det = RaceDetector(plan)
+        gt = plan.ghost_transfers
+        o, src, dst, t = (int(gt.chunk[0]), int(gt.src[0]),
+                          int(gt.dst[0]), int(gt.tile[0]))
+        det.on_allocate(src, o, t)
+        det.on_combine(src, dst, o, t)
+        det.end_tile(t)
+        # After the tile boundary the ship-freeze no longer applies.
+        det.on_allocate(src, o, t + 1)
+        det.on_aggregate(src, o, t + 1)
+        assert "ADR203" not in {d.code for d in det.report()}
+
+    def test_event_log_records_accesses(self, plan):
+        det = RaceDetector(plan)
+        det.on_allocate(0, 0, 0)
+        det.on_aggregate(0, 0, 0)
+        kinds = [e.kind for e in det.events]
+        assert kinds == ["allocate", "aggregate"]
+        assert [e.seq for e in det.events] == [0, 1]
+
+
+class TestEnvOptIn:
+    def test_flag_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DETECT_RACES", raising=False)
+        assert not races_enabled_by_env()
+        for val in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_DETECT_RACES", val)
+            assert races_enabled_by_env()
+        monkeypatch.setenv("REPRO_DETECT_RACES", "0")
+        assert not races_enabled_by_env()
+
+    def test_env_enables_detection(self, rng, monkeypatch):
+        monkeypatch.setenv("REPRO_DETECT_RACES", "1")
+        spec = SumAggregation(1)
+        _, _, chunks, mapping, grid = make_functional_setup(rng, n_items=80)
+        prob = build_pinned_problem(chunks, grid, mapping, spec, n_procs=2)
+        plan = plan_fra(prob)
+        result = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+        # Detection ran (and, the plan being sound, found nothing).
+        assert result.race_diagnostics == []

@@ -162,6 +162,45 @@ class TestCountersAndBookkeeping:
         assert full.shape == grid.grid_shape + (1,)
 
 
+class TestEmptyResults:
+    """A query selecting nothing must assemble to an all-NaN grid,
+    not crash on ``chunk_values[0]``."""
+
+    def test_assemble_with_no_chunk_values(self, rng):
+        from repro.runtime.engine import QueryResult
+
+        _, _, _, _, grid = make_functional_setup(rng)
+        empty = QueryResult(
+            strategy="FRA",
+            output_ids=np.empty(0, dtype=np.int64),
+            chunk_values=[],
+            n_tiles=0, n_reads=0, bytes_read=0, n_combines=0, n_aggregations=0,
+        )
+        full = empty.assemble(grid)
+        assert full.shape == grid.grid_shape + (1,)
+        assert np.isnan(full).all()
+
+    def test_empty_problem_executes_and_assembles(self, rng):
+        from helpers import make_chunkset
+
+        spec = SumAggregation(1)
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        prob = PlanningProblem(
+            n_procs=2,
+            memory_per_proc=np.int64(1 << 14),
+            inputs=make_chunkset(rng, 0, placed_on=2),
+            outputs=make_chunkset(rng, 0, placed_on=2),
+            graph=ChunkGraph(0, 0, np.empty(0, dtype=np.int64),
+                             np.empty(0, dtype=np.int64)),
+        )
+        plan = plan_query(prob, "FRA")
+        result = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+        assert result.chunk_values == [] and result.n_tiles == 0
+        full = result.assemble(grid)
+        assert full.shape == grid.grid_shape + (1,)
+        assert np.isnan(full).all()
+
+
 @given(seed=st.integers(0, 2**31), strategy=st.sampled_from(STRATEGIES),
        n_procs=st.integers(1, 5))
 @settings(max_examples=15, deadline=None)
