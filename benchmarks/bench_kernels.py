@@ -1,0 +1,245 @@
+"""Local-reduction kernel benchmark: pre-fusion segment loop vs fused.
+
+Measures the engine's phase-2 hot path on identical routed inputs:
+
+- **baseline** -- :func:`repro.runtime.kernels.reference_segment_reduction`,
+  the pre-fusion per-(read, output-chunk) Python loop preserved
+  verbatim (argsort, per-segment ``grid.local_cell_index``, scalar
+  ``AggregationSpec.aggregate`` with its per-call re-coercion);
+- **fused** -- :func:`repro.runtime.kernels.group_read` (one lexsort per
+  read) + ``AggregationSpec.aggregate_grouped`` (``reduceat``
+  pre-reduction, fancy-index scatter), with values coerced once per
+  chunk by :func:`repro.runtime.kernels.coerce_values`.
+
+Both paths consume the same pre-routed ``(item_idx, cells)`` arrays,
+so routing (and its cache) is out of the measurement -- this is the
+reduction kernel alone.  Results are verified element-wise equal
+before timing counts.
+
+The workload is the regime the pre-fusion loop is worst at and real
+ADR runs hit constantly: output chunks kept small by the accumulator
+memory budget (fine tiling) and input chunks whose items have *no*
+spatial locality relative to the output chunking -- satellite readings
+arrive in orbit order, and DA forwards input by input-owner placement,
+not output order.  Each read then scatters into many output chunks at
+a few cells apiece, and the per-segment Python loop dominates.
+
+Run standalone (not under pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--min-speedup 5]
+
+writes ``BENCH_kernels.json`` with updates/sec for both paths and the
+speedup.  Fidelity follows ``REPRO_BENCH_FIDELITY`` (``fast`` shrinks
+the item population, as for the figure benches).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregation.functions import MeanAggregation, SumAggregation  # noqa: E402
+from repro.aggregation.output_grid import OutputGrid  # noqa: E402
+from repro.dataset.chunk import Chunk  # noqa: E402
+from repro.runtime.kernels import (  # noqa: E402
+    coerce_values,
+    grid_indexer,
+    group_read,
+    reference_segment_reduction,
+)
+from repro.runtime.serial import map_chunk_to_cells  # noqa: E402
+from repro.space.attribute_space import AttributeSpace  # noqa: E402
+from repro.space.mapping import GridMapping  # noqa: E402
+
+FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "fast").lower()
+SEED = 20260806
+ROUNDS = 5
+
+WORKLOADS = {
+    # n_items, items_per_chunk, grid_cells, chunk_cells, footprint
+    "fast": (60_000, 200, (32, 32), (2, 2), (0.05, 0.05)),
+    "full": (240_000, 400, (48, 48), (2, 2), (0.04, 0.04)),
+}
+
+
+def build_workload():
+    n_items, per_chunk, gcells, ccells, footprint = WORKLOADS[
+        "fast" if FIDELITY == "fast" else "full"
+    ]
+    rng = np.random.default_rng(SEED)
+    in_space = AttributeSpace.regular("in", ("x", "y"), (0, 0), (10, 10))
+    out_space = AttributeSpace.regular("out", ("u", "v"), (0, 0), (1, 1))
+    coords = rng.uniform(0, 10, size=(n_items, 2))
+    values = rng.integers(1, 100, size=(n_items, 1)).astype(float)
+    # Arrival-order chunking: items are interleaved round-robin so a
+    # chunk's items have no locality relative to the output chunking
+    # (orbit-order readings / DA-forwarded input), the regime where
+    # the per-segment loop dominates.
+    n_chunks = n_items // per_chunk
+    chunks = [
+        Chunk.from_items(i, coords[i::n_chunks], values[i::n_chunks])
+        for i in range(n_chunks)
+    ]
+    grid = OutputGrid(out_space, gcells, ccells)
+    mapping = GridMapping(in_space, out_space, gcells, footprint=footprint)
+    return chunks, mapping, grid
+
+
+def route_all(chunks, mapping, grid):
+    """Pre-route every chunk once; both timed paths reuse the arrays."""
+    routed = []
+    n_updates = 0
+    for chunk in chunks:
+        item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, None)
+        routed.append((chunk, item_idx, cells))
+        n_updates += len(cells)
+    return routed, n_updates
+
+
+def fresh_accs(grid, spec):
+    return {o: spec.initialize(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)}
+
+
+def run_baseline(routed, grid, spec, sel_map, tile_of_output, out_global, accs):
+    def aggregate(o, local_cells, values):
+        spec.aggregate(accs[o], local_cells, values)
+
+    for chunk, item_idx, cells in routed:
+        reference_segment_reduction(
+            item_idx, cells, chunk.values, grid, sel_map,
+            tile_of_output, 0, out_global, aggregate,
+        )
+
+
+def run_fused(routed, grid, spec, sel_map, tile_of_output, accs):
+    """The engine's fused phase-2 body: one lexsort + one read-wide
+    pre-reduction, then one fancy-indexed scatter per segment."""
+    indexer = grid_indexer(grid)
+    for chunk, item_idx, cells in routed:
+        values = coerce_values(chunk.values, spec.value_components)
+        segs = group_read(
+            item_idx, cells, values, grid, sel_map, tile_of_output, 0, indexer
+        )
+        if segs is None:
+            continue
+        reduced = spec.prereduce_groups(segs.values, segs.group_starts)
+        if reduced is None:
+            for k in range(len(segs.seg_out)):
+                o = int(segs.seg_out[k])
+                s, e = segs.starts[k], segs.ends[k]
+                spec.aggregate_grouped(accs[o], segs.flat[s:e], segs.values[s:e])
+            continue
+        gflat = segs.flat[segs.group_starts]
+        gb = segs.group_bounds.tolist()
+        for k, o in enumerate(segs.seg_out.tolist()):
+            spec.scatter_groups(accs[o], gflat[gb[k] : gb[k + 1]], reduced[gb[k] : gb[k + 1]])
+
+
+def time_path(fn, rounds=ROUNDS):
+    """Best-of-N wall-clock (fresh accumulators each round, untimed)."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_spec(routed, n_updates, grid, spec):
+    n = grid.n_chunks
+    sel_map = np.arange(n, dtype=np.int64)
+    tile_of_output = np.zeros(n, dtype=np.int64)
+    out_global = np.arange(n, dtype=np.int64)
+
+    # Correctness gate: both paths must land on identical accumulators.
+    acc_base = fresh_accs(grid, spec)
+    run_baseline(routed, grid, spec, sel_map, tile_of_output, out_global, acc_base)
+    acc_fused = fresh_accs(grid, spec)
+    run_fused(routed, grid, spec, sel_map, tile_of_output, acc_fused)
+    for o in range(n):
+        np.testing.assert_allclose(
+            acc_fused[o], acc_base[o], err_msg=f"output chunk {o} diverged"
+        )
+
+    t_base = time_path(
+        lambda: run_baseline(
+            routed, grid, spec, sel_map, tile_of_output, out_global,
+            fresh_accs(grid, spec),
+        )
+    )
+    t_fused = time_path(
+        lambda: run_fused(
+            routed, grid, spec, sel_map, tile_of_output, fresh_accs(grid, spec)
+        )
+    )
+    return {
+        "baseline_seconds": t_base,
+        "fused_seconds": t_fused,
+        "baseline_updates_per_sec": n_updates / t_base,
+        "fused_updates_per_sec": n_updates / t_fused,
+        "speedup": t_base / t_fused,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit 1 unless every spec's fused speedup meets this factor",
+    )
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+        help="output JSON path (default: repo-root BENCH_kernels.json)",
+    )
+    args = parser.parse_args(argv)
+
+    chunks, mapping, grid = build_workload()
+    routed, n_updates = route_all(chunks, mapping, grid)
+    report = {
+        "bench": "kernels",
+        "fidelity": "fast" if FIDELITY == "fast" else "full",
+        "n_chunks": len(chunks),
+        "n_updates_per_pass": n_updates,
+        "rounds": ROUNDS,
+        "specs": {},
+    }
+    for spec in (SumAggregation(1), MeanAggregation(1)):
+        name = type(spec).__name__
+        report["specs"][name] = bench_spec(routed, n_updates, grid, spec)
+        r = report["specs"][name]
+        print(
+            f"{name}: baseline {r['baseline_updates_per_sec']:,.0f} up/s, "
+            f"fused {r['fused_updates_per_sec']:,.0f} up/s, "
+            f"speedup {r['speedup']:.1f}x"
+        )
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None:
+        slow = {
+            name: r["speedup"]
+            for name, r in report["specs"].items()
+            if r["speedup"] < args.min_speedup
+        }
+        if slow:
+            print(
+                f"FAIL: speedup below {args.min_speedup}x for "
+                + ", ".join(f"{n} ({s:.1f}x)" for n, s in slow.items())
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

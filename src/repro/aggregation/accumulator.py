@@ -10,13 +10,62 @@ and enforces the memory budget the tiling step planned against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.aggregation.functions import AggregationSpec
 
-__all__ = ["Accumulator", "AccumulatorSet"]
+__all__ = ["Accumulator", "AccumulatorSet", "BufferPool"]
+
+
+class BufferPool:
+    """Recycles accumulator arrays across tiles.
+
+    ``AccumulatorSet.clear()`` runs at every tile boundary; without a
+    pool that is one fresh ``np.zeros``-style allocation per (output
+    chunk, holder, tile).  Tiles repeat the same few accumulator
+    shapes, so released buffers are kept keyed by shape and handed
+    back on the next ``allocate`` after an in-place
+    :meth:`~repro.aggregation.functions.AggregationSpec.initialize_into`.
+    Not thread-safe (one pool per virtual processor or engine run).
+    """
+
+    def __init__(self, max_buffers_per_shape: int = 64) -> None:
+        self.max_buffers_per_shape = int(max_buffers_per_shape)
+        self._free: Dict[Tuple[int, ...], List[np.ndarray]] = {}
+        self.reuses = 0
+        self.fresh_allocations = 0
+        self.returned = 0
+
+    def take(self, shape: Tuple[int, ...]) -> Optional[np.ndarray]:
+        """A recycled buffer of *shape*, or None (caller allocates)."""
+        stack = self._free.get(shape)
+        if stack:
+            self.reuses += 1
+            return stack.pop()
+        self.fresh_allocations += 1
+        return None
+
+    def put(self, array: np.ndarray) -> None:
+        """Return a released accumulator buffer to the pool."""
+        if not array.flags.owndata or not array.flags.writeable:
+            return  # views into arenas (parallel backend) are not poolable
+        stack = self._free.setdefault(array.shape, [])
+        if len(stack) < self.max_buffers_per_shape:
+            stack.append(array)
+        self.returned += 1
+
+    @property
+    def buffers_held(self) -> int:
+        return sum(len(s) for s in self._free.values())
+
+    def stats(self) -> dict:
+        return {
+            "pool_reuses": self.reuses,
+            "pool_fresh_allocations": self.fresh_allocations,
+            "pool_buffers_held": self.buffers_held,
+        }
 
 
 @dataclass
@@ -35,9 +84,15 @@ class Accumulator:
 class AccumulatorSet:
     """Per-processor accumulator chunks for the current tile."""
 
-    def __init__(self, spec: AggregationSpec, memory_limit: int | None = None) -> None:
+    def __init__(
+        self,
+        spec: AggregationSpec,
+        memory_limit: int | None = None,
+        pool: BufferPool | None = None,
+    ) -> None:
         self.spec = spec
         self.memory_limit = memory_limit
+        self.pool = pool
         self._chunks: Dict[int, Accumulator] = {}
         self._bytes = 0
 
@@ -52,7 +107,14 @@ class AccumulatorSet:
                 f"the {self.memory_limit}-byte accumulator budget "
                 f"({self._bytes} in use) -- the tiling step should prevent this"
             )
-        acc = Accumulator(output_chunk, self.spec.initialize(n_cells), ghost)
+        data = None
+        if self.pool is not None:
+            data = self.pool.take((n_cells, self.spec.acc_components))
+            if data is not None:
+                self.spec.initialize_into(data)
+        if data is None:
+            data = self.spec.initialize(n_cells)
+        acc = Accumulator(output_chunk, data, ghost)
         self._chunks[output_chunk] = acc
         self._bytes += acc.nbytes
         return acc
@@ -82,6 +144,22 @@ class AccumulatorSet:
         """Fold mapped items into one accumulator chunk (phase 2)."""
         self.spec.aggregate(self.get(output_chunk).data, cell_idx, values)
 
+    def aggregate_grouped(
+        self, output_chunk: int, cell_idx: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Fused phase-2 fold: *cell_idx* is pre-sorted, *values* is
+        already a validated float ``(n, value_components)`` batch (see
+        :meth:`AggregationSpec.aggregate_grouped`)."""
+        self.spec.aggregate_grouped(self.get(output_chunk).data, cell_idx, values)
+
+    def scatter_groups(
+        self, output_chunk: int, cell_idx: np.ndarray, reduced: np.ndarray
+    ) -> None:
+        """Fold pre-reduced cell runs into one accumulator chunk (the
+        per-segment tail of the read-level
+        :meth:`AggregationSpec.prereduce_groups` fast path)."""
+        self.spec.scatter_groups(self.get(output_chunk).data, cell_idx, reduced)
+
     def combine_from(self, output_chunk: int, ghost_data: np.ndarray) -> None:
         """Merge a ghost accumulator received from another processor
         into the locally owned chunk (phase 3)."""
@@ -103,6 +181,9 @@ class AccumulatorSet:
         return (a for a in self._chunks.values() if not a.ghost)
 
     def clear(self) -> None:
-        """Release everything (end of tile)."""
+        """Release everything (end of tile); pooled buffers recycle."""
+        if self.pool is not None:
+            for acc in self._chunks.values():
+                self.pool.put(acc.data)
         self._chunks.clear()
         self._bytes = 0

@@ -22,6 +22,20 @@ chunk.  The four functions are:
 ``output(acc)``
     Post-process intermediate results into final output values
     (steps 9--11).
+
+Two optional fast paths ride on top of the four (each with the scalar
+path as its oracle, so custom aggregations need not implement them):
+
+``aggregate_grouped(acc, cell_idx, values)``
+    Batched scatter for the fused reduction kernels
+    (:mod:`repro.runtime.kernels`): ``cell_idx`` is sorted ascending
+    and ``values`` is already a validated float ``(n, components)``
+    batch, so duplicate cells can be pre-reduced with
+    ``ufunc.reduceat`` and folded in with plain fancy indexing instead
+    of the much slower ``np.add.at``-family scatter.
+``initialize_into(acc)``
+    Re-initialize a recycled accumulator buffer in place (the
+    :class:`~repro.aggregation.accumulator.BufferPool` fast path).
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from typing import Dict, Type
 import numpy as np
 
 __all__ = [
+    "sorted_group_starts",
     "AggregationSpec",
     "SumAggregation",
     "CountAggregation",
@@ -41,6 +56,17 @@ __all__ = [
     "BestValueComposite",
     "AGGREGATIONS",
 ]
+
+
+def sorted_group_starts(cell_idx: np.ndarray) -> tuple:
+    """``(unique_cells, starts)`` for an ascending-sorted index array:
+    ``cell_idx[starts[k]:starts[k+1]]`` is the run of ``unique_cells[k]``.
+
+    The building block of every ``aggregate_grouped`` fast path --
+    runs feed ``ufunc.reduceat`` so each unique cell is touched once.
+    """
+    starts = np.concatenate(([0], np.flatnonzero(np.diff(cell_idx)) + 1))
+    return cell_idx[starts], starts
 
 
 class AggregationSpec(ABC):
@@ -109,6 +135,58 @@ class AggregationSpec(ABC):
     def aggregate(self, acc: np.ndarray, cell_idx: np.ndarray, values: np.ndarray) -> None:
         """Scatter-fold ``values[k]`` into ``acc[cell_idx[k]]`` in place."""
 
+    def aggregate_grouped(
+        self, acc: np.ndarray, cell_idx: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Batched fast-path scatter used by the fused kernels.
+
+        Contract (the caller -- :mod:`repro.runtime.kernels` --
+        guarantees both): ``cell_idx`` is int64, in-range and sorted
+        ascending; ``values`` is a float ``(n, value_components)``
+        batch already validated once per chunk.  The default simply
+        delegates to the scalar :meth:`aggregate`, which keeps the
+        scalar path the oracle for every override.
+        """
+        self.aggregate(acc, cell_idx, values)
+
+    def initialize_into(self, acc: np.ndarray) -> None:
+        """Re-initialize a recycled accumulator buffer in place
+        (buffer-pool fast path; same result as :meth:`initialize`)."""
+        acc[:] = self.initialize(len(acc))
+
+    def prereduce_groups(
+        self, values: np.ndarray, group_starts: np.ndarray
+    ):
+        """Collapse each run ``values[group_starts[j]:group_starts[j+1]]``
+        to one ``(acc_components,)`` row, for the whole read at once.
+
+        The runs are the (output chunk, cell) runs of a lexsorted read
+        (:class:`repro.runtime.kernels.ReadSegments`), so this is one
+        ``ufunc.reduceat`` sweep replacing a reduction per segment; the
+        rows then fold in via :meth:`scatter_groups`, one fancy-indexed
+        update per segment.  The reduction order within a run is the
+        run's element order -- identical to what per-segment
+        ``aggregate_grouped`` would compute, bit for bit.
+
+        Returns None when the aggregation has no pre-reduction (the
+        default); callers must then fall back to
+        :meth:`aggregate_grouped` per segment.
+        """
+        return None
+
+    def scatter_groups(
+        self, acc: np.ndarray, cell_idx: np.ndarray, reduced: np.ndarray
+    ) -> None:
+        """Fold pre-reduced rows into ``acc[cell_idx]`` in place.
+
+        ``cell_idx`` is strictly ascending (one entry per run, unique
+        within the call), so plain fancy indexing is enough.  Only
+        called when :meth:`prereduce_groups` returned rows.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} pre-reduces but does not scatter"
+        )
+
     @abstractmethod
     def combine(self, acc_into: np.ndarray, acc_from: np.ndarray) -> None:
         """Merge a partial accumulator into *acc_into*, in place."""
@@ -151,9 +229,24 @@ class SumAggregation(AggregationSpec):
     def initialize(self, n_cells: int) -> np.ndarray:
         return np.zeros((n_cells, self.acc_components))
 
+    def initialize_into(self, acc) -> None:
+        acc.fill(0.0)
+
     def aggregate(self, acc, cell_idx, values) -> None:
         values = self._check_batch(acc, cell_idx, values)
         np.add.at(acc, cell_idx, values)
+
+    def aggregate_grouped(self, acc, cell_idx, values) -> None:
+        if not len(cell_idx):
+            return
+        uniq, starts = sorted_group_starts(cell_idx)
+        acc[uniq] += np.add.reduceat(values, starts, axis=0)
+
+    def prereduce_groups(self, values, group_starts):
+        return np.add.reduceat(values, group_starts, axis=0)
+
+    def scatter_groups(self, acc, cell_idx, reduced) -> None:
+        acc[cell_idx] += reduced
 
     def combine(self, acc_into, acc_from) -> None:
         acc_into += acc_from
@@ -179,9 +272,24 @@ class CountAggregation(AggregationSpec):
     def initialize(self, n_cells: int) -> np.ndarray:
         return np.zeros((n_cells, 1))
 
+    def initialize_into(self, acc) -> None:
+        acc.fill(0.0)
+
     def aggregate(self, acc, cell_idx, values) -> None:
         self._check_batch(acc, cell_idx, values)
         np.add.at(acc[:, 0], cell_idx, 1.0)
+
+    def aggregate_grouped(self, acc, cell_idx, values) -> None:
+        if not len(cell_idx):
+            return
+        uniq, starts = sorted_group_starts(cell_idx)
+        acc[uniq, 0] += np.diff(np.append(starts, len(cell_idx)))
+
+    def prereduce_groups(self, values, group_starts):
+        return np.diff(np.append(group_starts, len(values))).astype(float)[:, None]
+
+    def scatter_groups(self, acc, cell_idx, reduced) -> None:
+        acc[cell_idx] += reduced
 
     def combine(self, acc_into, acc_from) -> None:
         acc_into += acc_from
@@ -209,9 +317,24 @@ class MinAggregation(AggregationSpec):
     def initialize(self, n_cells: int) -> np.ndarray:
         return np.full((n_cells, self.acc_components), np.inf)
 
+    def initialize_into(self, acc) -> None:
+        acc.fill(np.inf)
+
     def aggregate(self, acc, cell_idx, values) -> None:
         values = self._check_batch(acc, cell_idx, values)
         np.minimum.at(acc, cell_idx, values)
+
+    def aggregate_grouped(self, acc, cell_idx, values) -> None:
+        if not len(cell_idx):
+            return
+        uniq, starts = sorted_group_starts(cell_idx)
+        acc[uniq] = np.minimum(acc[uniq], np.minimum.reduceat(values, starts, axis=0))
+
+    def prereduce_groups(self, values, group_starts):
+        return np.minimum.reduceat(values, group_starts, axis=0)
+
+    def scatter_groups(self, acc, cell_idx, reduced) -> None:
+        acc[cell_idx] = np.minimum(acc[cell_idx], reduced)
 
     def combine(self, acc_into, acc_from) -> None:
         np.minimum(acc_into, acc_from, out=acc_into)
@@ -239,9 +362,24 @@ class MaxAggregation(AggregationSpec):
     def initialize(self, n_cells: int) -> np.ndarray:
         return np.full((n_cells, self.acc_components), -np.inf)
 
+    def initialize_into(self, acc) -> None:
+        acc.fill(-np.inf)
+
     def aggregate(self, acc, cell_idx, values) -> None:
         values = self._check_batch(acc, cell_idx, values)
         np.maximum.at(acc, cell_idx, values)
+
+    def aggregate_grouped(self, acc, cell_idx, values) -> None:
+        if not len(cell_idx):
+            return
+        uniq, starts = sorted_group_starts(cell_idx)
+        acc[uniq] = np.maximum(acc[uniq], np.maximum.reduceat(values, starts, axis=0))
+
+    def prereduce_groups(self, values, group_starts):
+        return np.maximum.reduceat(values, group_starts, axis=0)
+
+    def scatter_groups(self, acc, cell_idx, reduced) -> None:
+        acc[cell_idx] = np.maximum(acc[cell_idx], reduced)
 
     def combine(self, acc_into, acc_from) -> None:
         np.maximum(acc_into, acc_from, out=acc_into)
@@ -269,10 +407,31 @@ class MeanAggregation(AggregationSpec):
     def initialize(self, n_cells: int) -> np.ndarray:
         return np.zeros((n_cells, self.acc_components))
 
+    def initialize_into(self, acc) -> None:
+        acc.fill(0.0)
+
     def aggregate(self, acc, cell_idx, values) -> None:
         values = self._check_batch(acc, cell_idx, values)
         np.add.at(acc[:, : self.value_components], cell_idx, values)
         np.add.at(acc[:, -1], cell_idx, 1.0)
+
+    def aggregate_grouped(self, acc, cell_idx, values) -> None:
+        if not len(cell_idx):
+            return
+        uniq, starts = sorted_group_starts(cell_idx)
+        acc[uniq, : self.value_components] += np.add.reduceat(values, starts, axis=0)
+        acc[uniq, -1] += np.diff(np.append(starts, len(cell_idx)))
+
+    def prereduce_groups(self, values, group_starts):
+        reduced = np.empty((len(group_starts), self.acc_components))
+        reduced[:, : self.value_components] = np.add.reduceat(
+            values, group_starts, axis=0
+        )
+        reduced[:, -1] = np.diff(np.append(group_starts, len(values)))
+        return reduced
+
+    def scatter_groups(self, acc, cell_idx, reduced) -> None:
+        acc[cell_idx] += reduced
 
     def combine(self, acc_into, acc_from) -> None:
         acc_into += acc_from
@@ -314,6 +473,11 @@ class BestValueComposite(AggregationSpec):
     def initialize(self, n_cells: int) -> np.ndarray:
         acc = np.full((n_cells, self.acc_components), -np.inf)
         return acc
+
+    def initialize_into(self, acc) -> None:
+        # aggregate_grouped stays on the scalar-path default: the
+        # lexsorted segment-argmax in aggregate() is already batched.
+        acc.fill(-np.inf)
 
     @staticmethod
     def _lex_better(cand: np.ndarray, cur: np.ndarray) -> np.ndarray:

@@ -11,6 +11,18 @@ one with FRA, SRA, DA and the hybrid, and verifies each plan with
 
 which exits 1 if any plan produces a diagnostic, making every planner
 change prove the Figure 4-6 contracts before it lands.
+
+``--functional`` switches to the execution corpus: nine small
+geometry-derived workloads with real payloads, planned with all four
+strategies (36 plans) and *executed* three ways --
+
+- sequential backend with the simulated-race detector armed,
+- the serial single-pass oracle (:func:`repro.runtime.serial.execute_serial`),
+- the multiprocess backend (``backend="parallel"``).
+
+The sequential result must match the oracle to floating-point
+tolerance, and the parallel result must match the sequential one
+bit for bit (same tile schedule, same kernels, same operation order).
 """
 
 from __future__ import annotations
@@ -25,7 +37,13 @@ from repro.analysis.verifier import verify_plan
 from repro.util.rng import make_rng
 from repro.util.units import KB, MB
 
-__all__ = ["corpus_problems", "verify_corpus", "main"]
+__all__ = [
+    "corpus_problems",
+    "verify_corpus",
+    "functional_workloads",
+    "verify_functional_corpus",
+    "main",
+]
 
 
 def _random_problem(seed: int, n_procs: int, n_in: int, n_out: int, memory: int,
@@ -104,13 +122,166 @@ def verify_corpus(
     return findings
 
 
+def functional_workloads() -> Iterator[Tuple[str, dict]]:
+    """Yield ``(label, workload)`` payload-carrying execution problems.
+
+    Each workload dictionary carries ``chunks``, ``mapping``, ``grid``,
+    ``spec`` and ``problem`` -- everything needed to plan and execute.
+    Nine workloads x four strategies = the 36-plan functional corpus.
+    """
+    from repro.aggregation.functions import (
+        BestValueComposite,
+        CountAggregation,
+        MaxAggregation,
+        MeanAggregation,
+        MinAggregation,
+        SumAggregation,
+    )
+    from repro.aggregation.output_grid import OutputGrid
+    from repro.dataset.chunkset import ChunkSet
+    from repro.dataset.graph import ChunkGraph
+    from repro.dataset.partition import hilbert_partition
+    from repro.decluster.hilbert import HilbertDeclusterer
+    from repro.planner.problem import PlanningProblem
+    from repro.space.attribute_space import AttributeSpace
+    from repro.space.mapping import GridMapping
+
+    shapes = [
+        # (spec, n_items, grid_cells, chunk_cells, footprint, n_procs, memory)
+        (SumAggregation(1), 400, (12, 12), (3, 3), None, 3, 256),
+        (MeanAggregation(1), 400, (12, 12), (3, 3), None, 3, 256),
+        (MaxAggregation(1), 300, (12, 12), (3, 3), None, 2, 512),
+        (MinAggregation(2), 300, (12, 12), (4, 4), None, 3, 1024),
+        (CountAggregation(1), 500, (10, 10), (2, 2), None, 4, 512),
+        (SumAggregation(1), 400, (12, 12), (3, 3), (0.08, 0.05), 4, 1 << 14),
+        (BestValueComposite(2), 350, (12, 12), (3, 3), None, 3, 1024),
+        (MeanAggregation(3), 450, (16, 16), (4, 4), None, 4, 2048),
+        (SumAggregation(1), 200, (8, 8), (2, 2), None, 1, 1 << 14),
+    ]
+    for i, (spec, n_items, gcells, ccells, footprint, n_procs, memory) in enumerate(
+        shapes
+    ):
+        rng = make_rng(2000 + i)
+        in_space = AttributeSpace.regular("in", ("x", "y"), (0, 0), (10, 10))
+        out_space = AttributeSpace.regular("out", ("u", "v"), (0, 0), (1, 1))
+        coords = rng.uniform(0, 10, size=(n_items, 2))
+        values = rng.integers(
+            1, 100, size=(n_items, spec.value_components)
+        ).astype(float)
+        chunks = hilbert_partition(coords, values, 20)
+        grid = OutputGrid(out_space, gcells, ccells)
+        mapping = GridMapping(in_space, out_space, gcells, footprint=footprint)
+
+        inputs = ChunkSet.from_metas([c.meta for c in chunks])
+        decl = HilbertDeclusterer()
+        inputs = decl.place(inputs, n_procs)
+        outputs = decl.place(grid.chunkset(), n_procs)
+        graph = ChunkGraph.from_geometry(inputs, outputs, mapping)
+        acc = np.asarray(
+            [spec.acc_bytes(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)],
+            dtype=np.int64,
+        )
+        problem = PlanningProblem(
+            n_procs=n_procs,
+            memory_per_proc=np.int64(memory),
+            inputs=inputs,
+            outputs=outputs,
+            graph=graph,
+            acc_nbytes=acc,
+        )
+        label = (
+            f"functional[{i}] {type(spec).__name__}"
+            f" c={spec.value_components} p={n_procs}"
+        )
+        yield label, {
+            "chunks": chunks,
+            "mapping": mapping,
+            "grid": grid,
+            "spec": spec,
+            "problem": problem,
+        }
+
+
+def verify_functional_corpus(
+    strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+) -> Tuple[int, List[Tuple[str, str]]]:
+    """Execute the functional corpus; return ``(n_plans, failures)``.
+
+    Each plan runs on the sequential backend (race detector armed) and
+    on the parallel backend.  Sequential must match the serial oracle to
+    floating-point tolerance; parallel must match sequential bitwise,
+    counters included.
+    """
+    from repro.planner.strategies import plan_query
+    from repro.runtime.engine import execute_plan
+    from repro.runtime.serial import execute_serial
+
+    failures: List[Tuple[str, str]] = []
+    n_plans = 0
+    for label, w in functional_workloads():
+        chunks, mapping = w["chunks"], w["mapping"]
+        grid, spec = w["grid"], w["spec"]
+        serial = execute_serial(chunks, mapping, grid, spec)
+        for strategy in strategies:
+            n_plans += 1
+            tag = f"{label} / {strategy}"
+            plan = plan_query(w["problem"], strategy)
+            seq = execute_plan(
+                plan, lambda i: chunks[i], mapping, grid, spec, detect_races=True
+            )
+            if set(seq.output_ids.tolist()) != set(serial):
+                failures.append((tag, "sequential output-chunk set != serial oracle"))
+                continue
+            for o, vals in zip(seq.output_ids, seq.chunk_values):
+                if not np.allclose(vals, serial[int(o)], equal_nan=True):
+                    failures.append(
+                        (tag, f"sequential output chunk {int(o)} != serial oracle")
+                    )
+            par = execute_plan(
+                plan, lambda i: chunks[i], mapping, grid, spec, backend="parallel"
+            )
+            if par.output_ids.tolist() != seq.output_ids.tolist():
+                failures.append((tag, "parallel output ids != sequential"))
+                continue
+            for o, pv, sv in zip(par.output_ids, par.chunk_values, seq.chunk_values):
+                if not np.array_equal(pv, sv, equal_nan=True):
+                    failures.append(
+                        (tag, f"parallel output chunk {int(o)} not bitwise-equal")
+                    )
+            for counter in ("n_reads", "bytes_read", "n_aggregations", "n_combines"):
+                if getattr(par, counter) != getattr(seq, counter):
+                    failures.append(
+                        (
+                            tag,
+                            f"parallel {counter}={getattr(par, counter)}"
+                            f" != sequential {getattr(seq, counter)}",
+                        )
+                    )
+    return n_plans, failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    unknown = [a for a in argv if a != "--no-emulators"]
+    unknown = [a for a in argv if a not in ("--no-emulators", "--functional")]
     if unknown:
         print(f"repro.analysis.corpus: unknown argument(s): {' '.join(unknown)}")
-        print("usage: python -m repro.analysis.corpus [--no-emulators]")
+        print("usage: python -m repro.analysis.corpus [--no-emulators] [--functional]")
         return 2
+    if "--functional" in argv:
+        n_plans, failures = verify_functional_corpus()
+        for label, message in failures:
+            print(f"{label}: {message}")
+        if failures:
+            print(
+                f"repro.analysis.corpus: {len(failures)} failure(s) over "
+                f"{n_plans} executed plans"
+            )
+            return 1
+        print(
+            f"repro.analysis.corpus: {n_plans} plans executed on both backends, "
+            "all matched the serial oracle"
+        )
+        return 0
     include_emulators = "--no-emulators" not in argv
     findings = verify_corpus(include_emulators=include_emulators)
     n_plans = 0

@@ -26,6 +26,11 @@ ADR303    mutation of a ``Chunk`` payload (``.coords`` / ``.values``
           virtual processors and must stay read-only
 ADR304    ``__all__`` missing from a public library module (packages
           under ``src/``; ``__main__.py`` and private modules exempt)
+ADR305    Python loop calling ``aggregate`` inside the runtime hot
+          path (``src/repro/runtime/``) -- per-item/per-edge loops are
+          the slow pattern the fused kernels replaced; use
+          ``aggregate_grouped`` over lexsorted segments instead (the
+          preserved reference oracles opt out with ``noqa``)
 ========  ==========================================================
 """
 
@@ -41,7 +46,10 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Severity
 
 __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
-LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304")
+LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305")
+
+#: Directory whose modules are the execution hot path (ADR305).
+_RUNTIME_HOT_PATH = ("repro/runtime/",)
 
 #: np.random functions backed by the legacy global RandomState --
 #: unseedable per call site, therefore never reproducible.
@@ -123,11 +131,35 @@ def _root_name(node: ast.AST) -> Optional[str]:
     return node.id if isinstance(node, ast.Name) else None
 
 
+def _calls_aggregate_directly(loop: ast.AST) -> Optional[ast.Call]:
+    """The first ``aggregate(...)`` / ``*.aggregate(...)`` call in the
+    loop body that is not inside a *nested* loop (the inner loop gets
+    its own finding)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(loop))
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+            continue  # the nested loop is flagged on its own
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else (
+                fn.id if isinstance(fn, ast.Name) else None
+            )
+            if name == "aggregate":
+                return node
+        stack.extend(ast.iter_child_nodes(node))
+    return None
+
+
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, out: DiagnosticCollector, rng_exempt: bool) -> None:
+    def __init__(
+        self, path: str, out: DiagnosticCollector, rng_exempt: bool,
+        runtime_hot_path: bool = False,
+    ) -> None:
         self.path = path
         self.out = out
         self.rng_exempt = rng_exempt
+        self.runtime_hot_path = runtime_hot_path
 
     def _loc(self, node: ast.AST) -> str:
         return f"{self.path}:{node.lineno}:{node.col_offset}"
@@ -209,6 +241,36 @@ class _Visitor(ast.NodeVisitor):
         self._check_mutation_target(node.target, node)
         self.generic_visit(node)
 
+    # -- ADR305: scalar aggregate loop in the runtime hot path -------------
+
+    def _check_aggregate_loop(self, node: ast.AST) -> None:
+        if not self.runtime_hot_path:
+            return
+        call = _calls_aggregate_directly(node)
+        if call is not None:
+            self.out.emit(
+                "ADR305",
+                Severity.ERROR,
+                self._loc(node),
+                "Python loop calling aggregate() in the runtime hot path; "
+                "per-item/per-edge loops are the pattern the fused kernels "
+                "replaced -- group with repro.runtime.kernels.group_read and "
+                "call aggregate_grouped (reference oracles may opt out with "
+                "noqa)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_aggregate_loop(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_aggregate_loop(node)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._check_aggregate_loop(node)
+        self.generic_visit(node)
+
 
 def _is_public_library_module(path: Path) -> bool:
     """ADR304 applies to importable modules inside a package tree."""
@@ -220,7 +282,8 @@ def _is_public_library_module(path: Path) -> bool:
 
 
 def lint_source(
-    source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False
+    source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False,
+    runtime_hot_path: bool = False,
 ) -> List[Diagnostic]:
     """Lint one module's source text (the testable core)."""
     out = DiagnosticCollector()
@@ -229,7 +292,7 @@ def lint_source(
     except SyntaxError as exc:
         out.error("ADR300", f"{path}:{exc.lineno or 0}:0", f"syntax error: {exc.msg}")
         return out.diagnostics
-    _Visitor(path, out, rng_exempt).visit(tree)
+    _Visitor(path, out, rng_exempt, runtime_hot_path).visit(tree)
     if check_all and not any(
         isinstance(n, ast.Assign)
         and any(isinstance(t, ast.Name) and t.id == "__all__" for t in n.targets)
@@ -263,6 +326,7 @@ def lint_file(path: Path) -> List[Diagnostic]:
         str(path),
         rng_exempt=any(posix.endswith(e) for e in _RNG_EXEMPT),
         check_all=_is_public_library_module(path),
+        runtime_hot_path=any(m in posix for m in _RUNTIME_HOT_PATH),
     )
 
 

@@ -42,9 +42,12 @@ from repro.planner.problem import PlanningProblem
 from repro.planner.strategies import plan_query
 from repro.planner.validate import validate_plan
 from repro.runtime.engine import QueryResult, execute_plan
+from repro.runtime.kernels import RoutingCache
 from repro.sim.query_sim import SimResult, simulate_query
 from repro.space.attribute_space import AttributeSpace, AttributeSpaceRegistry
+from repro.store.cache import CachedChunkStore
 from repro.store.chunk_store import ChunkStore, MemoryChunkStore
+from repro.util.units import MB
 
 __all__ = ["ADR"]
 
@@ -62,9 +65,17 @@ class ADR:
         store: Optional[ChunkStore] = None,
         declusterer: Optional[Declusterer] = None,
         costs: ComputeCosts = DEFAULT_COSTS,
+        cache_bytes: int = 64 * MB,
     ) -> None:
         self.machine = machine
         self.store = store if store is not None else MemoryChunkStore()
+        # Payload LRU in front of the store: batched queries ordered
+        # for shared scans actually reuse the shared chunks.
+        if cache_bytes > 0 and not isinstance(self.store, CachedChunkStore):
+            self.store = CachedChunkStore(self.store, max_bytes=cache_bytes)
+        # Per-dataset memo of chunk->cell routing, reused across
+        # tiles and queries; dropped when the dataset is (re)loaded.
+        self._routing_caches: Dict[str, RoutingCache] = {}
         self.declusterer = declusterer if declusterer is not None else HilbertDeclusterer()
         self.costs = costs
         self.spaces = AttributeSpaceRegistry()
@@ -103,7 +114,17 @@ class ADR:
         )
         self.catalog.add(loaded.dataset, replace=True)
         self._indices[name] = loaded.index
+        # Chunk ids restart at 0 for the reloaded dataset: stale
+        # routing entries must not survive (payload cache entries were
+        # already invalidated by the writes through the store).
+        self._routing_caches.pop(name, None)
         return loaded
+
+    def routing_cache(self, name: str) -> RoutingCache:
+        """The per-dataset routing cache (created on first use)."""
+        if name not in self._routing_caches:
+            self._routing_caches[name] = RoutingCache()
+        return self._routing_caches[name]
 
     def dataset(self, name: str) -> Dataset:
         return self.catalog.get(name)
@@ -183,6 +204,7 @@ class ADR:
         query: RangeQuery,
         plan: Optional[QueryPlan] = None,
         store_as: Optional[str] = None,
+        backend: str = "sequential",
     ) -> QueryResult:
         """Plan (unless given) and functionally execute the query.
 
@@ -191,6 +213,9 @@ class ADR:
         created [...] the results can be written back to disks": output
         chunks are declustered, stored and indexed like any loaded
         dataset, so later queries can range over them.
+
+        ``backend="parallel"`` runs the virtual processors as real OS
+        processes (see :mod:`repro.runtime.parallel`).
         """
         if plan is None:
             plan = self.plan(query)
@@ -200,12 +225,25 @@ class ADR:
         def provider(chunk_id: int) -> Chunk:
             return self.store.read_chunk(name, chunk_id)
 
+        store_base = self.store.stats() if isinstance(self.store, CachedChunkStore) else None
         result = execute_plan(
-            plan, provider, query.mapping, query.grid, query.spec(), region=region
+            plan, provider, query.mapping, query.grid, query.spec(),
+            region=region, backend=backend,
+            routing_cache=self.routing_cache(name),
         )
+        if store_base is not None:
+            self._merge_store_stats(result, store_base)
         if store_as is not None:
             self._write_back(store_as, query, result)
         return result
+
+    def _merge_store_stats(self, result: QueryResult, base: Dict[str, int]) -> None:
+        """Fold this query's chunk-cache hit/miss deltas into the result."""
+        for key, v in self.store.stats().items():
+            if key.endswith("_bytes"):
+                result.cache_stats[key] = int(v)
+            else:
+                result.cache_stats[key] = int(v) - int(base.get(key, 0))
 
     def _write_back(self, name: str, query: RangeQuery, result: QueryResult) -> None:
         """Materialize a query result as a dataset in the output space."""
@@ -260,6 +298,7 @@ class ADR:
         result = execute_plan(
             plan, provider, query.mapping, query.grid, query.spec(),
             region=region, prior=prior,
+            routing_cache=self.routing_cache(name),
         )
         # write updated chunks back to their original locations
         missing = [int(o) for o in result.output_ids if int(o) not in pos_of]
@@ -295,14 +334,19 @@ class ADR:
         return _plan_batch(problems, strategy)
 
     def execute_batch(
-        self, queries: Sequence[RangeQuery], strategy: str = "FRA"
+        self, queries: Sequence[RangeQuery], strategy: str = "FRA",
+        backend: str = "sequential",
     ) -> list:
         """Functionally execute a batch in its shared-scan order;
-        returns results in the original submission order."""
+        returns results in the original submission order.  The chunk
+        payload cache makes consecutive queries actually reuse their
+        shared retrievals (see ``cache_stats`` on each result)."""
         batch = self.plan_batch(queries, strategy)
         results: list = [None] * len(queries)
         for idx in batch.order:
-            results[idx] = self.execute(queries[idx], plan=batch.plans[idx])
+            results[idx] = self.execute(
+                queries[idx], plan=batch.plans[idx], backend=backend
+            )
         return results
 
     def simulate(

@@ -184,7 +184,7 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
             ["nan" if np.isnan(v) else float(v) for v in row] for row in arr
         ]
 
-    return {
+    payload = {
         "version": PROTOCOL_VERSION,
         "strategy": result.strategy,
         "output_ids": [int(o) for o in result.output_ids],
@@ -195,6 +195,12 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
         "n_combines": result.n_combines,
         "n_aggregations": result.n_aggregations,
     }
+    # Optional diagnostics (absent on results from older servers).
+    if result.phase_times:
+        payload["phase_times"] = {k: float(v) for k, v in result.phase_times.items()}
+    if result.cache_stats:
+        payload["cache_stats"] = {k: int(v) for k, v in result.cache_stats.items()}
+    return payload
 
 
 def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
@@ -218,6 +224,14 @@ def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
             bytes_read=int(payload["bytes_read"]),
             n_combines=int(payload["n_combines"]),
             n_aggregations=int(payload["n_aggregations"]),
+            phase_times={
+                str(k): float(v)
+                for k, v in payload.get("phase_times", {}).items()
+            },
+            cache_stats={
+                str(k): int(v)
+                for k, v in payload.get("cache_stats", {}).items()
+            },
         )
     except (KeyError, TypeError, ValueError) as e:
         raise ProtocolError(f"bad result payload: {e}") from e

@@ -27,21 +27,33 @@ the planner rather than a tautology.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.aggregation.accumulator import AccumulatorSet
+from repro.aggregation.accumulator import AccumulatorSet, BufferPool
 from repro.aggregation.functions import AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
 from repro.dataset.chunk import Chunk
 from repro.dataset.dataset import Dataset
 from repro.planner.plan import QueryPlan
-from repro.runtime.serial import map_chunk_to_cells
+from repro.runtime.kernels import (
+    RoutingCache,
+    coerce_values,
+    grid_indexer,
+    group_read,
+    route_chunk,
+    tile_schedule,
+)
+from repro.runtime.serial import map_chunk_to_cells  # noqa: F401  (re-export)
 from repro.space.mapping import GridMapping
 
 __all__ = ["QueryResult", "execute_plan"]
+
+#: Execution phases, in order; keys of ``QueryResult.phase_times``.
+PHASES = ("initialize", "reduce", "combine", "output")
 
 ChunkProvider = Callable[[int], Chunk]
 
@@ -65,6 +77,12 @@ class QueryResult:
     #: simulated-race findings (empty unless executed with the
     #: ``detect_races`` opt-in; see :mod:`repro.analysis.races`)
     race_diagnostics: List = field(default_factory=list)
+    #: wall-clock seconds per execution phase (initialize / reduce /
+    #: combine / output), as measured by the executing backend
+    phase_times: Dict[str, float] = field(default_factory=dict)
+    #: cache and pool counters (routing-cache hits/misses, chunk
+    #: payload cache hits/misses, accumulator buffer-pool reuses)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)
@@ -112,6 +130,8 @@ def execute_plan(
     prior: Optional[Callable[[int], np.ndarray]] = None,
     detect_races: Optional[bool] = None,
     race_detector=None,
+    backend: str = "sequential",
+    routing_cache: Optional[RoutingCache] = None,
 ) -> QueryResult:
     """Execute *plan* over real chunk payloads.
 
@@ -153,7 +173,48 @@ def execute_plan(
         A pre-built detector to report to (overrides *detect_races*);
         tests pass a detector built from a *reference* plan to catch
         an engine/plan drifting apart.
+    backend:
+        ``"sequential"`` (default) executes the virtual processors in
+        one address space; ``"parallel"`` runs each virtual processor
+        as a real OS process (:mod:`repro.runtime.parallel`) with
+        shared-memory accumulators and ghost transfers as real IPC.
+        Both backends share the same fused kernels and per-accumulator
+        operation order, so their results agree bit-for-bit.  Race
+        detection is a sequential-backend feature: requesting it
+        explicitly together with ``backend="parallel"`` raises (the
+        parallel backend instead asserts plan-authorized access inside
+        each worker); the ``REPRO_DETECT_RACES`` environment default
+        is silently ignored by the parallel backend.
+    routing_cache:
+        Optional :class:`repro.runtime.kernels.RoutingCache` memoizing
+        ``map_chunk_to_cells`` per (chunk, region) across tiles and
+        queries; hit counters land in ``QueryResult.cache_stats``.
     """
+    if backend not in ("sequential", "parallel"):
+        raise ValueError(
+            f"unknown backend {backend!r}; expected 'sequential' or 'parallel'"
+        )
+    if backend == "parallel":
+        if race_detector is not None or detect_races:
+            raise ValueError(
+                "race detection runs on the sequential backend; the parallel "
+                "backend asserts plan-authorized access inside each worker "
+                "instead -- drop detect_races/race_detector or use "
+                "backend='sequential'"
+            )
+        from repro.runtime.parallel import execute_parallel
+
+        return execute_parallel(
+            plan,
+            chunks,
+            mapping,
+            grid,
+            spec,
+            enforce_memory=enforce_memory,
+            region=region,
+            prior=prior,
+            routing_cache=routing_cache,
+        )
     problem = plan.problem
     detector = race_detector
     if detector is None:
@@ -169,10 +230,12 @@ def execute_plan(
     in_global = problem.input_global_ids
     out_global = problem.output_global_ids
 
+    pool = BufferPool()
     acc_sets = [
         AccumulatorSet(
             spec,
             memory_limit=int(problem.memory_per_proc[p]) if enforce_memory else None,
+            pool=pool,
         )
         for p in range(problem.n_procs)
     ]
@@ -185,32 +248,22 @@ def execute_plan(
     # with the same slice of plan.edge_proc (forward-CSR order).
     fwd_indptr, fwd_ids = problem.graph.forward_csr
 
-    # Reads grouped by tile.
     reads = plan.reads
-    read_order = np.argsort(reads.tile, kind="stable")
-    read_bounds = np.searchsorted(reads.tile[read_order], np.arange(plan.n_tiles + 1))
-
-    # Ghost transfers grouped by tile.
-    gt = plan.ghost_transfers
-    gt_order = np.argsort(gt.tile, kind="stable")
-    gt_bounds = np.searchsorted(gt.tile[gt_order], np.arange(plan.n_tiles + 1))
-
-    # Outputs grouped by tile.
-    out_order = np.argsort(plan.tile_of_output, kind="stable")
-    out_bounds = np.searchsorted(
-        plan.tile_of_output[out_order], np.arange(plan.n_tiles + 1)
-    )
+    schedule = tile_schedule(plan)
+    indexer = grid_indexer(grid)
 
     results: Dict[int, np.ndarray] = {}
     n_reads = 0
     bytes_read = 0
     n_combines = 0
     n_aggregations = 0
+    phase_times = dict.fromkeys(PHASES, 0.0)
 
     for t in range(plan.n_tiles):
         # -- phase 1: initialization -----------------------------------
-        for k in range(out_bounds[t], out_bounds[t + 1]):
-            o = int(out_order[k])
+        t0 = time.perf_counter()
+        for k in schedule.outputs_of(t):
+            o = int(k)
             n_cells = grid.cells_in_chunk(int(out_global[o]))
             owner = int(problem.output_owner[o])
             prior_acc = None
@@ -224,69 +277,91 @@ def execute_plan(
                     detector.on_allocate(int(p), o, t)
                 if prior_acc is not None and (int(p) == owner or spec.idempotent):
                     acc.data[:] = prior_acc
+        phase_times["initialize"] += time.perf_counter() - t0
 
         # -- phase 2: local reduction --------------------------------------
-        for k in range(read_bounds[t], read_bounds[t + 1]):
-            r = int(read_order[k])
-            i = int(reads.chunk[r])
-            chunk = provider(int(in_global[i]))
+        t0 = time.perf_counter()
+        for r in schedule.reads_of(t):
+            i = int(reads.chunk[int(r)])
+            gid = int(in_global[i])
+            chunk = provider(gid)
             n_reads += 1
             bytes_read += int(problem.inputs.nbytes[i])
 
-            item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, region)
+            item_idx, cells = route_chunk(
+                chunk, mapping, grid, region, cache=routing_cache, chunk_id=gid
+            )
             if len(cells) == 0:
                 continue
-            out_chunks = grid.chunk_of_cells(cells)
-            local_out = sel_map[out_chunks]
-            keep = local_out >= 0
-            keep &= np.where(keep, plan.tile_of_output[local_out] == t, False)
-            if not keep.any():
+            values = coerce_values(chunk.values, spec.value_components)
+            segs = group_read(
+                item_idx, cells, values, grid, sel_map, plan.tile_of_output, t, indexer
+            )
+            if segs is None:
                 continue
-            item_idx, cells = item_idx[keep], cells[keep]
-            out_chunks, local_out = out_chunks[keep], local_out[keep]
-
-            values = np.asarray(chunk.values, dtype=float)
-            if values.ndim == 1:
-                values = values[:, None]
 
             edges_out = fwd_ids[fwd_indptr[i] : fwd_indptr[i + 1]]
             edges_proc = plan.edge_proc[fwd_indptr[i] : fwd_indptr[i + 1]]
-
-            order = np.argsort(local_out, kind="stable")
-            lo_sorted = local_out[order]
-            boundaries = np.flatnonzero(np.diff(lo_sorted)) + 1
-            starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [len(lo_sorted)]))
-            for s, e in zip(starts, ends):
-                o = int(lo_sorted[s])
-                pos = np.searchsorted(edges_out, o)
-                if pos >= len(edges_out) or edges_out[pos] != o:
-                    raise AssertionError(
-                        f"items of input chunk {i} land in output chunk {o} "
-                        "but the chunk graph has no such edge -- the graph "
-                        "must be a superset of the item-level mapping"
+            pos = np.searchsorted(edges_out, segs.seg_out)
+            if len(edges_out):
+                found = pos < len(edges_out)
+                found &= edges_out[np.where(found, pos, 0)] == segs.seg_out
+            else:
+                found = np.zeros(len(segs.seg_out), dtype=bool)
+            if not found.all():
+                o = int(segs.seg_out[np.flatnonzero(~found)[0]])
+                raise AssertionError(
+                    f"items of input chunk {i} land in output chunk {o} "
+                    "but the chunk graph has no such edge -- the graph "
+                    "must be a superset of the item-level mapping"
+                )
+            seg_procs = edges_proc[pos]
+            seg_out = segs.seg_out.tolist()
+            procs = seg_procs.tolist()
+            reduced = spec.prereduce_groups(segs.values, segs.group_starts)
+            if reduced is None:
+                # No pre-reduction for this aggregation: grouped
+                # scatter per segment (still sorted + pre-coerced).
+                starts, ends = segs.starts.tolist(), segs.ends.tolist()
+                for k, (o, q) in enumerate(zip(seg_out, procs)):
+                    if detector is not None:
+                        detector.on_aggregate(q, o, t)
+                    s, e = starts[k], ends[k]
+                    acc_sets[q].aggregate_grouped(
+                        o, segs.flat[s:e], segs.values[s:e]
                     )
-                q = int(edges_proc[pos])
-                sel = order[s:e]
-                local_cells = grid.local_cell_index(int(out_global[o]), cells[sel])
-                if detector is not None:
-                    detector.on_aggregate(q, o, t)
-                acc_sets[q].aggregate(o, local_cells, values[item_idx[sel]])
-                n_aggregations += 1
+                    n_aggregations += 1
+            else:
+                # One lexsorted scatter per (read, segment): duplicate
+                # cells were collapsed read-wide by prereduce_groups.
+                gflat = segs.flat[segs.group_starts]
+                gb = segs.group_bounds.tolist()
+                for k, (o, q) in enumerate(zip(seg_out, procs)):
+                    if detector is not None:
+                        detector.on_aggregate(q, o, t)
+                    acc_sets[q].scatter_groups(
+                        o, gflat[gb[k] : gb[k + 1]], reduced[gb[k] : gb[k + 1]]
+                    )
+                    n_aggregations += 1
+        phase_times["reduce"] += time.perf_counter() - t0
 
         # -- phase 3: global combine ----------------------------------------
-        for k in range(gt_bounds[t], gt_bounds[t + 1]):
-            g = int(gt_order[k])
+        t0 = time.perf_counter()
+        gt = plan.ghost_transfers
+        for g in schedule.transfers_of(t):
+            g = int(g)
             o = int(gt.chunk[g])
             src, dst = int(gt.src[g]), int(gt.dst[g])
             if detector is not None:
                 detector.on_combine(src, dst, o, t)
             acc_sets[dst].combine_from(o, acc_sets[src].get(o).data)
             n_combines += 1
+        phase_times["combine"] += time.perf_counter() - t0
 
         # -- phase 4: output handling -----------------------------------------
-        for k in range(out_bounds[t], out_bounds[t + 1]):
-            o = int(out_order[k])
+        t0 = time.perf_counter()
+        for k in schedule.outputs_of(t):
+            o = int(k)
             owner = int(problem.output_owner[o])
             acc = acc_sets[owner].get(o)
             if acc.ghost:
@@ -297,8 +372,13 @@ def execute_plan(
 
         for s in acc_sets:
             s.clear()
+        phase_times["output"] += time.perf_counter() - t0
         if detector is not None:
             detector.end_tile(t)
+
+    cache_stats: Dict[str, int] = dict(pool.stats())
+    if routing_cache is not None:
+        cache_stats.update(routing_cache.stats())
 
     ordered = sorted(results)
     return QueryResult(
@@ -313,4 +393,6 @@ def execute_plan(
         n_combines=n_combines,
         n_aggregations=n_aggregations,
         race_diagnostics=detector.report() if detector is not None else [],
+        phase_times=phase_times,
+        cache_stats=cache_stats,
     )

@@ -1,0 +1,453 @@
+"""Fused reduction kernels: the functional engine's hot path.
+
+The local-reduction phase turns a retrieved input chunk into scatter
+updates on accumulator chunks.  The original engine did this with a
+Python loop per (input chunk, output chunk) segment -- an ``argsort``
+followed by a per-segment ``grid.local_cell_index`` call and a
+per-segment ``np.add.at`` (which re-validated and re-coerced its
+operands every time).  On realistic workloads that loop, not the disk,
+dominated wall-clock.
+
+This module replaces it with fused, fully vectorized kernels shared by
+the sequential engine and the multiprocess backend:
+
+- :class:`GridIndexer` precomputes per-output-chunk block starts and
+  row-major strides so *all* mapped cells of a read resolve to flat
+  local accumulator indices in one vectorized expression (the old path
+  called ``grid.local_cell_index`` once per segment);
+- :func:`group_read` performs **one lexsort per read** over
+  ``(output chunk, flat cell)`` and hands back contiguous, cell-sorted
+  segments, which lets
+  :meth:`~repro.aggregation.functions.AggregationSpec.aggregate_grouped`
+  pre-reduce duplicate cells with ``ufunc.reduceat`` and update the
+  accumulator with plain fancy indexing instead of ``np.add.at``;
+- :func:`coerce_values` does the dtype-stable float coercion once per
+  chunk instead of once per segment;
+- :class:`RoutingCache` memoizes the item->cell routing of a chunk per
+  (chunk, region, mapping, grid) across tiles and across queries -- an
+  input chunk straddling several tiles (the multiple-retrieval cost
+  tiling tries to minimize) is mapped once.
+
+:func:`reference_segment_reduction` preserves the original per-segment
+loop verbatim.  It is the correctness oracle for every fused kernel
+and the baseline of ``benchmarks/bench_kernels.py``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.chunk import Chunk
+from repro.space.mapping import GridMapping, Mapping
+from repro.util.geometry import Rect
+
+__all__ = [
+    "GridIndexer",
+    "ReadSegments",
+    "RoutingCache",
+    "TileSchedule",
+    "coerce_values",
+    "group_read",
+    "reference_segment_reduction",
+    "route_chunk",
+    "routing_key",
+    "tile_schedule",
+]
+
+
+# ---------------------------------------------------------------------------
+# Vectorized cell -> flat local index
+# ---------------------------------------------------------------------------
+
+
+class GridIndexer:
+    """Per-grid lookup tables turning ``(output chunk, cell coords)``
+    into flat local accumulator indices without per-chunk Python calls.
+
+    For every output chunk the grid's block start and the row-major
+    strides of its (possibly truncated edge-) shape are tabulated once;
+    ``flat_index`` is then a single gather + multiply-add over all
+    cells of a read.
+    """
+
+    def __init__(self, grid: OutputGrid) -> None:
+        n, d = grid.n_chunks, grid.ndim
+        self.starts = np.empty((n, d), dtype=np.int64)
+        self.strides = np.empty((n, d), dtype=np.int64)
+        for cid in range(n):
+            start, stop = grid.chunk_block(cid)
+            shape = [b - a for a, b in zip(start, stop)]
+            stride = [0] * d
+            acc = 1
+            for j in range(d - 1, -1, -1):
+                stride[j] = acc
+                acc *= shape[j]
+            self.starts[cid] = start
+            self.strides[cid] = stride
+
+    def flat_index(self, out_chunks: np.ndarray, cells: np.ndarray) -> np.ndarray:
+        """Flat row-major index of each cell within its output chunk.
+
+        ``out_chunks`` is ``(m,)`` grid chunk ids, ``cells`` the
+        matching ``(m, d)`` cell coordinates; cells are assumed inside
+        their chunk block (which ``grid.chunk_of_cells`` guarantees).
+        """
+        local = cells - self.starts[out_chunks]
+        return np.einsum("ij,ij->i", local, self.strides[out_chunks])
+
+
+def grid_indexer(grid: OutputGrid) -> GridIndexer:
+    """The grid's (cached) :class:`GridIndexer`."""
+    indexer = getattr(grid, "_kernel_indexer", None)
+    if indexer is None:
+        indexer = GridIndexer(grid)
+        grid._kernel_indexer = indexer
+    return indexer
+
+
+# ---------------------------------------------------------------------------
+# Per-chunk value coercion
+# ---------------------------------------------------------------------------
+
+
+def coerce_values(values: np.ndarray, value_components: int) -> np.ndarray:
+    """Dtype-stable ``(n_items, value_components)`` float view of a
+    chunk's payload values, validated **once per chunk** (the scalar
+    path re-validates per segment inside ``AggregationSpec``)."""
+    out = np.asarray(values, dtype=np.float64)
+    if out.ndim == 1:
+        out = out[:, None]
+    if out.ndim != 2 or out.shape[1] != value_components:
+        raise ValueError(
+            f"expected {value_components} value components, got shape {out.shape}"
+        )
+    return np.ascontiguousarray(out)
+
+
+# ---------------------------------------------------------------------------
+# Routing cache
+# ---------------------------------------------------------------------------
+
+
+def _mapping_fingerprint(mapping: Mapping) -> Optional[tuple]:
+    """A value-based cache key for a mapping, or None when the mapping
+    is not declaratively keyable (custom subclasses are not cached)."""
+    if type(mapping) is GridMapping:
+        return (
+            "grid",
+            tuple(mapping.grid_shape),
+            tuple(mapping.scale.tolist()),
+            tuple(mapping.offset.tolist()),
+            tuple(mapping.dim_select),
+            tuple(mapping.footprint),
+        )
+    return None
+
+
+def routing_key(
+    chunk_id: int,
+    mapping: Mapping,
+    grid: OutputGrid,
+    region: Optional[Rect],
+) -> Optional[tuple]:
+    """Cache key for one chunk's routing, or None when uncacheable."""
+    mkey = _mapping_fingerprint(mapping)
+    if mkey is None:
+        return None
+    rkey = None if region is None else (tuple(region.lo), tuple(region.hi))
+    gkey = (tuple(grid.grid_shape), tuple(grid.chunk_shape))
+    return (int(chunk_id), rkey, mkey, gkey)
+
+
+class RoutingCache:
+    """Bounded LRU memo of ``map_chunk_to_cells`` results.
+
+    The same input chunk is re-routed once per tile it straddles and
+    once per query that retrieves it; the mapping is pure, so the
+    (item_idx, cells) arrays can be reused as long as the (chunk,
+    region, mapping, grid) key matches.  Entries are immutable (the
+    arrays are marked read-only) and evicted LRU by byte size.
+    """
+
+    def __init__(self, max_bytes: int = 128 * 2**20) -> None:
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, item_idx: np.ndarray, cells: np.ndarray) -> None:
+        if key in self._entries:
+            return
+        item_idx = item_idx.copy()
+        cells = cells.copy()
+        item_idx.setflags(write=False)
+        cells.setflags(write=False)
+        size = int(item_idx.nbytes + cells.nbytes)
+        if size > self.max_bytes:
+            return
+        while self._bytes + size > self.max_bytes and self._entries:
+            _, (old_idx, old_cells) = self._entries.popitem(last=False)
+            self._bytes -= int(old_idx.nbytes + old_cells.nbytes)
+            self.evictions += 1
+        self._entries[key] = (item_idx, cells)
+        self._bytes += size
+
+    def invalidate_chunk_ids(self, chunk_ids) -> None:
+        """Drop entries for specific chunk ids (dataset reloaded)."""
+        wanted = set(int(c) for c in chunk_ids)
+        for key in [k for k in self._entries if k[0] in wanted]:
+            idx, cells = self._entries.pop(key)
+            self._bytes -= int(idx.nbytes + cells.nbytes)
+
+    def stats(self) -> dict:
+        return {
+            "routing_hits": self.hits,
+            "routing_misses": self.misses,
+            "routing_evictions": self.evictions,
+            "routing_bytes": self._bytes,
+        }
+
+
+def route_chunk(
+    chunk: Chunk,
+    mapping: Mapping,
+    grid: OutputGrid,
+    region: Optional[Rect],
+    cache: Optional[RoutingCache] = None,
+    chunk_id: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``map_chunk_to_cells`` with optional memoization.
+
+    ``chunk_id`` namespaces the cache entry (dataset-level id); when a
+    cache is provided but the mapping is not declaratively keyable the
+    call transparently falls through to the uncached path.
+    """
+    from repro.runtime.serial import map_chunk_to_cells
+
+    key = None
+    if cache is not None and chunk_id is not None:
+        key = routing_key(chunk_id, mapping, grid, region)
+        if key is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+    item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, region)
+    if key is not None:
+        cache.put(key, item_idx, cells)
+    return item_idx, cells
+
+
+# ---------------------------------------------------------------------------
+# Fused read grouping
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReadSegments:
+    """One read's scatter work, lexsorted by (output chunk, cell).
+
+    ``starts[k]:ends[k]`` slices ``flat``/``values`` for the segment
+    aimed at local output chunk ``seg_out[k]``; within a segment the
+    flat cell indices are sorted ascending, which is the precondition
+    of the ``aggregate_grouped`` fast path.
+
+    ``group_starts``/``group_bounds`` describe the read's *cell runs*
+    (maximal runs of one (output chunk, cell) pair): run ``j`` is
+    ``flat[group_starts[j]:group_starts[j+1]]`` and segment *k* owns
+    runs ``group_bounds[k]:group_bounds[k+1]``.  Computed once per
+    read, they let ``AggregationSpec.prereduce_groups`` collapse every
+    duplicate cell in one ``reduceat`` sweep; the per-segment work then
+    shrinks to a single fancy-indexed scatter of pre-reduced rows.
+    """
+
+    seg_out: np.ndarray  # (k,) local output chunk ids, ascending
+    starts: np.ndarray  # (k,)
+    ends: np.ndarray  # (k,)
+    flat: np.ndarray  # (m,) flat local cell indices, segment-sorted
+    values: np.ndarray  # (m, value_components) float64
+    group_starts: np.ndarray  # (g,) run starts into flat/values
+    group_bounds: np.ndarray  # (k+1,) segment -> run range
+
+
+def group_read(
+    item_idx: np.ndarray,
+    cells: np.ndarray,
+    values: np.ndarray,
+    grid: OutputGrid,
+    sel_map: np.ndarray,
+    tile_of_output: np.ndarray,
+    tile: int,
+    indexer: Optional[GridIndexer] = None,
+) -> Optional[ReadSegments]:
+    """Filter one read's mapped cells to the current tile and group
+    them into cell-sorted segments with a single lexsort.
+
+    ``item_idx``/``cells`` come from :func:`route_chunk`; ``values`` is
+    the chunk's payload already through :func:`coerce_values`.
+    Returns None when nothing lands in this tile.
+    """
+    if len(cells) == 0:
+        return None
+    out_chunks = grid.chunk_of_cells(cells)
+    local_out = sel_map[out_chunks]
+    keep = local_out >= 0
+    keep &= np.where(keep, tile_of_output[local_out] == tile, False)
+    if not keep.any():
+        return None
+    item_idx = item_idx[keep]
+    out_chunks = out_chunks[keep]
+    local_out = local_out[keep]
+    if indexer is None:
+        indexer = grid_indexer(grid)
+    flat = indexer.flat_index(out_chunks, cells[keep])
+
+    order = np.lexsort((flat, local_out))
+    lo_sorted = local_out[order]
+    flat_sorted = flat[order]
+    seg_change = np.diff(lo_sorted) != 0
+    boundaries = np.flatnonzero(seg_change) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(lo_sorted)]))
+    # Cell runs: a new run wherever the segment OR the cell changes.
+    # Every segment start is also a run start, so the per-segment run
+    # ranges come straight out of one searchsorted.
+    run_change = seg_change | (np.diff(flat_sorted) != 0)
+    group_starts = np.concatenate(([0], np.flatnonzero(run_change) + 1))
+    group_bounds = np.searchsorted(
+        group_starts, np.concatenate((starts, [len(lo_sorted)]))
+    )
+    return ReadSegments(
+        seg_out=lo_sorted[starts],
+        starts=starts,
+        ends=ends,
+        flat=flat_sorted,
+        values=values[item_idx[order]],
+        group_starts=group_starts,
+        group_bounds=group_bounds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reference (pre-fusion) path: oracle + benchmark baseline
+# ---------------------------------------------------------------------------
+
+
+def reference_segment_reduction(
+    item_idx: np.ndarray,
+    cells: np.ndarray,
+    raw_values: np.ndarray,
+    grid: OutputGrid,
+    sel_map: np.ndarray,
+    tile_of_output: np.ndarray,
+    tile: int,
+    out_global: np.ndarray,
+    aggregate: Callable[[int, np.ndarray, np.ndarray], None],
+) -> int:
+    """The original per-segment local-reduction loop, verbatim.
+
+    ``argsort`` by output chunk, then per segment a Python-level
+    ``grid.local_cell_index`` call and one scalar ``aggregate(o,
+    local_cells, values)`` callback (which, through
+    ``AggregationSpec.aggregate``, re-coerces and re-validates the
+    batch and scatters with ``np.add.at``-style ufuncs).  Kept as the
+    oracle the fused kernels are tested against and as the baseline
+    ``benchmarks/bench_kernels.py`` measures the speedup over.
+    Returns the number of segments processed.
+    """
+    if len(cells) == 0:
+        return 0
+    out_chunks = grid.chunk_of_cells(cells)
+    local_out = sel_map[out_chunks]
+    keep = local_out >= 0
+    keep &= np.where(keep, tile_of_output[local_out] == tile, False)
+    if not keep.any():
+        return 0
+    item_idx, cells = item_idx[keep], cells[keep]
+    local_out = local_out[keep]
+
+    values = np.asarray(raw_values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+
+    order = np.argsort(local_out, kind="stable")
+    lo_sorted = local_out[order]
+    boundaries = np.flatnonzero(np.diff(lo_sorted)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(lo_sorted)]))
+    n_segments = 0
+    for s, e in zip(starts, ends):  # noqa: ADR305 -- preserved pre-fusion oracle
+        o = int(lo_sorted[s])
+        sel = order[s:e]
+        local_cells = grid.local_cell_index(int(out_global[o]), cells[sel])
+        aggregate(o, local_cells, values[item_idx[sel]])
+        n_segments += 1
+    return n_segments
+
+
+# ---------------------------------------------------------------------------
+# Plan tile schedule (shared by the sequential and parallel backends)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TileSchedule:
+    """Per-tile grouping of the plan's reads / ghost transfers /
+    outputs: ``x_order[x_bounds[t]:x_bounds[t+1]]`` are tile *t*'s
+    entries in deterministic (tile, original index) order -- the order
+    both backends execute, which is what makes them comparable
+    bit-for-bit."""
+
+    read_order: np.ndarray
+    read_bounds: np.ndarray
+    gt_order: np.ndarray
+    gt_bounds: np.ndarray
+    out_order: np.ndarray
+    out_bounds: np.ndarray
+
+    def reads_of(self, tile: int) -> np.ndarray:
+        return self.read_order[self.read_bounds[tile] : self.read_bounds[tile + 1]]
+
+    def transfers_of(self, tile: int) -> np.ndarray:
+        return self.gt_order[self.gt_bounds[tile] : self.gt_bounds[tile + 1]]
+
+    def outputs_of(self, tile: int) -> np.ndarray:
+        return self.out_order[self.out_bounds[tile] : self.out_bounds[tile + 1]]
+
+
+def tile_schedule(plan) -> TileSchedule:
+    """Group the plan's traffic tables by tile (stable order)."""
+    ticks = np.arange(plan.n_tiles + 1)
+    reads = plan.reads
+    read_order = np.argsort(reads.tile, kind="stable")
+    read_bounds = np.searchsorted(reads.tile[read_order], ticks)
+    gt = plan.ghost_transfers
+    gt_order = np.argsort(gt.tile, kind="stable")
+    gt_bounds = np.searchsorted(gt.tile[gt_order], ticks)
+    out_order = np.argsort(plan.tile_of_output, kind="stable")
+    out_bounds = np.searchsorted(plan.tile_of_output[out_order], ticks)
+    return TileSchedule(
+        read_order, read_bounds, gt_order, gt_bounds, out_order, out_bounds
+    )

@@ -1,0 +1,560 @@
+"""Multiprocess execution backend: one OS process per virtual processor.
+
+The sequential engine (:mod:`repro.runtime.engine`) honors the plan's
+data placement inside one address space.  This backend makes the
+placement physical: each virtual processor is a forked worker with
+
+- its own slice of a :class:`multiprocessing.shared_memory.SharedMemory`
+  arena holding the accumulator chunks it is a plan-declared holder of,
+- a private inbox :class:`multiprocessing.Queue` over which forwarded
+  input segments (the DA communication) and ghost accumulator chunks
+  (the FRA/SRA communication) arrive as real IPC,
+- plan-authorization asserts on every access: a worker only ever
+  touches accumulators it holds, applies edges the plan assigned to it,
+  and combines ghosts the plan declares shipped to it.  (The simulated
+  race detector is a sequential-backend feature; this backend enforces
+  the same contracts structurally, per worker.)
+
+**Determinism.** Both backends share the fused kernels of
+:mod:`repro.runtime.kernels` and iterate the same
+:func:`~repro.runtime.kernels.tile_schedule`: every worker walks the
+tile's reads in global read order -- the reader routes the chunk and
+forwards per-edge segments, recipients block for the forward before
+moving on -- so each accumulator receives exactly the same floating-
+point operations in exactly the same order as under the sequential
+backend, and results agree **bit for bit** (``np.array_equal``).
+
+**Deadlock freedom.** Sends never block (unbounded queues); a worker
+only blocks waiting for the message of the earliest unprocessed read
+(or declared ghost transfer).  A wait chain therefore strictly
+decreases in schedule index and must end at a worker that is actively
+producing, so global progress is guaranteed; out-of-order arrivals are
+stashed by schedule index until their turn.
+
+The backend is selected with ``execute_plan(..., backend="parallel")``.
+It requires the ``fork`` start method (the chunk provider and prior
+callables are inherited, never pickled), i.e. a POSIX host.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.aggregation.functions import AggregationSpec
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.chunk import Chunk
+from repro.dataset.dataset import Dataset
+from repro.planner.plan import QueryPlan
+from repro.runtime.kernels import (
+    RoutingCache,
+    coerce_values,
+    grid_indexer,
+    group_read,
+    route_chunk,
+    tile_schedule,
+)
+from repro.space.mapping import GridMapping
+
+__all__ = ["execute_parallel"]
+
+ChunkProvider = Callable[[int], Chunk]
+
+#: Seconds a worker waits on its inbox before concluding a peer died.
+_INBOX_TIMEOUT = 120.0
+#: Seconds the parent waits between liveness checks of the workers.
+_PARENT_POLL = 0.5
+
+_ALIGN = 64  # worker arena slices are cache-line aligned
+
+
+# ---------------------------------------------------------------------------
+# Plan-derived layout (computed once, in the parent, before forking)
+# ---------------------------------------------------------------------------
+
+
+class _Layout:
+    """Shared-memory arena layout + per-read forwarding expectations.
+
+    Everything here is a pure function of (plan, grid, spec); workers
+    inherit it read-only through fork, so parent and every worker agree
+    on offsets and message schedules without any further coordination.
+    """
+
+    def __init__(
+        self, plan: QueryPlan, grid: OutputGrid, spec: AggregationSpec,
+        enforce_memory: bool,
+    ) -> None:
+        problem = plan.problem
+        out_global = problem.output_global_ids
+        self.schedule = tile_schedule(plan)
+        n_procs = problem.n_procs
+
+        # Per (tile, proc): [(local output id, n_cells, byte offset)].
+        self.tile_accs: List[List[List[Tuple[int, int, int]]]] = [
+            [[] for _ in range(n_procs)] for _ in range(plan.n_tiles)
+        ]
+        per_tile_bytes = np.zeros((plan.n_tiles, n_procs), dtype=np.int64)
+        for t in range(plan.n_tiles):
+            for k in self.schedule.outputs_of(t):
+                o = int(k)
+                n_cells = grid.cells_in_chunk(int(out_global[o]))
+                nbytes = spec.acc_bytes(n_cells)
+                for p in plan.holders_of(o):
+                    p = int(p)
+                    offset = int(per_tile_bytes[t, p])
+                    self.tile_accs[t][p].append((o, n_cells, offset))
+                    per_tile_bytes[t, p] = offset + nbytes
+        if enforce_memory:
+            over = per_tile_bytes > problem.memory_per_proc[None, :]
+            if over.any():
+                t, p = map(int, np.argwhere(over)[0])
+                raise MemoryError(
+                    f"tile {t} needs {int(per_tile_bytes[t, p])} accumulator "
+                    f"bytes on processor {p}, over the "
+                    f"{int(problem.memory_per_proc[p])}-byte budget -- the "
+                    "tiling step should prevent this"
+                )
+
+        # Worker arena slices (cache-line aligned, >= 1 byte each).
+        slice_bytes = per_tile_bytes.max(axis=0) if plan.n_tiles else np.zeros(
+            n_procs, dtype=np.int64
+        )
+        self.slice_starts = np.zeros(n_procs, dtype=np.int64)
+        total = 0
+        for p in range(n_procs):
+            self.slice_starts[p] = total
+            total += -(-max(int(slice_bytes[p]), 1) // _ALIGN) * _ALIGN
+        self.arena_bytes = max(total, 1)
+
+        # Per read: which procs (beyond the reader) get a forwarded
+        # segment message.  Derived from the plan's edge assignment
+        # restricted to the read's tile, so sender and receivers agree
+        # on the message schedule even for reads that map no items.
+        fwd_indptr, fwd_ids = problem.graph.forward_csr
+        reads = plan.reads
+        self.recipients: List[np.ndarray] = []
+        for r in range(len(reads)):
+            i = int(reads.chunk[r])
+            t = int(reads.tile[r])
+            lo, hi = fwd_indptr[i], fwd_indptr[i + 1]
+            active = plan.tile_of_output[fwd_ids[lo:hi]] == t
+            procs = np.unique(plan.edge_proc[lo:hi][active])
+            self.recipients.append(procs[procs != int(reads.proc[r])])
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+
+class _Inbox:
+    """Ordered receive over an unordered queue: messages are keyed by
+    schedule position and stashed until their turn comes."""
+
+    def __init__(self, q) -> None:
+        self._q = q
+        self._stash: Dict[tuple, object] = {}
+
+    def expect(self, key: tuple):
+        while key not in self._stash:
+            try:
+                got_key, payload = self._q.get(timeout=_INBOX_TIMEOUT)
+            except queue_mod.Empty:
+                raise RuntimeError(
+                    f"worker timed out waiting for message {key!r}; a peer "
+                    "processor likely died"
+                ) from None
+            self._stash[got_key] = payload
+        return self._stash.pop(key)
+
+
+def _worker(
+    rank: int,
+    plan: QueryPlan,
+    provider: ChunkProvider,
+    mapping: GridMapping,
+    grid: OutputGrid,
+    spec: AggregationSpec,
+    region,
+    prior,
+    routing_cache: Optional[RoutingCache],
+    layout: _Layout,
+    shm_name: str,
+    inboxes,
+    result_q,
+) -> None:
+    """One virtual processor as a real process."""
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        _worker_body(
+            rank, plan, provider, mapping, grid, spec, region, prior,
+            routing_cache, layout, shm, inboxes, result_q,
+        )
+    except BaseException:
+        result_q.put(("error", rank, traceback.format_exc()))
+    finally:
+        shm.close()
+
+
+def _worker_body(
+    rank, plan, provider, mapping, grid, spec, region, prior,
+    routing_cache, layout, shm, inboxes, result_q,
+) -> None:
+    problem = plan.problem
+    in_global = problem.input_global_ids
+    out_global = problem.output_global_ids
+    schedule = layout.schedule
+    indexer = grid_indexer(grid)
+    inbox = _Inbox(inboxes[rank])
+    reads = plan.reads
+    gt = plan.ghost_transfers
+    fwd_indptr, fwd_ids = problem.graph.forward_csr
+
+    sel_map = np.full(grid.n_chunks, -1, dtype=np.int64)
+    sel_map[out_global] = np.arange(problem.n_out)
+
+    # The cache was forked with the parent's counters baked in; report
+    # only this worker's delta so the parent can sum across workers.
+    cache_base = routing_cache.stats() if routing_cache is not None else {}
+
+    arena = np.frombuffer(shm.buf, dtype=np.uint8)
+    base = int(layout.slice_starts[rank])
+
+    n_reads = 0
+    bytes_read = 0
+    n_aggregations = 0
+    n_combines = 0
+    phase_times = {"initialize": 0.0, "reduce": 0.0, "combine": 0.0, "output": 0.0}
+
+    def edge_proc_of(i: int, o: int) -> int:
+        lo, hi = fwd_indptr[i], fwd_indptr[i + 1]
+        edges_out = fwd_ids[lo:hi]
+        pos = np.searchsorted(edges_out, o)
+        if pos >= len(edges_out) or edges_out[pos] != o:
+            raise AssertionError(
+                f"items of input chunk {i} land in output chunk {o} "
+                "but the chunk graph has no such edge -- the graph "
+                "must be a superset of the item-level mapping"
+            )
+        return int(plan.edge_proc[lo + pos])
+
+    for t in range(plan.n_tiles):
+        # -- phase 1: initialization (arena views) ---------------------
+        t0 = time.perf_counter()
+        accs: Dict[int, np.ndarray] = {}
+        for o, n_cells, offset in layout.tile_accs[t][rank]:
+            assert rank in plan.holders_of(o), "not a plan-declared holder"
+            start = base + offset
+            acc = arena[start : start + spec.acc_bytes(n_cells)].view(
+                spec.acc_dtype
+            ).reshape(n_cells, spec.acc_components)
+            spec.initialize_into(acc)
+            if problem.init_from_output and prior is not None:
+                owner = int(problem.output_owner[o])
+                if rank == owner or spec.idempotent:
+                    prior_vals = prior(int(out_global[o]))
+                    if prior_vals is not None:
+                        acc[:] = spec.initialize_from(prior_vals)
+            accs[o] = acc
+        phase_times["initialize"] += time.perf_counter() - t0
+
+        # -- phase 2: local reduction (global read order) --------------
+        t0 = time.perf_counter()
+        for r in schedule.reads_of(t):
+            r = int(r)
+            reader = int(reads.proc[r])
+            recipients = layout.recipients[r]
+            if rank == reader:
+                i = int(reads.chunk[r])
+                gid = int(in_global[i])
+                chunk = provider(gid)
+                n_reads += 1
+                bytes_read += int(problem.inputs.nbytes[i])
+                item_idx, cells = route_chunk(
+                    chunk, mapping, grid, region,
+                    cache=routing_cache, chunk_id=gid,
+                )
+                segs = None
+                if len(cells):
+                    values = coerce_values(chunk.values, spec.value_components)
+                    segs = group_read(
+                        item_idx, cells, values, grid, sel_map,
+                        plan.tile_of_output, t, indexer,
+                    )
+                # Partition segments by assigned processor; apply own,
+                # forward the rest (the DA communication), keeping the
+                # ascending-segment order everywhere.  Duplicate cells
+                # are pre-reduced read-wide first (when the aggregation
+                # supports it), so forwarded segments ship one row per
+                # distinct cell and both sides apply one fancy-indexed
+                # scatter per segment -- the same arithmetic, in the
+                # same order, as the sequential backend.
+                outbound: Dict[int, list] = {int(q): [] for q in recipients}
+                if segs is not None:
+                    reduced = spec.prereduce_groups(segs.values, segs.group_starts)
+                    gflat = (
+                        segs.flat[segs.group_starts] if reduced is not None else None
+                    )
+                    gb = segs.group_bounds
+                    for k in range(len(segs.seg_out)):
+                        o = int(segs.seg_out[k])
+                        q = edge_proc_of(i, o)
+                        if q == rank:
+                            assert o in accs, "reader aggregating into chunk it does not hold"
+                            if reduced is None:
+                                s, e = segs.starts[k], segs.ends[k]
+                                spec.aggregate_grouped(
+                                    accs[o], segs.flat[s:e], segs.values[s:e]
+                                )
+                            else:
+                                spec.scatter_groups(
+                                    accs[o],
+                                    gflat[gb[k] : gb[k + 1]],
+                                    reduced[gb[k] : gb[k + 1]],
+                                )
+                            n_aggregations += 1
+                        elif reduced is None:
+                            s, e = segs.starts[k], segs.ends[k]
+                            outbound[q].append(
+                                ("raw", o, np.ascontiguousarray(segs.flat[s:e]),
+                                 np.ascontiguousarray(segs.values[s:e]))
+                            )
+                        else:
+                            outbound[q].append(
+                                ("red", o,
+                                 np.ascontiguousarray(gflat[gb[k] : gb[k + 1]]),
+                                 np.ascontiguousarray(reduced[gb[k] : gb[k + 1]]))
+                            )
+                for q in recipients:
+                    inboxes[int(q)].put((("seg", t, r), outbound[int(q)]))
+            elif rank in recipients:
+                segments = inbox.expect(("seg", t, r))
+                i = int(reads.chunk[r])
+                for kind, o, cell_idx, payload in segments:
+                    assert edge_proc_of(i, o) == rank, (
+                        "forwarded segment for an edge the plan did not "
+                        "assign to this processor"
+                    )
+                    assert o in accs, "segment for a chunk this worker does not hold"
+                    if kind == "red":
+                        spec.scatter_groups(accs[o], cell_idx, payload)
+                    else:
+                        spec.aggregate_grouped(accs[o], cell_idx, payload)
+                    n_aggregations += 1
+        phase_times["reduce"] += time.perf_counter() - t0
+
+        # -- phase 3: global combine (declared transfer order) ---------
+        t0 = time.perf_counter()
+        for g in schedule.transfers_of(t):
+            g = int(g)
+            o = int(gt.chunk[g])
+            src, dst = int(gt.src[g]), int(gt.dst[g])
+            if rank == src:
+                assert o in accs, "shipping a ghost this worker does not hold"
+                # Copy before put: Queue serializes in a feeder thread,
+                # and the arena view is recycled next tile.
+                inboxes[dst].put((("ghost", t, g), accs[o].copy()))
+            if rank == dst:
+                ghost_data = inbox.expect(("ghost", t, g))
+                assert int(problem.output_owner[o]) == rank, (
+                    "ghost shipped to a non-owner"
+                )
+                assert o in accs and ghost_data.shape == accs[o].shape
+                spec.combine(accs[o], ghost_data)
+                n_combines += 1
+        phase_times["combine"] += time.perf_counter() - t0
+
+        # -- phase 4: output handling ----------------------------------
+        t0 = time.perf_counter()
+        for k in schedule.outputs_of(t):
+            o = int(k)
+            if int(problem.output_owner[o]) != rank:
+                continue
+            assert o in accs, "owner does not hold its own chunk"
+            result_q.put(("result", o, spec.output(accs[o])))
+        accs.clear()
+        phase_times["output"] += time.perf_counter() - t0
+
+    cache_stats = {}
+    if routing_cache is not None:
+        for key, v in routing_cache.stats().items():
+            if key.endswith("_bytes"):
+                cache_stats[key] = int(v)
+            else:
+                cache_stats[key] = int(v) - int(cache_base.get(key, 0))
+    stats = {
+        "n_reads": n_reads,
+        "bytes_read": bytes_read,
+        "n_aggregations": n_aggregations,
+        "n_combines": n_combines,
+        "phase_times": phase_times,
+        "cache_stats": cache_stats,
+    }
+    result_q.put(("done", rank, stats))
+
+
+# ---------------------------------------------------------------------------
+# Parent orchestration
+# ---------------------------------------------------------------------------
+
+
+def execute_parallel(
+    plan: QueryPlan,
+    chunks: Union[Dataset, ChunkProvider],
+    mapping: GridMapping,
+    grid: OutputGrid,
+    spec: AggregationSpec,
+    enforce_memory: bool = False,
+    region=None,
+    prior: Optional[Callable[[int], np.ndarray]] = None,
+    routing_cache: Optional[RoutingCache] = None,
+):
+    """Execute *plan* with one OS process per virtual processor.
+
+    Same contract and result as ``execute_plan(..., backend=
+    "sequential")`` -- bit for bit -- except that race detection is not
+    available (each worker asserts plan-authorized access instead) and
+    ``phase_times`` reports the per-phase maximum across workers (the
+    critical path).  A *routing_cache* is forked copy-on-write into
+    each worker: hits still apply per worker, but the parent's cache
+    object is not updated; per-worker hit counters are summed into
+    ``cache_stats``.
+
+    Requires the ``fork`` start method (POSIX): the chunk provider and
+    *prior* callables are inherited, never pickled.
+    """
+    import multiprocessing
+    from multiprocessing import shared_memory
+
+    from repro.runtime.engine import QueryResult, _provider
+
+    problem = plan.problem
+    provider = _provider(chunks)
+    layout = _Layout(plan, grid, spec, enforce_memory)
+
+    if plan.n_tiles == 0 or problem.n_out == 0:
+        return QueryResult(
+            strategy=plan.strategy,
+            output_ids=np.empty(0, dtype=np.int64),
+            chunk_values=[],
+            n_tiles=plan.n_tiles,
+            n_reads=0,
+            bytes_read=0,
+            n_combines=0,
+            n_aggregations=0,
+        )
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        raise RuntimeError(
+            "backend='parallel' requires the fork start method (POSIX)"
+        ) from None
+
+    shm = shared_memory.SharedMemory(create=True, size=layout.arena_bytes)
+    inboxes = [ctx.Queue() for _ in range(problem.n_procs)]
+    result_q = ctx.Queue()
+    workers = [
+        ctx.Process(
+            target=_worker,
+            args=(
+                p, plan, provider, mapping, grid, spec, region, prior,
+                routing_cache, layout, shm.name, inboxes, result_q,
+            ),
+            daemon=True,
+        )
+        for p in range(problem.n_procs)
+    ]
+    results: Dict[int, np.ndarray] = {}
+    totals = {"n_reads": 0, "bytes_read": 0, "n_aggregations": 0, "n_combines": 0}
+    phase_times = {"initialize": 0.0, "reduce": 0.0, "combine": 0.0, "output": 0.0}
+    cache_stats: Dict[str, int] = {}
+    try:
+        for w in workers:
+            w.start()
+        pending = set(range(problem.n_procs))
+        quiet_polls = 0
+        while pending:
+            try:
+                msg = result_q.get(timeout=_PARENT_POLL)
+            except queue_mod.Empty:
+                dead = [
+                    p for p in pending
+                    if not workers[p].is_alive() and workers[p].exitcode is not None
+                ]
+                # A worker that exited without reporting "done" broke the
+                # protocol; give the queue a few grace polls in case its
+                # final messages are still in flight.
+                quiet_polls += 1
+                if dead and (
+                    quiet_polls >= 10
+                    or any(workers[p].exitcode != 0 for p in dead)
+                ):
+                    raise RuntimeError(
+                        f"parallel worker(s) {dead} died without reporting "
+                        "(exit codes "
+                        f"{[workers[p].exitcode for p in dead]})"
+                    )
+                continue
+            quiet_polls = 0
+            kind = msg[0]
+            if kind == "result":
+                _, o, value = msg
+                results[int(o)] = value
+            elif kind == "done":
+                _, rank, stats = msg
+                pending.discard(rank)
+                for key in totals:
+                    totals[key] += stats[key]
+                for key in phase_times:
+                    phase_times[key] = max(phase_times[key], stats["phase_times"][key])
+                for key, v in stats["cache_stats"].items():
+                    if key.endswith("_bytes"):
+                        cache_stats[key] = max(cache_stats.get(key, 0), int(v))
+                    else:
+                        cache_stats[key] = cache_stats.get(key, 0) + int(v)
+            elif kind == "error":
+                _, rank, tb = msg
+                raise RuntimeError(
+                    f"parallel worker {rank} failed:\n{tb}"
+                )
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unexpected worker message {kind!r}")
+        for w in workers:
+            w.join(timeout=30)
+    finally:
+        for w in workers:
+            if w.is_alive():
+                w.terminate()
+        for w in workers:
+            w.join(timeout=5)
+        for q in inboxes:
+            q.close()
+        result_q.close()
+        shm.close()
+        shm.unlink()
+
+    out_global = problem.output_global_ids
+    ordered = sorted(results)
+    return QueryResult(
+        strategy=plan.strategy,
+        output_ids=out_global[np.asarray(ordered, dtype=np.int64)]
+        if ordered
+        else np.empty(0, dtype=np.int64),
+        chunk_values=[results[o] for o in ordered],
+        n_tiles=plan.n_tiles,
+        n_reads=totals["n_reads"],
+        bytes_read=totals["bytes_read"],
+        n_combines=totals["n_combines"],
+        n_aggregations=totals["n_aggregations"],
+        race_diagnostics=[],
+        phase_times=phase_times,
+        cache_stats=cache_stats,
+    )

@@ -61,6 +61,7 @@ def execute_serial(
     spec: AggregationSpec,
     output_ids: Optional[np.ndarray] = None,
     region: Optional[Rect] = None,
+    fused: bool = True,
 ) -> Dict[int, np.ndarray]:
     """Run the Figure-1 loop over *chunks*; returns per-output-chunk
     final values keyed by output chunk id.
@@ -70,7 +71,14 @@ def execute_serial(
     are dropped, mirroring step 7's ``Map(ic) ∩ Ot``.  ``region``
     applies the item-level range filter (items of retrieved chunks
     outside the box are skipped).
+
+    ``fused`` selects the grouped-scatter kernels from
+    :mod:`repro.runtime.kernels` (the default); ``fused=False`` runs
+    the original scalar per-segment loop, kept as the oracle the fused
+    path -- and every parallel strategy -- is tested against.
     """
+    from repro.runtime.kernels import coerce_values, grid_indexer, group_read
+
     if output_ids is None:
         wanted = np.arange(grid.n_chunks, dtype=np.int64)
     else:
@@ -79,6 +87,11 @@ def execute_serial(
             raise ValueError("output ids outside the grid")
     selected = np.zeros(grid.n_chunks, dtype=bool)
     selected[wanted] = True
+    # Identity local-id map / single-tile map, so the serial loop can
+    # share group_read with the engine backends.
+    sel_map = np.where(selected, np.arange(grid.n_chunks, dtype=np.int64), -1)
+    tile_of_output = np.zeros(grid.n_chunks, dtype=np.int64)
+    indexer = grid_indexer(grid)
 
     # Initialization (steps 1-3).
     accs: Dict[int, np.ndarray] = {
@@ -90,6 +103,31 @@ def execute_serial(
         item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, region)
         if len(cells) == 0:
             continue
+        if fused:
+            values = coerce_values(chunk.values, spec.value_components)
+            segs = group_read(
+                item_idx, cells, values, grid, sel_map, tile_of_output, 0, indexer
+            )
+            if segs is None:
+                continue
+            reduced = spec.prereduce_groups(segs.values, segs.group_starts)
+            if reduced is None:
+                for k in range(len(segs.seg_out)):
+                    o = int(segs.seg_out[k])
+                    s, e = segs.starts[k], segs.ends[k]
+                    spec.aggregate_grouped(accs[o], segs.flat[s:e], segs.values[s:e])
+            else:
+                gflat = segs.flat[segs.group_starts]
+                gb = segs.group_bounds
+                for k in range(len(segs.seg_out)):
+                    o = int(segs.seg_out[k])
+                    spec.scatter_groups(
+                        accs[o], gflat[gb[k] : gb[k + 1]], reduced[gb[k] : gb[k + 1]]
+                    )
+            continue
+
+        # Scalar oracle path: argsort by output chunk, per-segment
+        # local_cell_index + scalar aggregate.
         out_chunks = grid.chunk_of_cells(cells)
         keep = selected[out_chunks]
         if not keep.any():
@@ -103,7 +141,7 @@ def execute_serial(
         values = np.asarray(chunk.values, dtype=float)
         if values.ndim == 1:
             values = values[:, None]
-        for s, e in zip(starts, ends):
+        for s, e in zip(starts, ends):  # noqa: ADR305 -- reference oracle
             o = int(out_sorted[s])
             sel = order[s:e]
             local = grid.local_cell_index(o, cells[sel])

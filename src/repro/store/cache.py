@@ -1,0 +1,155 @@
+"""Bounded LRU payload cache over any :class:`ChunkStore`.
+
+Batched queries deliberately ordered for shared scans
+(:mod:`repro.planner.batch` and its ``cached_inputs`` model) only pay
+off if a chunk retrieved by one query is still in memory when the next
+query asks for it.  :class:`CachedChunkStore` provides that memory: a
+byte-bounded LRU of decoded :class:`~repro.dataset.chunk.Chunk`
+payloads in front of the real store, transparently invalidated by
+writes and dataset deletion.
+
+Cached chunks are shared between callers -- treat payload arrays as
+read-only (the execution engine never mutates retrieved chunks).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.dataset.chunk import Chunk
+from repro.store.chunk_store import ChunkStore
+from repro.util.units import MB
+
+__all__ = ["CachedChunkStore"]
+
+_Key = Tuple[str, int]
+
+
+def _chunk_bytes(chunk: Chunk) -> int:
+    return int(chunk.coords.nbytes) + int(chunk.values.nbytes)
+
+
+class CachedChunkStore(ChunkStore):
+    """LRU-cached view of *inner*, bounded by decoded payload bytes.
+
+    Reads fill the cache; writes and deletions invalidate the affected
+    entries before delegating, so the cache can never serve stale
+    payloads for data modified *through this wrapper*.  (Mutating the
+    wrapped store directly bypasses invalidation -- keep one handle.)
+    """
+
+    def __init__(self, inner: ChunkStore, max_bytes: int = 64 * MB) -> None:
+        if isinstance(inner, CachedChunkStore):
+            raise ValueError("refusing to stack chunk caches")
+        self.inner = inner
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[_Key, Chunk]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- cache mechanics ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def _insert(self, key: _Key, chunk: Chunk) -> None:
+        size = _chunk_bytes(chunk)
+        if size > self.max_bytes or key in self._entries:
+            return
+        while self._bytes + size > self.max_bytes and self._entries:
+            _, old = self._entries.popitem(last=False)
+            self._bytes -= _chunk_bytes(old)
+            self.evictions += 1
+        self._entries[key] = chunk
+        self._bytes += size
+
+    def _lookup(self, key: _Key) -> Optional[Chunk]:
+        chunk = self._entries.get(key)
+        if chunk is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return chunk
+
+    def invalidate(self, dataset: str, chunk_ids: Optional[List[int]] = None) -> None:
+        """Drop cached payloads of *dataset* (or just *chunk_ids*)."""
+        if chunk_ids is None:
+            doomed = [k for k in self._entries if k[0] == dataset]
+        else:
+            wanted = set(int(c) for c in chunk_ids)
+            doomed = [k for k in self._entries if k[0] == dataset and k[1] in wanted]
+        for key in doomed:
+            self._bytes -= _chunk_bytes(self._entries.pop(key))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "chunk_hits": self.hits,
+            "chunk_misses": self.misses,
+            "chunk_evictions": self.evictions,
+            "chunk_bytes": self._bytes,
+        }
+
+    # -- store interface ---------------------------------------------------
+
+    def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
+        key = (dataset, int(chunk_id))
+        chunk = self._lookup(key)
+        if chunk is None:
+            chunk = self.inner.read_chunk(dataset, chunk_id)
+            self._insert(key, chunk)
+        return chunk
+
+    def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:
+        """Serve hits from cache; fetch the misses in one batch through
+        the inner store (which orders them by disk placement); yield in
+        the caller's order."""
+        ids = [int(c) for c in chunk_ids]
+        got: Dict[int, Chunk] = {}
+        missing: List[int] = []
+        for cid in dict.fromkeys(ids):  # preserve order, visit once
+            chunk = self._lookup((dataset, cid))
+            if chunk is None:
+                missing.append(cid)
+            else:
+                got[cid] = chunk
+        if missing:
+            for chunk in self.inner.read_many(dataset, missing):
+                cid = int(chunk.chunk_id)
+                got[cid] = chunk
+                self._insert((dataset, cid), chunk)
+        for cid in ids:
+            yield got[cid]
+
+    def write_chunk(self, dataset: str, chunk: Chunk, node: int, disk: int) -> None:
+        self.invalidate(dataset, [chunk.chunk_id])
+        self.inner.write_chunk(dataset, chunk, node, disk)
+
+    def write_chunks(self, dataset: str, chunks, placements) -> None:
+        self.invalidate(dataset, [c.chunk_id for c in chunks])
+        if hasattr(self.inner, "write_chunks"):
+            self.inner.write_chunks(dataset, chunks, placements)
+        else:
+            for chunk, (node, disk) in zip(chunks, placements):
+                self.inner.write_chunk(dataset, chunk, node, disk)
+
+    def delete_dataset(self, dataset: str) -> None:
+        self.invalidate(dataset)
+        self.inner.delete_dataset(dataset)
+
+    def placement(self, dataset: str, chunk_id: int):
+        return self.inner.placement(dataset, chunk_id)
+
+    def chunk_ids(self, dataset: str) -> List[int]:
+        return self.inner.chunk_ids(dataset)
+
+    def __getattr__(self, name: str):
+        # Store-specific extras (e.g. FileChunkStore.root) pass through.
+        return getattr(self.inner, name)

@@ -2,7 +2,13 @@
 
 import numpy as np
 
-from repro.analysis.corpus import corpus_problems, main, verify_corpus
+from repro.analysis.corpus import (
+    corpus_problems,
+    functional_workloads,
+    main,
+    verify_corpus,
+    verify_functional_corpus,
+)
 
 
 class TestCorpus:
@@ -21,3 +27,24 @@ class TestCorpus:
     def test_cli_exits_zero(self, capsys):
         assert main(["--no-emulators"]) == 0
         assert "zero diagnostics" in capsys.readouterr().out
+
+
+class TestFunctionalCorpus:
+    """Payload-carrying workloads executed on both backends.
+
+    The full 4-strategy x 9-workload sweep (36 plans, each run
+    sequentially with race detection *and* on the multiprocess
+    backend) is the CI job ``python -m repro.analysis.corpus
+    --functional``; here one strategy keeps tier-1 fast while still
+    exercising the whole pipeline end to end.
+    """
+
+    def test_workloads_are_deterministic(self):
+        a = [label for label, _ in functional_workloads()]
+        b = [label for label, _ in functional_workloads()]
+        assert a == b and len(a) == 9
+
+    def test_one_strategy_verifies_clean(self):
+        n_plans, failures = verify_functional_corpus(strategies=("FRA",))
+        assert n_plans == 9
+        assert failures == [], "\n".join(failures)

@@ -99,6 +99,67 @@ class TestSuppression:
         assert codes(src) == {"ADR301"}
 
 
+class TestAggregateLoop:
+    LOOP = """\
+        for s, e in zip(starts, ends):
+            spec.aggregate(acc, cells[s:e], values[s:e])
+    """
+
+    def test_flagged_in_hot_path(self):
+        out = findings(self.LOOP, runtime_hot_path=True)
+        assert [d.code for d in out] == ["ADR305"]
+        assert out[0].severity == Severity.ERROR
+
+    def test_not_flagged_outside_hot_path(self):
+        assert codes(self.LOOP) == set()
+
+    def test_while_and_bare_name_variants(self):
+        src = """\
+            while k < n:
+                aggregate(k, cells, values)
+                k += 1
+        """
+        assert codes(src, runtime_hot_path=True) == {"ADR305"}
+
+    def test_grouped_call_in_loop_ok(self):
+        src = """\
+            for k in range(len(seg_out)):
+                acc_sets[q].aggregate_grouped(o, flat, values)
+        """
+        assert codes(src, runtime_hot_path=True) == set()
+
+    def test_nested_loop_flagged_once_on_inner(self):
+        src = """\
+            for tile in tiles:
+                for s, e in zip(starts, ends):
+                    spec.aggregate(acc, cells[s:e], values[s:e])
+        """
+        out = findings(src, runtime_hot_path=True)
+        assert [d.code for d in out] == ["ADR305"]
+        assert ":2:" in out[0].location  # the inner loop, not the outer
+
+    def test_noqa_opt_out(self):
+        src = """\
+            for s, e in zip(starts, ends):  # noqa: ADR305 -- reference oracle
+                spec.aggregate(acc, cells[s:e], values[s:e])
+        """
+        assert codes(src, runtime_hot_path=True) == set()
+
+    def test_hot_path_resolved_from_file_location(self, tmp_path, capsys):
+        """Only files under repro/runtime/ get the rule."""
+        src = textwrap.dedent(self.LOOP)
+        hot = tmp_path / "src" / "repro" / "runtime"
+        hot.mkdir(parents=True)
+        (hot / "mod.py").write_text(src)
+        cold = tmp_path / "src" / "repro" / "planner"
+        cold.mkdir(parents=True)
+        (cold / "mod.py").write_text(src)
+        assert main([str(cold)]) == 0
+        capsys.readouterr()
+        assert main([str(hot)]) == 1
+        assert "ADR305" in capsys.readouterr().out
+
+
 class TestTree:
     def test_src_tree_is_clean(self):
         root = Path(__file__).resolve().parents[2]

@@ -134,3 +134,36 @@ class TestResultRoundTrip:
     def test_result_bad_version(self):
         with pytest.raises(ProtocolError):
             result_from_dict({"version": 0})
+
+    def test_phase_times_and_cache_stats_roundtrip(self):
+        from repro.runtime.engine import QueryResult
+
+        res = QueryResult(
+            strategy="FRA",
+            output_ids=np.array([0]),
+            chunk_values=[np.array([[2.0]])],
+            n_tiles=1, n_reads=1, bytes_read=10, n_combines=0, n_aggregations=1,
+            phase_times={"initialize": 0.25, "reduce": 1.5,
+                         "combine": 0.0, "output": 0.125},
+            cache_stats={"routing_hits": 3, "routing_misses": 1,
+                         "pool_reuses": 2},
+        )
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+        assert back.phase_times == res.phase_times
+        assert back.cache_stats == res.cache_stats
+
+    def test_result_without_timings_stays_empty(self):
+        """Old payloads (and counters-only servers) decode to empty
+        dicts, not missing attributes."""
+        from repro.runtime.engine import QueryResult
+
+        res = QueryResult(
+            strategy="FRA",
+            output_ids=np.array([0]),
+            chunk_values=[np.array([[2.0]])],
+            n_tiles=1, n_reads=1, bytes_read=10, n_combines=0, n_aggregations=1,
+        )
+        payload = json.loads(json.dumps(result_to_dict(res)))
+        assert "phase_times" not in payload and "cache_stats" not in payload
+        back = result_from_dict(payload)
+        assert back.phase_times == {} and back.cache_stats == {}

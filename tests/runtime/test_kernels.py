@@ -1,0 +1,297 @@
+"""Fused reduction kernels vs the preserved pre-fusion oracle.
+
+Every fast path in :mod:`repro.runtime.kernels` and the
+``aggregate_grouped``/``prereduce_groups`` spec hooks must reproduce
+the scalar reference (`reference_segment_reduction`, the pre-fusion
+engine loop kept verbatim) on arbitrary workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import (
+    AGGREGATIONS,
+    BestValueComposite,
+    CountAggregation,
+    MeanAggregation,
+    MinAggregation,
+    SumAggregation,
+)
+from repro.runtime.kernels import (
+    GridIndexer,
+    RoutingCache,
+    coerce_values,
+    grid_indexer,
+    group_read,
+    reference_segment_reduction,
+    route_chunk,
+    routing_key,
+)
+from repro.runtime.serial import map_chunk_to_cells
+from repro.space.mapping import GridMapping
+
+from helpers import make_functional_setup
+
+
+def specs():
+    return [
+        SumAggregation(1),
+        CountAggregation(1),
+        MinAggregation(2),
+        MeanAggregation(2),
+        BestValueComposite(2),
+    ]
+
+
+def run_reference(routed, grid, spec, sel_map, tile_of_output, tile, out_global):
+    accs = {o: spec.initialize(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)}
+
+    def aggregate(o, local_cells, values):
+        spec.aggregate(accs[o], local_cells, values)
+
+    for chunk, item_idx, cells in routed:
+        reference_segment_reduction(
+            item_idx, cells, chunk.values, grid, sel_map,
+            tile_of_output, tile, out_global, aggregate,
+        )
+    return accs
+
+
+def run_fused(routed, grid, spec, sel_map, tile_of_output, tile):
+    accs = {o: spec.initialize(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)}
+    indexer = grid_indexer(grid)
+    for chunk, item_idx, cells in routed:
+        values = coerce_values(chunk.values, spec.value_components)
+        segs = group_read(
+            item_idx, cells, values, grid, sel_map, tile_of_output, tile, indexer
+        )
+        if segs is None:
+            continue
+        reduced = spec.prereduce_groups(segs.values, segs.group_starts)
+        if reduced is None:
+            for k in range(len(segs.seg_out)):
+                o = int(segs.seg_out[k])
+                s, e = segs.starts[k], segs.ends[k]
+                spec.aggregate_grouped(accs[o], segs.flat[s:e], segs.values[s:e])
+        else:
+            gflat = segs.flat[segs.group_starts]
+            gb = segs.group_bounds
+            for k in range(len(segs.seg_out)):
+                o = int(segs.seg_out[k])
+                spec.scatter_groups(
+                    accs[o], gflat[gb[k] : gb[k + 1]], reduced[gb[k] : gb[k + 1]]
+                )
+    return accs
+
+
+class TestFusedVsReference:
+    @pytest.mark.parametrize("spec", specs(), ids=lambda s: type(s).__name__)
+    @pytest.mark.parametrize("footprint", [None, (0.08, 0.05)], ids=["point", "fan"])
+    def test_full_grid(self, rng, spec, footprint):
+        _, _, chunks, mapping, grid = make_functional_setup(
+            rng, value_components=spec.value_components, footprint=footprint
+        )
+        routed = [(c, *map_chunk_to_cells(c, mapping, grid, None)) for c in chunks]
+        n = grid.n_chunks
+        sel_map = np.arange(n, dtype=np.int64)
+        tile_of_output = np.zeros(n, dtype=np.int64)
+        out_global = np.arange(n, dtype=np.int64)
+        ref = run_reference(routed, grid, spec, sel_map, tile_of_output, 0, out_global)
+        fused = run_fused(routed, grid, spec, sel_map, tile_of_output, 0)
+        for o in range(n):
+            np.testing.assert_allclose(fused[o], ref[o])
+
+    def test_tile_and_selection_filtering(self, rng):
+        """Cells outside the selected outputs / current tile are dropped
+        identically by both paths."""
+        spec = SumAggregation(1)
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        n = grid.n_chunks
+        # select half the outputs, spread over two tiles
+        sel_map = np.full(n, -1, dtype=np.int64)
+        picked = np.arange(0, n, 2, dtype=np.int64)
+        sel_map[picked] = np.arange(len(picked))
+        tile_of_output = np.arange(len(picked), dtype=np.int64) % 2
+        out_global = picked
+        routed = [(c, *map_chunk_to_cells(c, mapping, grid, None)) for c in chunks]
+        for tile in (0, 1):
+            accs_ref = {
+                o: spec.initialize(grid.cells_in_chunk(int(out_global[o])))
+                for o in range(len(picked))
+            }
+
+            def aggregate(o, local_cells, values):
+                spec.aggregate(accs_ref[o], local_cells, values)
+
+            for chunk, item_idx, cells in routed:
+                reference_segment_reduction(
+                    item_idx, cells, chunk.values, grid, sel_map,
+                    tile_of_output, tile, out_global, aggregate,
+                )
+            accs_fused = {
+                o: spec.initialize(grid.cells_in_chunk(int(out_global[o])))
+                for o in range(len(picked))
+            }
+            indexer = grid_indexer(grid)
+            for chunk, item_idx, cells in routed:
+                values = coerce_values(chunk.values, 1)
+                segs = group_read(
+                    item_idx, cells, values, grid, sel_map, tile_of_output,
+                    tile, indexer,
+                )
+                if segs is None:
+                    continue
+                for k in range(len(segs.seg_out)):
+                    o = int(segs.seg_out[k])
+                    s, e = segs.starts[k], segs.ends[k]
+                    spec.aggregate_grouped(
+                        accs_fused[o], segs.flat[s:e], segs.values[s:e]
+                    )
+            for o in accs_ref:
+                np.testing.assert_allclose(accs_fused[o], accs_ref[o])
+
+    def test_group_read_segments_are_sorted(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng, footprint=(0.1, 0.1))
+        n = grid.n_chunks
+        sel_map = np.arange(n, dtype=np.int64)
+        tile_of_output = np.zeros(n, dtype=np.int64)
+        chunk = chunks[0]
+        item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, None)
+        values = coerce_values(chunk.values, 1)
+        segs = group_read(item_idx, cells, values, grid, sel_map, tile_of_output, 0)
+        assert segs is not None
+        assert np.all(np.diff(segs.seg_out) > 0)
+        for k in range(len(segs.seg_out)):
+            s, e = segs.starts[k], segs.ends[k]
+            assert np.all(np.diff(segs.flat[s:e]) >= 0)
+        # cell runs tile the read and are strictly finer than segments
+        assert segs.group_starts[0] == 0
+        assert np.all(np.diff(segs.group_starts) > 0)
+        assert segs.group_bounds[0] == 0
+        assert segs.group_bounds[-1] == len(segs.group_starts)
+        # run starts restricted to segment k stay inside [starts, ends)
+        for k in range(len(segs.seg_out)):
+            runs = segs.group_starts[segs.group_bounds[k] : segs.group_bounds[k + 1]]
+            assert runs[0] == segs.starts[k]
+            assert np.all(runs < segs.ends[k])
+            # within a segment every run is one distinct cell
+            assert np.all(np.diff(segs.flat[runs]) > 0)
+
+
+class TestPrereduceMatchesGrouped:
+    @pytest.mark.parametrize("name", ["sum", "count", "min", "max", "mean"])
+    def test_bitwise_equal(self, rng, name):
+        spec = AGGREGATIONS[name]()
+        n_cells = 50
+        m = 300
+        cell_idx = np.sort(rng.integers(0, n_cells, size=m)).astype(np.int64)
+        values = rng.normal(size=(m, spec.value_components))
+        acc_a = spec.initialize(n_cells)
+        spec.aggregate_grouped(acc_a, cell_idx, values)
+        # one "read" = one segment: runs are the duplicate-cell runs
+        run_starts = np.concatenate(([0], np.flatnonzero(np.diff(cell_idx)) + 1))
+        reduced = spec.prereduce_groups(values, run_starts)
+        assert reduced is not None
+        acc_b = spec.initialize(n_cells)
+        spec.scatter_groups(acc_b, cell_idx[run_starts], reduced)
+        np.testing.assert_array_equal(acc_a, acc_b)
+
+    def test_best_composite_has_no_prereduction(self):
+        spec = BestValueComposite(2)
+        assert spec.prereduce_groups(np.zeros((3, 2)), np.array([0])) is None
+
+    def test_extra_aggregations_fall_back(self):
+        """Aggregations without a pre-reduction (variance, wmean) keep
+        the default None, which routes the engine onto the
+        aggregate_grouped fallback."""
+        for name in ("variance", "wmean"):
+            spec = AGGREGATIONS[name]()
+            assert spec.prereduce_groups(np.zeros((3, spec.value_components)),
+                                         np.array([0])) is None
+
+
+class TestGridIndexer:
+    def test_matches_local_cell_index(self, rng):
+        _, _, _, _, grid = make_functional_setup(rng, grid_cells=(7, 5),
+                                                 chunk_cells=(3, 2))
+        indexer = GridIndexer(grid)
+        for cid in range(grid.n_chunks):
+            start, stop = grid.chunk_block(cid)
+            cells = np.stack(
+                np.meshgrid(*[np.arange(a, b) for a, b in zip(start, stop)],
+                            indexing="ij"),
+                axis=-1,
+            ).reshape(-1, grid.ndim)
+            expected = grid.local_cell_index(cid, cells)
+            got = indexer.flat_index(np.full(len(cells), cid, dtype=np.int64), cells)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_cached_per_grid(self, rng):
+        _, _, _, _, grid = make_functional_setup(rng)
+        assert grid_indexer(grid) is grid_indexer(grid)
+
+
+class TestCoerceValues:
+    def test_promotes_1d(self):
+        out = coerce_values(np.array([1, 2, 3]), 1)
+        assert out.shape == (3, 1) and out.dtype == np.float64
+
+    def test_component_mismatch(self):
+        with pytest.raises(ValueError, match="value components"):
+            coerce_values(np.zeros((4, 2)), 3)
+
+
+class TestRoutingCache:
+    def test_hit_and_miss_counters(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        cache = RoutingCache()
+        a = route_chunk(chunks[0], mapping, grid, None, cache=cache, chunk_id=0)
+        b = route_chunk(chunks[0], mapping, grid, None, cache=cache, chunk_id=0)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+        assert cache.hits == 1 and cache.misses == 1
+        # cached arrays are immutable
+        with pytest.raises(ValueError):
+            b[0][0] = 0
+
+    def test_lru_eviction_by_bytes(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        item_idx, cells = map_chunk_to_cells(chunks[0], mapping, grid, None)
+        entry_bytes = item_idx.nbytes + cells.nbytes
+        cache = RoutingCache(max_bytes=2 * entry_bytes)
+        for cid in range(3):
+            key = routing_key(cid, mapping, grid, None)
+            cache.put(key, item_idx, cells)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(routing_key(0, mapping, grid, None)) is None  # evicted LRU
+
+    def test_invalidate_chunk_ids(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+        cache = RoutingCache()
+        route_chunk(chunks[0], mapping, grid, None, cache=cache, chunk_id=7)
+        assert len(cache) == 1
+        cache.invalidate_chunk_ids([7])
+        assert len(cache) == 0 and cache.nbytes == 0
+
+    def test_custom_mapping_not_cached(self, rng):
+        _, _, chunks, mapping, grid = make_functional_setup(rng)
+
+        class CustomMapping(GridMapping):
+            pass
+
+        custom = CustomMapping(
+            mapping.input_space, mapping.output_space, mapping.grid_shape
+        )
+        assert routing_key(0, custom, grid, None) is None
+        cache = RoutingCache()
+        route_chunk(chunks[0], custom, grid, None, cache=cache, chunk_id=0)
+        assert len(cache) == 0  # fell through, nothing cached
+
+    def test_region_namespaces_key(self, rng):
+        from repro.util.geometry import Rect
+
+        _, _, _, mapping, grid = make_functional_setup(rng)
+        k1 = routing_key(0, mapping, grid, None)
+        k2 = routing_key(0, mapping, grid, Rect((0.0, 0.0), (5.0, 5.0)))
+        assert k1 != k2

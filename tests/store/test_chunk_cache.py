@@ -1,0 +1,178 @@
+"""CachedChunkStore (LRU payload cache) and read_many batching."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.chunk import Chunk
+from repro.store.cache import CachedChunkStore
+from repro.store.chunk_store import FileChunkStore, MemoryChunkStore
+
+
+def make_chunks(rng, n=5, items=4):
+    out = []
+    for i in range(n):
+        coords = rng.uniform(0, 10, size=(items, 2))
+        out.append(Chunk.from_items(i, coords, rng.normal(size=items)))
+    return out
+
+
+def chunk_bytes(chunk):
+    return chunk.coords.nbytes + chunk.values.nbytes
+
+
+@pytest.fixture
+def filled(rng):
+    """A cached memory store holding 5 same-size chunks of 'ds'."""
+    inner = MemoryChunkStore()
+    chunks = make_chunks(rng)
+    for i, c in enumerate(chunks):
+        inner.write_chunk("ds", c, node=i % 2, disk=0)
+    return CachedChunkStore(inner), chunks
+
+
+class TestCacheBasics:
+    def test_hit_serves_same_object(self, filled):
+        store, _ = filled
+        a = store.read_chunk("ds", 0)
+        b = store.read_chunk("ds", 0)
+        assert a is b  # served from cache, not re-decoded
+        assert store.hits == 1 and store.misses == 1
+        assert len(store) == 1 and store.nbytes == chunk_bytes(a)
+
+    def test_stacking_refused(self, filled):
+        store, _ = filled
+        with pytest.raises(ValueError, match="stack"):
+            CachedChunkStore(store)
+
+    def test_inner_extras_pass_through(self, tmp_path):
+        store = CachedChunkStore(FileChunkStore(tmp_path / "farm"))
+        assert store.root == tmp_path / "farm"
+
+    def test_stats_keys(self, filled):
+        store, _ = filled
+        store.read_chunk("ds", 0)
+        stats = store.stats()
+        assert stats["chunk_misses"] == 1 and stats["chunk_bytes"] > 0
+
+
+class TestEviction:
+    def test_lru_eviction_by_bytes(self, filled, rng):
+        _, chunks = filled
+        inner = MemoryChunkStore()
+        for i, c in enumerate(chunks):
+            inner.write_chunk("ds", c, node=0, disk=0)
+        store = CachedChunkStore(inner, max_bytes=2 * chunk_bytes(chunks[0]))
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 1)
+        assert len(store) == 2
+        store.read_chunk("ds", 0)  # touch 0: chunk 1 becomes LRU
+        store.read_chunk("ds", 2)  # evicts 1
+        assert store.evictions == 1
+        hits_before = store.hits
+        store.read_chunk("ds", 0)
+        assert store.hits == hits_before + 1  # 0 survived
+        misses_before = store.misses
+        store.read_chunk("ds", 1)
+        assert store.misses == misses_before + 1  # 1 was evicted
+
+    def test_oversized_chunk_not_cached(self, filled):
+        _, chunks = filled
+        inner = MemoryChunkStore()
+        inner.write_chunk("ds", chunks[0], 0, 0)
+        store = CachedChunkStore(inner, max_bytes=chunk_bytes(chunks[0]) - 1)
+        store.read_chunk("ds", 0)
+        assert len(store) == 0 and store.nbytes == 0
+
+
+class TestInvalidation:
+    def test_write_invalidates(self, filled, rng):
+        store, _ = filled
+        stale = store.read_chunk("ds", 0)
+        replacement = Chunk.from_items(
+            0, rng.uniform(0, 10, size=(4, 2)), rng.normal(size=4)
+        )
+        store.write_chunk("ds", replacement, 0, 0)
+        fresh = store.read_chunk("ds", 0)
+        assert fresh is not stale
+        np.testing.assert_array_equal(fresh.values, replacement.values)
+
+    def test_write_chunks_invalidates_and_falls_back(self, filled, rng):
+        """MemoryChunkStore has no bulk write; the wrapper must fall
+        back to per-chunk writes after invalidating."""
+        store, _ = filled
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 1)
+        fresh = make_chunks(rng, 2)
+        store.write_chunks("ds", fresh, [(0, 0), (1, 0)])
+        assert len(store) == 0
+        got = store.read_chunk("ds", 1)
+        np.testing.assert_array_equal(got.coords, fresh[1].coords)
+
+    def test_delete_dataset_drops_only_that_dataset(self, filled, rng):
+        store, _ = filled
+        other = make_chunks(rng, 1)[0]
+        store.inner.write_chunk("other", other, 0, 0)
+        store.read_chunk("ds", 0)
+        store.read_chunk("other", 0)
+        store.delete_dataset("ds")
+        assert len(store) == 1 and store.nbytes == chunk_bytes(other)
+        with pytest.raises(KeyError):
+            store.read_chunk("ds", 0)
+
+    def test_invalidate_specific_ids(self, filled):
+        store, _ = filled
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 1)
+        store.invalidate("ds", [0])
+        assert len(store) == 1
+
+
+class TestReadMany:
+    def test_caller_order_with_duplicates_and_hits(self, filled):
+        store, _ = filled
+        store.read_chunk("ds", 3)  # warm one entry
+        got = [c.chunk_id for c in store.read_many("ds", [3, 1, 3, 0, 1])]
+        assert got == [3, 1, 3, 0, 1]
+        assert store.hits == 1  # the warm 3; duplicates are visited once
+        assert store.misses == 3  # 1, 0 and the initial cold 3
+        # everything is cached now: a second pass is all hits
+        list(store.read_many("ds", [0, 1, 3]))
+        assert store.misses == 3
+
+    def test_misses_fetched_through_inner_batch(self, filled, monkeypatch):
+        store, _ = filled
+        seen = []
+        original = type(store.inner).read_many
+
+        def spy(self, dataset, chunk_ids):
+            seen.append(list(chunk_ids))
+            return original(self, dataset, chunk_ids)
+
+        monkeypatch.setattr(type(store.inner), "read_many", spy)
+        store.read_chunk("ds", 2)
+        list(store.read_many("ds", [2, 4, 0]))
+        assert seen == [[4, 0]]  # only the misses, one batch
+
+
+class TestFileStoreBatching:
+    def test_reads_happen_in_placement_order(self, tmp_path, rng, monkeypatch):
+        """read_many visits the farm disk by disk (ascending chunk id
+        within a disk), regardless of the caller's order."""
+        store = FileChunkStore(tmp_path / "farm")
+        chunks = make_chunks(rng, 6)
+        placements = [(0, 1), (1, 0), (0, 0), (1, 0), (0, 1), (0, 0)]
+        store.write_chunks("ds", chunks, placements)
+
+        fetched = []
+        original = FileChunkStore.read_chunk
+
+        def spy(self, dataset, chunk_id):
+            fetched.append(chunk_id)
+            return original(self, dataset, chunk_id)
+
+        monkeypatch.setattr(FileChunkStore, "read_chunk", spy)
+        order = [4, 1, 5, 0, 2, 3, 4]
+        got = [c.chunk_id for c in store.read_many("ds", order)]
+        assert got == order  # caller order preserved, duplicate served twice
+        # physical order: (node, disk, id) ascending, each id read once
+        assert fetched == [2, 5, 0, 4, 1, 3]
