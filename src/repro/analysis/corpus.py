@@ -23,6 +23,11 @@ strategies (36 plans) and *executed* three ways --
 The sequential result must match the oracle to floating-point
 tolerance, and the parallel result must match the sequential one
 bit for bit (same tile schedule, same kernels, same operation order).
+
+``--faults`` replays the functional corpus under a deterministic fault
+matrix (corrupt chunk + degrade, flaky disk + retry, worker crash +
+recovery) and checks every degraded or recovered result against ground
+truth -- see :func:`verify_fault_corpus`.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ __all__ = [
     "verify_corpus",
     "functional_workloads",
     "verify_functional_corpus",
+    "verify_fault_corpus",
     "main",
 ]
 
@@ -260,13 +266,175 @@ def verify_functional_corpus(
     return n_plans, failures
 
 
+def verify_fault_corpus(
+    strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+) -> Tuple[int, List[Tuple[str, str]]]:
+    """Replay the functional corpus under the fault matrix.
+
+    Three deterministic scenarios per workload (strategy rotating
+    through *strategies* so the matrix covers all four across the nine
+    workloads):
+
+    - **corrupt chunk + degrade**: one input chunk decodes to a CRC
+      mismatch on every read.  The degraded result must identify
+      exactly that chunk in ``chunk_errors``, report ``completeness ==
+      1 - 1/n_in``, agree bitwise between the sequential and parallel
+      backends, and match a serial oracle computed *without* the
+      victim chunk (victim-only output chunks must equal the
+      aggregation's empty baseline).
+    - **flaky disk + retry**: the first two reads raise ``OSError``; a
+      :class:`~repro.store.retry.RetryPolicy` (zero backoff) absorbs
+      them.  The result must be bitwise identical to the clean run,
+      with ``completeness == 1.0``.
+    - **worker crash + recovery**: one virtual processor hard-exits
+      mid-tile on the parallel backend; after recovery the result must
+      be bitwise identical to the sequential backend, counters
+      included.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.planner.strategies import plan_query
+    from repro.runtime.engine import execute_plan
+    from repro.runtime.parallel import RecoveryPolicy
+    from repro.runtime.serial import execute_serial
+    from repro.store.retry import RetryPolicy
+
+    failures: List[Tuple[str, str]] = []
+    n_scenarios = 0
+    recovery = RecoveryPolicy(
+        max_restarts=2, inbox_timeout=10.0, poll_interval=0.1, grace_polls=5
+    )
+    for i, (label, w) in enumerate(functional_workloads()):
+        chunks, mapping = w["chunks"], w["mapping"]
+        grid, spec = w["grid"], w["spec"]
+        problem = w["problem"]
+        strategy = strategies[i % len(strategies)]
+        plan = plan_query(problem, strategy)
+        clean = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+
+        # -- corrupt chunk, degraded completion -------------------------
+        n_scenarios += 1
+        tag = f"{label} / {strategy} / corrupt+degrade"
+        victim = int(problem.input_global_ids[0])
+        degraded = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec,
+            fault_injector=FaultInjector(FaultPlan.corrupt_chunk(victim)),
+            on_error="degrade",
+        )
+        par_degraded = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec,
+            backend="parallel", on_error="degrade", recovery=recovery,
+            fault_injector=FaultInjector(FaultPlan.corrupt_chunk(victim)),
+        )
+        if set(degraded.chunk_errors) != {victim}:
+            failures.append(
+                (tag, f"chunk_errors {sorted(degraded.chunk_errors)} != [{victim}]")
+            )
+        expected_completeness = 1.0 - 1.0 / problem.n_in
+        if not np.isclose(degraded.completeness, expected_completeness):
+            failures.append(
+                (tag, f"completeness {degraded.completeness} != "
+                      f"{expected_completeness}")
+            )
+        if degraded.chunk_errors != par_degraded.chunk_errors or not all(
+            np.array_equal(a, b, equal_nan=True)
+            for a, b in zip(degraded.chunk_values, par_degraded.chunk_values)
+        ):
+            failures.append((tag, "degraded parallel != degraded sequential"))
+        # Ground truth: the oracle over every chunk but the victim.
+        oracle = execute_serial(
+            [c for j, c in enumerate(chunks) if j != victim],
+            mapping, grid, spec,
+        )
+        for o, vals in zip(degraded.output_ids, degraded.chunk_values):
+            o = int(o)
+            if o in oracle:
+                if not np.allclose(vals, oracle[o], equal_nan=True):
+                    failures.append(
+                        (tag, f"degraded output chunk {o} != victimless oracle")
+                    )
+            else:
+                # Fed only by the victim: must be the empty baseline.
+                baseline = np.empty(
+                    (len(vals), spec.acc_components), dtype=spec.acc_dtype
+                )
+                spec.initialize_into(baseline)
+                if not np.array_equal(
+                    vals, spec.output(baseline), equal_nan=True
+                ):
+                    failures.append(
+                        (tag, f"victim-only output chunk {o} != empty baseline")
+                    )
+
+        # -- flaky disk, absorbed by retry -------------------------------
+        n_scenarios += 1
+        tag = f"{label} / {strategy} / flaky+retry"
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0)
+        flaky = FaultInjector(FaultPlan.flaky_read(times=2)).wrap_provider(
+            lambda i: chunks[i]
+        )
+        retried = execute_plan(
+            plan, lambda i: policy.run(lambda: flaky(i)), mapping, grid, spec
+        )
+        if retried.completeness != 1.0 or retried.chunk_errors:
+            failures.append((tag, "retried run reported degradation"))
+        if not all(
+            np.array_equal(a, b, equal_nan=True)
+            for a, b in zip(retried.chunk_values, clean.chunk_values)
+        ):
+            failures.append((tag, "retried run != clean run"))
+
+        # -- worker crash, recovered bit-identically ----------------------
+        n_scenarios += 1
+        tag = f"{label} / {strategy} / crash+recover"
+        crash_rank = min(1, problem.n_procs - 1)
+        recovered = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec,
+            backend="parallel", recovery=recovery,
+            fault_injector=FaultInjector(
+                FaultPlan.crash_worker(rank=crash_rank, after_reads=1)
+            ),
+        )
+        if recovered.output_ids.tolist() != clean.output_ids.tolist() or not all(
+            np.array_equal(a, b, equal_nan=True)
+            for a, b in zip(recovered.chunk_values, clean.chunk_values)
+        ):
+            failures.append((tag, "recovered parallel != sequential"))
+        for counter in ("n_reads", "bytes_read", "n_aggregations", "n_combines"):
+            if getattr(recovered, counter) != getattr(clean, counter):
+                failures.append(
+                    (tag, f"recovered {counter}={getattr(recovered, counter)}"
+                          f" != clean {getattr(clean, counter)}")
+                )
+    return n_scenarios, failures
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    unknown = [a for a in argv if a not in ("--no-emulators", "--functional")]
+    unknown = [
+        a for a in argv if a not in ("--no-emulators", "--functional", "--faults")
+    ]
     if unknown:
         print(f"repro.analysis.corpus: unknown argument(s): {' '.join(unknown)}")
-        print("usage: python -m repro.analysis.corpus [--no-emulators] [--functional]")
+        print(
+            "usage: python -m repro.analysis.corpus "
+            "[--no-emulators] [--functional] [--faults]"
+        )
         return 2
+    if "--faults" in argv:
+        n_scenarios, failures = verify_fault_corpus()
+        for label, message in failures:
+            print(f"{label}: {message}")
+        if failures:
+            print(
+                f"repro.analysis.corpus: {len(failures)} failure(s) over "
+                f"{n_scenarios} fault scenarios"
+            )
+            return 1
+        print(
+            f"repro.analysis.corpus: {n_scenarios} fault scenarios replayed, "
+            "all degraded/recovered results matched ground truth"
+        )
+        return 0
     if "--functional" in argv:
         n_plans, failures = verify_functional_corpus()
         for label, message in failures:

@@ -31,6 +31,12 @@ ADR305    Python loop calling ``aggregate`` inside the runtime hot
           the slow pattern the fused kernels replaced; use
           ``aggregate_grouped`` over lexsorted segments instead (the
           preserved reference oracles opt out with ``noqa``)
+ADR401    bare ``except:`` anywhere, or an exception handler that
+          silently swallows (body of only ``pass`` / ``continue`` /
+          ``...``) inside the fault-critical paths
+          (``src/repro/runtime/``, ``src/repro/store/``) -- degraded
+          execution must *record* every absorbed failure
+          (``chunk_errors``), never discard it
 ========  ==========================================================
 """
 
@@ -46,10 +52,14 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Severity
 
 __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
-LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305")
+LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR401")
 
 #: Directory whose modules are the execution hot path (ADR305).
 _RUNTIME_HOT_PATH = ("repro/runtime/",)
+
+#: Directories where silently swallowed exceptions hide data loss
+#: (ADR401's stricter half applies here).
+_FAULT_CRITICAL_PATHS = ("repro/runtime/", "repro/store/")
 
 #: np.random functions backed by the legacy global RandomState --
 #: unseedable per call site, therefore never reproducible.
@@ -154,12 +164,13 @@ def _calls_aggregate_directly(loop: ast.AST) -> Optional[ast.Call]:
 class _Visitor(ast.NodeVisitor):
     def __init__(
         self, path: str, out: DiagnosticCollector, rng_exempt: bool,
-        runtime_hot_path: bool = False,
+        runtime_hot_path: bool = False, fault_critical: bool = False,
     ) -> None:
         self.path = path
         self.out = out
         self.rng_exempt = rng_exempt
         self.runtime_hot_path = runtime_hot_path
+        self.fault_critical = fault_critical
 
     def _loc(self, node: ast.AST) -> str:
         return f"{self.path}:{node.lineno}:{node.col_offset}"
@@ -271,6 +282,38 @@ class _Visitor(ast.NodeVisitor):
         self._check_aggregate_loop(node)
         self.generic_visit(node)
 
+    # -- ADR401: swallowed exceptions in fault-critical code ---------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.out.emit(
+                "ADR401",
+                Severity.ERROR,
+                self._loc(node),
+                "bare 'except:' catches SystemExit/KeyboardInterrupt and "
+                "hides the failure class; name the exceptions (at minimum "
+                "'except Exception')",
+            )
+        elif self.fault_critical and all(
+            isinstance(stmt, (ast.Pass, ast.Continue))
+            or (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            )
+            for stmt in node.body
+        ):
+            self.out.emit(
+                "ADR401",
+                Severity.ERROR,
+                self._loc(node),
+                "exception swallowed without a trace in fault-critical code "
+                "(runtime/store); record it (e.g. in chunk_errors) or "
+                "re-raise -- silent data loss is indistinguishable from a "
+                "clean run",
+            )
+        self.generic_visit(node)
+
 
 def _is_public_library_module(path: Path) -> bool:
     """ADR304 applies to importable modules inside a package tree."""
@@ -283,7 +326,7 @@ def _is_public_library_module(path: Path) -> bool:
 
 def lint_source(
     source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False,
-    runtime_hot_path: bool = False,
+    runtime_hot_path: bool = False, fault_critical: bool = False,
 ) -> List[Diagnostic]:
     """Lint one module's source text (the testable core)."""
     out = DiagnosticCollector()
@@ -292,7 +335,7 @@ def lint_source(
     except SyntaxError as exc:
         out.error("ADR300", f"{path}:{exc.lineno or 0}:0", f"syntax error: {exc.msg}")
         return out.diagnostics
-    _Visitor(path, out, rng_exempt, runtime_hot_path).visit(tree)
+    _Visitor(path, out, rng_exempt, runtime_hot_path, fault_critical).visit(tree)
     if check_all and not any(
         isinstance(n, ast.Assign)
         and any(isinstance(t, ast.Name) and t.id == "__all__" for t in n.targets)
@@ -327,6 +370,7 @@ def lint_file(path: Path) -> List[Diagnostic]:
         rng_exempt=any(posix.endswith(e) for e in _RNG_EXEMPT),
         check_all=_is_public_library_module(path),
         runtime_hot_path=any(m in posix for m in _RUNTIME_HOT_PATH),
+        fault_critical=any(m in posix for m in _FAULT_CRITICAL_PATHS),
     )
 
 

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the query-execution stack.
+
+ADR queries span many disks on many nodes; this package makes the
+failures such a deployment actually sees -- I/O errors, bit-rot,
+slow disks, dead workers, lost messages -- injectable on demand and
+reproducible by seed, so the recovery machinery (chunk CRCs, retry
+policies, degraded results, worker-crash recovery) is tested against
+real failure paths rather than hand-mocked exceptions.
+
+- :class:`FaultPlan` / :class:`FaultSpec` -- declarative, seedable
+  fault scenarios (pure data);
+- :class:`FaultInjector` -- interprets a plan at the injection points;
+- :class:`FaultyChunkStore` -- wraps any chunk store with read faults;
+- :class:`InjectedFault` -- the ``OSError`` raised for injected I/O
+  failures.
+
+See ``docs/robustness.md`` for the fault model and recovery contracts.
+"""
+
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.faults.store import FaultyChunkStore
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
+    "FaultyChunkStore",
+]

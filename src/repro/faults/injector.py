@@ -1,0 +1,179 @@
+"""The fault injector: interprets a :class:`~repro.faults.plan.FaultPlan`.
+
+One injector instance is threaded through the execution stack and
+consulted at three kinds of injection point:
+
+- **chunk reads** -- :meth:`FaultInjector.read_faults` (used by
+  :class:`repro.faults.store.FaultyChunkStore` and
+  :meth:`FaultInjector.wrap_provider`) can raise :class:`InjectedFault`
+  (an ``OSError``), stall the read, or corrupt the payload so the
+  on-disk CRC trips a real
+  :class:`~repro.store.format.CorruptChunkError`;
+- **worker loops** -- :meth:`FaultInjector.should_crash` tells a
+  parallel worker to hard-exit before processing a scheduled read;
+- **IPC queues** -- :meth:`FaultInjector.should_drop` tells the
+  parallel backend to silently drop a forward/ghost message.
+
+State notes: ``times`` counters live in the consulting process.  The
+parallel backend forks workers, so each worker counts its own firings;
+cross-restart one-shot behavior for crashes and drops comes from the
+spec's ``attempt`` scoping (the parent bumps
+:attr:`FaultInjector.attempt` before each re-execution), not from
+shared counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.util.rng import spawn_rngs
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+class InjectedFault(OSError):
+    """A deterministic, injector-raised I/O failure.
+
+    Subclasses ``OSError`` so retry policies and degraded execution
+    treat it exactly like a real disk error.
+    """
+
+
+class _SpecState:
+    """A spec plus its mutable firing state (counter + rng stream)."""
+
+    __slots__ = ("spec", "remaining", "rng")
+
+    def __init__(self, spec: FaultSpec, rng) -> None:
+        self.spec = spec
+        self.remaining = spec.times  # None = unlimited
+        self.rng = rng
+
+    def fire(self, attempt: int) -> bool:
+        spec = self.spec
+        if spec.attempt is not None and spec.attempt != attempt:
+            return False
+        if self.remaining is not None and self.remaining <= 0:
+            return False
+        if spec.p < 1.0 and float(self.rng.uniform()) >= spec.p:
+            return False
+        if self.remaining is not None:
+            self.remaining -= 1
+        return True
+
+
+class FaultInjector:
+    """Deterministic interpreter of one fault plan.
+
+    ``sleep`` is injectable so slow-read tests run on a fake clock.
+    """
+
+    def __init__(self, plan: FaultPlan, sleep: Callable[[float], None] = time.sleep):
+        self.plan = plan
+        self.sleep = sleep
+        #: current parallel execution attempt (bumped by the parent on
+        #: each crash-recovery re-execution; irrelevant elsewhere)
+        self.attempt = 0
+        self._states = [
+            _SpecState(spec, rng)
+            for spec, rng in zip(plan.specs, spawn_rngs(plan.seed, max(len(plan), 1)))
+        ]
+        self.fired: List[FaultSpec] = []
+
+    # -- matching ---------------------------------------------------------
+
+    def _fire_matching(self, predicate) -> List[FaultSpec]:
+        hits: List[FaultSpec] = []
+        for state in self._states:
+            if predicate(state.spec) and state.fire(self.attempt):
+                hits.append(state.spec)
+                self.fired.append(state.spec)
+        return hits
+
+    # -- chunk-read faults ------------------------------------------------
+
+    def read_faults(self, dataset: Optional[str], chunk_id: int) -> List[FaultSpec]:
+        """Fire every armed read-level spec matching this read.
+
+        Returns the fired specs in plan order; the caller applies them
+        (delay first, then raise/corrupt -- see :func:`apply_read_faults`).
+        """
+
+        def matches(spec: FaultSpec) -> bool:
+            if spec.kind not in ("io_error", "corrupt", "slow_read"):
+                return False
+            if spec.dataset is not None and spec.dataset != dataset:
+                return False
+            return spec.chunk_id is None or int(spec.chunk_id) == int(chunk_id)
+
+        return self._fire_matching(matches)
+
+    def apply_read_faults(self, dataset: Optional[str], chunk_id: int) -> bool:
+        """Consult and apply pre-read faults; returns True when the
+        payload of the upcoming read must be corrupted by the caller."""
+        corrupt = False
+        for spec in self.read_faults(dataset, chunk_id):
+            if spec.kind == "slow_read":
+                self.sleep(spec.delay)
+            elif spec.kind == "io_error":
+                raise InjectedFault(
+                    f"injected I/O error reading chunk {chunk_id}"
+                    + (f" of {dataset!r}" if dataset else "")
+                )
+            else:  # corrupt
+                corrupt = True
+        return corrupt
+
+    def wrap_provider(self, provider, dataset: Optional[str] = None):
+        """Wrap a dataset-level chunk provider with read-fault injection.
+
+        Corruption is physical: the chunk is re-encoded, one payload
+        byte is flipped, and decoding raises the same
+        :class:`~repro.store.format.CorruptChunkError` a rotten file
+        would produce.
+        """
+        from repro.faults.store import corrupt_decode
+
+        def faulty_provider(chunk_id: int):
+            corrupt = self.apply_read_faults(dataset, chunk_id)
+            chunk = provider(chunk_id)
+            if corrupt:
+                return corrupt_decode(chunk)
+            return chunk
+
+        return faulty_provider
+
+    # -- worker-loop faults -----------------------------------------------
+
+    def should_crash(self, rank: int, reads_done: int) -> bool:
+        """True when virtual processor *rank*, about to process its
+        (reads_done+1)-th scheduled read, must hard-crash."""
+
+        def matches(spec: FaultSpec) -> bool:
+            return (
+                spec.kind == "worker_crash"
+                and int(spec.rank) == int(rank)
+                and int(spec.after_reads) == int(reads_done)
+            )
+
+        return bool(self._fire_matching(matches))
+
+    # -- IPC faults ---------------------------------------------------------
+
+    def should_drop(self, message_kind: str, message_index: int) -> bool:
+        """True when the forward/ghost message keyed by
+        ``(message_kind, message_index)`` must be silently dropped."""
+
+        def matches(spec: FaultSpec) -> bool:
+            if spec.kind != "drop_message":
+                return False
+            if spec.message_kind is not None and spec.message_kind != message_kind:
+                return False
+            return (
+                spec.message_index is None
+                or int(spec.message_index) == int(message_index)
+            )
+
+        return bool(self._fire_matching(matches))

@@ -1,0 +1,80 @@
+"""Fault-injecting chunk-store wrapper.
+
+:class:`FaultyChunkStore` sits between any real
+:class:`~repro.store.chunk_store.ChunkStore` and its callers and
+consults a :class:`~repro.faults.injector.FaultInjector` on every read.
+Injected corruption is physical -- the decoded chunk is re-encoded, one
+payload byte is flipped, and decoding trips the on-disk CRC -- so the
+failure surfaces as the same
+:class:`~repro.store.format.CorruptChunkError` a rotten file produces,
+exercising the real integrity path rather than a simulated exception.
+
+Compose it under the resilience wrappers to test them::
+
+    CachedChunkStore(RetryingChunkStore(FaultyChunkStore(inner, injector),
+                                        RetryPolicy(...)))
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dataset.chunk import Chunk
+from repro.faults.injector import FaultInjector
+from repro.store.chunk_store import ChunkStore
+from repro.store.format import decode_chunk, encode_chunk
+
+__all__ = ["FaultyChunkStore", "corrupt_decode"]
+
+
+def corrupt_decode(chunk: Chunk) -> Chunk:
+    """Re-encode *chunk*, flip one payload byte, decode.
+
+    Always raises :class:`~repro.store.format.CorruptChunkError` (the
+    flipped byte is in the CRC-covered body); the return type exists
+    only for signature honesty.
+    """
+    data = bytearray(encode_chunk(chunk))
+    data[-1] ^= 0xFF
+    return decode_chunk(bytes(data))
+
+
+class FaultyChunkStore(ChunkStore):
+    """Injects planned faults into reads of the wrapped store.
+
+    Writes, placements and deletions pass through untouched; only the
+    read path is fault-injected (the paper's degraded scenarios are all
+    read-side: query processing never mutates input datasets).
+    """
+
+    def __init__(self, inner: ChunkStore, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
+        corrupt = self.injector.apply_read_faults(dataset, chunk_id)
+        chunk = self.inner.read_chunk(dataset, chunk_id)
+        if corrupt:
+            return corrupt_decode(chunk)
+        return chunk
+
+    def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:
+        """Per-chunk reads so each id is individually fault-checked
+        (forgoes the inner store's placement-order batching)."""
+        for cid in chunk_ids:
+            yield self.read_chunk(dataset, cid)
+
+    def write_chunk(self, dataset: str, chunk: Chunk, node: int, disk: int) -> None:
+        self.inner.write_chunk(dataset, chunk, node, disk)
+
+    def placement(self, dataset: str, chunk_id: int):
+        return self.inner.placement(dataset, chunk_id)
+
+    def chunk_ids(self, dataset: str) -> List[int]:
+        return self.inner.chunk_ids(dataset)
+
+    def delete_dataset(self, dataset: str) -> None:
+        self.inner.delete_dataset(dataset)
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)

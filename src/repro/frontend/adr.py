@@ -47,6 +47,7 @@ from repro.sim.query_sim import SimResult, simulate_query
 from repro.space.attribute_space import AttributeSpace, AttributeSpaceRegistry
 from repro.store.cache import CachedChunkStore
 from repro.store.chunk_store import ChunkStore, MemoryChunkStore
+from repro.store.retry import RetryPolicy, RetryingChunkStore
 from repro.util.units import MB
 
 __all__ = ["ADR"]
@@ -66,9 +67,16 @@ class ADR:
         declusterer: Optional[Declusterer] = None,
         costs: ComputeCosts = DEFAULT_COSTS,
         cache_bytes: int = 64 * MB,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.machine = machine
         self.store = store if store is not None else MemoryChunkStore()
+        # Retry sits *under* the cache: a retried read that eventually
+        # succeeds is cached like any other, and cache hits never pay
+        # backoff.  (A FileChunkStore built with its own retry keeps
+        # it; this wrapper serves stores without one.)
+        if retry is not None and not isinstance(self.store, RetryingChunkStore):
+            self.store = RetryingChunkStore(self.store, retry)
         # Payload LRU in front of the store: batched queries ordered
         # for shared scans actually reuse the shared chunks.
         if cache_bytes > 0 and not isinstance(self.store, CachedChunkStore):
@@ -216,6 +224,12 @@ class ADR:
 
         ``backend="parallel"`` runs the virtual processors as real OS
         processes (see :mod:`repro.runtime.parallel`).
+
+        Failure handling follows ``query.on_error``: ``"raise"``
+        surfaces the first unreadable chunk's error, ``"degrade"``
+        completes over the readable chunks and reports the rest in
+        ``QueryResult.chunk_errors`` / ``completeness`` (see
+        ``docs/robustness.md``).
         """
         if plan is None:
             plan = self.plan(query)
@@ -230,6 +244,7 @@ class ADR:
             plan, provider, query.mapping, query.grid, query.spec(),
             region=region, backend=backend,
             routing_cache=self.routing_cache(name),
+            on_error=query.on_error,
         )
         if store_base is not None:
             self._merge_store_stats(result, store_base)
@@ -299,6 +314,7 @@ class ADR:
             plan, provider, query.mapping, query.grid, query.spec(),
             region=region, prior=prior,
             routing_cache=self.routing_cache(name),
+            on_error=query.on_error,
         )
         # write updated chunks back to their original locations
         missing = [int(o) for o in result.output_ids if int(o) not in pos_of]

@@ -141,7 +141,7 @@ def query_to_dict(query: RangeQuery) -> Dict[str, Any]:
         agg_name = query.aggregation
     if agg_name not in AGGREGATIONS:
         raise ProtocolError(f"unknown aggregation {agg_name!r}")
-    return {
+    payload: Dict[str, Any] = {
         "version": PROTOCOL_VERSION,
         "dataset": query.dataset,
         "region": _rect_to_dict(query.region),
@@ -151,6 +151,11 @@ def query_to_dict(query: RangeQuery) -> Dict[str, Any]:
         "strategy": query.strategy,
         "value_components": query.value_components,
     }
+    # Emitted only when non-default, so default-path payloads are
+    # byte-identical to pre-robustness servers.
+    if query.on_error != "raise":
+        payload["on_error"] = query.on_error
+    return payload
 
 
 def query_from_dict(payload: Dict[str, Any]) -> RangeQuery:
@@ -170,6 +175,7 @@ def query_from_dict(payload: Dict[str, Any]) -> RangeQuery:
         aggregation=payload["aggregation"],
         strategy=payload.get("strategy", "AUTO"),
         value_components=int(payload.get("value_components", 1)),
+        on_error=payload.get("on_error", "raise"),
     )
 
 
@@ -200,6 +206,13 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
         payload["phase_times"] = {k: float(v) for k, v in result.phase_times.items()}
     if result.cache_stats:
         payload["cache_stats"] = {k: int(v) for k, v in result.cache_stats.items()}
+    # Degradation report: present only on degraded results, so clean
+    # results encode byte-identically to pre-robustness payloads.
+    if result.chunk_errors:
+        payload["chunk_errors"] = {
+            str(k): str(v) for k, v in result.chunk_errors.items()
+        }
+        payload["completeness"] = float(result.completeness)
     return payload
 
 
@@ -232,6 +245,11 @@ def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
                 str(k): int(v)
                 for k, v in payload.get("cache_stats", {}).items()
             },
+            chunk_errors={
+                int(k): str(v)
+                for k, v in payload.get("chunk_errors", {}).items()
+            },
+            completeness=float(payload.get("completeness", 1.0)),
         )
     except (KeyError, TypeError, ValueError) as e:
         raise ProtocolError(f"bad result payload: {e}") from e

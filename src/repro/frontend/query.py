@@ -44,6 +44,12 @@ class RangeQuery:
     value_components:
         Components per input item value, used when *aggregation* is a
         name.
+    on_error:
+        ``"raise"`` (default): the first unreadable input chunk aborts
+        the query with its underlying error.  ``"degrade"``: the query
+        completes over the readable chunks, reporting the unreadable
+        ones in ``QueryResult.chunk_errors`` and the incorporated
+        fraction in ``QueryResult.completeness``.
     """
 
     dataset: str
@@ -53,6 +59,13 @@ class RangeQuery:
     aggregation: Union[str, AggregationSpec] = "mean"
     strategy: str = "AUTO"
     value_components: int = 1
+    on_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("raise", "degrade"):
+            raise ValueError(
+                f"unknown on_error {self.on_error!r}; expected 'raise' or 'degrade'"
+            )
 
     def spec(self) -> AggregationSpec:
         """Resolve the aggregation to a spec instance."""

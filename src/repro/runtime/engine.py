@@ -49,6 +49,7 @@ from repro.runtime.kernels import (
 )
 from repro.runtime.serial import map_chunk_to_cells  # noqa: F401  (re-export)
 from repro.space.mapping import GridMapping
+from repro.store.chunk_store import RECOVERABLE_READ_ERRORS
 
 __all__ = ["QueryResult", "execute_plan"]
 
@@ -83,6 +84,13 @@ class QueryResult:
     #: cache and pool counters (routing-cache hits/misses, chunk
     #: payload cache hits/misses, accumulator buffer-pool reuses)
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: degraded execution only: dataset-level *input* chunk ids that
+    #: could not be read, mapped to a short error description
+    chunk_errors: Dict[int, str] = field(default_factory=dict)
+    #: fraction of the plan's input chunks successfully incorporated
+    #: (1.0 for a clean run; ``1 - len(chunk_errors)/n_inputs`` when
+    #: degraded)
+    completeness: float = 1.0
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)
@@ -132,6 +140,9 @@ def execute_plan(
     race_detector=None,
     backend: str = "sequential",
     routing_cache: Optional[RoutingCache] = None,
+    on_error: str = "raise",
+    fault_injector=None,
+    recovery=None,
 ) -> QueryResult:
     """Execute *plan* over real chunk payloads.
 
@@ -189,10 +200,32 @@ def execute_plan(
         Optional :class:`repro.runtime.kernels.RoutingCache` memoizing
         ``map_chunk_to_cells`` per (chunk, region) across tiles and
         queries; hit counters land in ``QueryResult.cache_stats``.
+    on_error:
+        ``"raise"`` (default): the first unreadable input chunk aborts
+        the query with its error (``CorruptChunkError`` for damage,
+        ``KeyError`` for absence, ``OSError`` for I/O failure).
+        ``"degrade"``: unreadable chunks are skipped, their ids and
+        errors land in ``QueryResult.chunk_errors``, and
+        ``QueryResult.completeness`` reports the fraction of input
+        chunks incorporated; only
+        :data:`~repro.store.chunk_store.RECOVERABLE_READ_ERRORS` are
+        absorbed.
+    fault_injector:
+        Optional :class:`repro.faults.FaultInjector` arming
+        deterministic fault injection on the read path (both backends)
+        and on worker crashes / message drops (parallel backend).
+    recovery:
+        Optional :class:`repro.runtime.parallel.RecoveryPolicy` tuning
+        worker-crash detection and the restart budget (parallel
+        backend only).
     """
     if backend not in ("sequential", "parallel"):
         raise ValueError(
             f"unknown backend {backend!r}; expected 'sequential' or 'parallel'"
+        )
+    if on_error not in ("raise", "degrade"):
+        raise ValueError(
+            f"unknown on_error {on_error!r}; expected 'raise' or 'degrade'"
         )
     if backend == "parallel":
         if race_detector is not None or detect_races:
@@ -204,6 +237,7 @@ def execute_plan(
             )
         from repro.runtime.parallel import execute_parallel
 
+        kwargs = {} if recovery is None else {"recovery": recovery}
         return execute_parallel(
             plan,
             chunks,
@@ -214,6 +248,9 @@ def execute_plan(
             region=region,
             prior=prior,
             routing_cache=routing_cache,
+            on_error=on_error,
+            fault_injector=fault_injector,
+            **kwargs,
         )
     problem = plan.problem
     detector = race_detector
@@ -227,6 +264,8 @@ def execute_plan(
 
             detector = RaceDetector(plan)
     provider = _provider(chunks)
+    if fault_injector is not None:
+        provider = fault_injector.wrap_provider(provider)
     in_global = problem.input_global_ids
     out_global = problem.output_global_ids
 
@@ -257,6 +296,7 @@ def execute_plan(
     bytes_read = 0
     n_combines = 0
     n_aggregations = 0
+    chunk_errors: Dict[int, str] = {}
     phase_times = dict.fromkeys(PHASES, 0.0)
 
     for t in range(plan.n_tiles):
@@ -284,7 +324,13 @@ def execute_plan(
         for r in schedule.reads_of(t):
             i = int(reads.chunk[int(r)])
             gid = int(in_global[i])
-            chunk = provider(gid)
+            try:
+                chunk = provider(gid)
+            except RECOVERABLE_READ_ERRORS as e:
+                if on_error != "degrade":
+                    raise
+                chunk_errors.setdefault(gid, f"{type(e).__name__}: {e}")
+                continue
             n_reads += 1
             bytes_read += int(problem.inputs.nbytes[i])
 
@@ -395,4 +441,6 @@ def execute_plan(
         race_diagnostics=detector.report() if detector is not None else [],
         phase_times=phase_times,
         cache_stats=cache_stats,
+        chunk_errors=dict(sorted(chunk_errors.items())),
+        completeness=1.0 - len(chunk_errors) / max(problem.n_in, 1),
     )

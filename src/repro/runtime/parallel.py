@@ -1,33 +1,53 @@
-"""Multiprocess execution backend: one OS process per virtual processor.
+"""Multiprocess execution backend: virtual processors as OS processes.
 
 The sequential engine (:mod:`repro.runtime.engine`) honors the plan's
 data placement inside one address space.  This backend makes the
-placement physical: each virtual processor is a forked worker with
+placement physical: virtual processors run inside forked *worker
+hosts*, each with
 
 - its own slice of a :class:`multiprocessing.shared_memory.SharedMemory`
   arena holding the accumulator chunks it is a plan-declared holder of,
-- a private inbox :class:`multiprocessing.Queue` over which forwarded
-  input segments (the DA communication) and ghost accumulator chunks
-  (the FRA/SRA communication) arrive as real IPC,
-- plan-authorization asserts on every access: a worker only ever
-  touches accumulators it holds, applies edges the plan assigned to it,
-  and combines ghosts the plan declares shipped to it.  (The simulated
-  race detector is a sequential-backend feature; this backend enforces
-  the same contracts structurally, per worker.)
+- a private inbox :class:`multiprocessing.Queue` per hosted rank over
+  which forwarded input segments (the DA communication) and ghost
+  accumulator chunks (the FRA/SRA communication) arrive as real IPC,
+- plan-authorization asserts on every access: a rank only ever touches
+  accumulators it holds, applies edges the plan assigned to it, and
+  combines ghosts the plan declares shipped to it.
+
+**Hosting.** A healthy run hosts one rank per OS process.  After a
+worker crash, the dead rank's virtual processor is *reassigned*: the
+recovery re-execution co-hosts it on a surviving host, which walks the
+combined schedule for all its ranks in global order (exactly how the
+sequential backend hosts every rank at once).  Messages between
+co-hosted ranks still travel their queues, so the message schedule is
+identical whatever the hosting.
 
 **Determinism.** Both backends share the fused kernels of
 :mod:`repro.runtime.kernels` and iterate the same
-:func:`~repro.runtime.kernels.tile_schedule`: every worker walks the
+:func:`~repro.runtime.kernels.tile_schedule`: every rank walks the
 tile's reads in global read order -- the reader routes the chunk and
 forwards per-edge segments, recipients block for the forward before
 moving on -- so each accumulator receives exactly the same floating-
 point operations in exactly the same order as under the sequential
-backend, and results agree **bit for bit** (``np.array_equal``).
+backend, and results agree **bit for bit** (``np.array_equal``)
+regardless of hosting, crashes, or recovery.
 
-**Deadlock freedom.** Sends never block (unbounded queues); a worker
+**Fault tolerance.** The parent polls worker liveness and per-tile
+heartbeat messages.  When a host dies (or a survivor times out waiting
+on a dead peer), the parent terminates the attempt, reassigns the dead
+ranks to survivors, re-initializes every accumulator from scratch
+(initialization is idempotent: phase 1 of every tile overwrites the
+arena, so no partial sums from the failed attempt survive), and
+re-executes.  Counters and outputs are taken exclusively from the
+successful attempt, keeping recovered runs bit-identical to the
+sequential backend.  Deterministic fault injection (crashes, dropped
+messages, read faults) plugs in via
+:class:`repro.faults.FaultInjector`; see ``docs/robustness.md``.
+
+**Deadlock freedom.** Sends never block (unbounded queues); a rank
 only blocks waiting for the message of the earliest unprocessed read
 (or declared ghost transfer).  A wait chain therefore strictly
-decreases in schedule index and must end at a worker that is actively
+decreases in schedule index and must end at a rank that is actively
 producing, so global progress is guaranteed; out-of-order arrivals are
 stashed by schedule index until their turn.
 
@@ -38,10 +58,12 @@ callables are inherited, never pickled), i.e. a POSIX host.
 
 from __future__ import annotations
 
+import os
 import queue as queue_mod
 import time
 import traceback
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -59,17 +81,49 @@ from repro.runtime.kernels import (
     tile_schedule,
 )
 from repro.space.mapping import GridMapping
+from repro.store.chunk_store import RECOVERABLE_READ_ERRORS
 
-__all__ = ["execute_parallel"]
+__all__ = ["execute_parallel", "RecoveryPolicy"]
 
 ChunkProvider = Callable[[int], Chunk]
 
-#: Seconds a worker waits on its inbox before concluding a peer died.
-_INBOX_TIMEOUT = 120.0
-#: Seconds the parent waits between liveness checks of the workers.
-_PARENT_POLL = 0.5
-
 _ALIGN = 64  # worker arena slices are cache-line aligned
+
+#: Exit code of an injected hard crash (``os._exit``), distinguishable
+#: from clean exits (0) and signal deaths (negative) in diagnostics.
+CRASH_EXIT_CODE = 3
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Worker-crash detection and recovery knobs.
+
+    The parent detects failure two ways: a worker process that exited
+    without reporting completion (liveness polling every
+    ``poll_interval`` seconds, with ``grace_polls`` quiet polls of
+    slack for in-flight final messages of a cleanly-exited worker),
+    and a surviving worker reporting a peer timeout after waiting
+    ``inbox_timeout`` seconds on its inbox.  Each failure consumes one
+    of ``max_restarts`` re-executions; with ``max_restarts=0`` any
+    worker death is immediately fatal (the pre-recovery behavior).
+    """
+
+    max_restarts: int = 2
+    #: seconds a rank waits on its inbox before concluding a peer died
+    inbox_timeout: float = 120.0
+    #: seconds between parent liveness checks
+    poll_interval: float = 0.5
+    #: quiet polls tolerated for a zero-exit worker's final messages
+    grace_polls: int = 10
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Per-attempt execution settings inherited by every worker."""
+
+    on_error: str = "raise"
+    inbox_timeout: float = 120.0
+    injector: Optional[object] = None  # repro.faults.FaultInjector
 
 
 # ---------------------------------------------------------------------------
@@ -83,6 +137,8 @@ class _Layout:
     Everything here is a pure function of (plan, grid, spec); workers
     inherit it read-only through fork, so parent and every worker agree
     on offsets and message schedules without any further coordination.
+    The layout is keyed by *rank*, never by host process, so it is
+    invariant under recovery re-hosting.
     """
 
     def __init__(
@@ -94,7 +150,7 @@ class _Layout:
         self.schedule = tile_schedule(plan)
         n_procs = problem.n_procs
 
-        # Per (tile, proc): [(local output id, n_cells, byte offset)].
+        # Per (tile, rank): [(local output id, n_cells, byte offset)].
         self.tile_accs: List[List[List[Tuple[int, int, int]]]] = [
             [[] for _ in range(n_procs)] for _ in range(plan.n_tiles)
         ]
@@ -120,7 +176,7 @@ class _Layout:
                     "tiling step should prevent this"
                 )
 
-        # Worker arena slices (cache-line aligned, >= 1 byte each).
+        # Per-rank arena slices (cache-line aligned, >= 1 byte each).
         slice_bytes = per_tile_bytes.max(axis=0) if plan.n_tiles else np.zeros(
             n_procs, dtype=np.int64
         )
@@ -131,7 +187,7 @@ class _Layout:
             total += -(-max(int(slice_bytes[p]), 1) // _ALIGN) * _ALIGN
         self.arena_bytes = max(total, 1)
 
-        # Per read: which procs (beyond the reader) get a forwarded
+        # Per read: which ranks (beyond the reader) get a forwarded
         # segment message.  Derived from the plan's edge assignment
         # restricted to the read's tile, so sender and receivers agree
         # on the message schedule even for reads that map no items.
@@ -156,25 +212,27 @@ class _Inbox:
     """Ordered receive over an unordered queue: messages are keyed by
     schedule position and stashed until their turn comes."""
 
-    def __init__(self, q) -> None:
+    def __init__(self, q, timeout: float) -> None:
         self._q = q
+        self._timeout = timeout
         self._stash: Dict[tuple, object] = {}
 
     def expect(self, key: tuple):
         while key not in self._stash:
             try:
-                got_key, payload = self._q.get(timeout=_INBOX_TIMEOUT)
+                got_key, payload = self._q.get(timeout=self._timeout)
             except queue_mod.Empty:
                 raise RuntimeError(
                     f"worker timed out waiting for message {key!r}; a peer "
-                    "processor likely died"
+                    "processor likely died or its message was lost"
                 ) from None
             self._stash[got_key] = payload
         return self._stash.pop(key)
 
 
 def _worker(
-    rank: int,
+    host: int,
+    ranks: Tuple[int, ...],
     plan: QueryPlan,
     provider: ChunkProvider,
     mapping: GridMapping,
@@ -187,50 +245,63 @@ def _worker(
     shm_name: str,
     inboxes,
     result_q,
+    cfg: _WorkerConfig,
 ) -> None:
-    """One virtual processor as a real process."""
+    """One worker host executing one or more virtual processors."""
     from multiprocessing import shared_memory
 
     shm = shared_memory.SharedMemory(name=shm_name)
     try:
         _worker_body(
-            rank, plan, provider, mapping, grid, spec, region, prior,
-            routing_cache, layout, shm, inboxes, result_q,
+            host, ranks, plan, provider, mapping, grid, spec, region, prior,
+            routing_cache, layout, shm, inboxes, result_q, cfg,
         )
-    except BaseException:
-        result_q.put(("error", rank, traceback.format_exc()))
+    except BaseException as e:
+        # Deterministic data errors (corrupt/missing/unreadable chunks
+        # under on_error='raise') will recur on a re-execution; process
+        # faults (peer timeouts, anything else) are worth a restart.
+        retryable = not isinstance(e, RECOVERABLE_READ_ERRORS)
+        result_q.put(("error", host, traceback.format_exc(), retryable))
     finally:
         shm.close()
 
 
 def _worker_body(
-    rank, plan, provider, mapping, grid, spec, region, prior,
-    routing_cache, layout, shm, inboxes, result_q,
+    host, ranks, plan, provider, mapping, grid, spec, region, prior,
+    routing_cache, layout, shm, inboxes, result_q, cfg,
 ) -> None:
     problem = plan.problem
     in_global = problem.input_global_ids
     out_global = problem.output_global_ids
     schedule = layout.schedule
     indexer = grid_indexer(grid)
-    inbox = _Inbox(inboxes[rank])
     reads = plan.reads
     gt = plan.ghost_transfers
     fwd_indptr, fwd_ids = problem.graph.forward_csr
+
+    ranks = tuple(int(p) for p in ranks)
+    rank_set = frozenset(ranks)
+    inbox = {p: _Inbox(inboxes[p], cfg.inbox_timeout) for p in ranks}
+    injector = cfg.injector
+    if injector is not None:
+        provider = injector.wrap_provider(provider)
 
     sel_map = np.full(grid.n_chunks, -1, dtype=np.int64)
     sel_map[out_global] = np.arange(problem.n_out)
 
     # The cache was forked with the parent's counters baked in; report
-    # only this worker's delta so the parent can sum across workers.
+    # only this host's delta so the parent can sum across hosts.
     cache_base = routing_cache.stats() if routing_cache is not None else {}
 
     arena = np.frombuffer(shm.buf, dtype=np.uint8)
-    base = int(layout.slice_starts[rank])
+    bases = {p: int(layout.slice_starts[p]) for p in ranks}
 
     n_reads = 0
     bytes_read = 0
     n_aggregations = 0
     n_combines = 0
+    reads_seen = {p: 0 for p in ranks}
+    chunk_errors: Dict[int, str] = {}
     phase_times = {"initialize": 0.0, "reduce": 0.0, "combine": 0.0, "output": 0.0}
 
     def edge_proc_of(i: int, o: int) -> int:
@@ -246,23 +317,24 @@ def _worker_body(
         return int(plan.edge_proc[lo + pos])
 
     for t in range(plan.n_tiles):
-        # -- phase 1: initialization (arena views) ---------------------
+        # -- phase 1: initialization (arena views, idempotent) ---------
         t0 = time.perf_counter()
-        accs: Dict[int, np.ndarray] = {}
-        for o, n_cells, offset in layout.tile_accs[t][rank]:
-            assert rank in plan.holders_of(o), "not a plan-declared holder"
-            start = base + offset
-            acc = arena[start : start + spec.acc_bytes(n_cells)].view(
-                spec.acc_dtype
-            ).reshape(n_cells, spec.acc_components)
-            spec.initialize_into(acc)
-            if problem.init_from_output and prior is not None:
-                owner = int(problem.output_owner[o])
-                if rank == owner or spec.idempotent:
-                    prior_vals = prior(int(out_global[o]))
-                    if prior_vals is not None:
-                        acc[:] = spec.initialize_from(prior_vals)
-            accs[o] = acc
+        accs: Dict[int, Dict[int, np.ndarray]] = {p: {} for p in ranks}
+        for p in ranks:
+            for o, n_cells, offset in layout.tile_accs[t][p]:
+                assert p in plan.holders_of(o), "not a plan-declared holder"
+                start = bases[p] + offset
+                acc = arena[start : start + spec.acc_bytes(n_cells)].view(
+                    spec.acc_dtype
+                ).reshape(n_cells, spec.acc_components)
+                spec.initialize_into(acc)
+                if problem.init_from_output and prior is not None:
+                    owner = int(problem.output_owner[o])
+                    if p == owner or spec.idempotent:
+                        prior_vals = prior(int(out_global[o]))
+                        if prior_vals is not None:
+                            acc[:] = spec.initialize_from(prior_vals)
+                accs[p][o] = acc
         phase_times["initialize"] += time.perf_counter() - t0
 
         # -- phase 2: local reduction (global read order) --------------
@@ -271,23 +343,37 @@ def _worker_body(
             r = int(r)
             reader = int(reads.proc[r])
             recipients = layout.recipients[r]
-            if rank == reader:
+            if reader in rank_set:
+                if injector is not None and injector.should_crash(
+                    reader, reads_seen[reader]
+                ):
+                    # A hard crash: no cleanup, no goodbye message --
+                    # the parent's liveness polling must catch it.
+                    os._exit(CRASH_EXIT_CODE)
+                reads_seen[reader] += 1
                 i = int(reads.chunk[r])
                 gid = int(in_global[i])
-                chunk = provider(gid)
-                n_reads += 1
-                bytes_read += int(problem.inputs.nbytes[i])
-                item_idx, cells = route_chunk(
-                    chunk, mapping, grid, region,
-                    cache=routing_cache, chunk_id=gid,
-                )
+                chunk = None
+                try:
+                    chunk = provider(gid)
+                except RECOVERABLE_READ_ERRORS as e:
+                    if cfg.on_error != "degrade":
+                        raise
+                    chunk_errors.setdefault(gid, f"{type(e).__name__}: {e}")
                 segs = None
-                if len(cells):
-                    values = coerce_values(chunk.values, spec.value_components)
-                    segs = group_read(
-                        item_idx, cells, values, grid, sel_map,
-                        plan.tile_of_output, t, indexer,
+                if chunk is not None:
+                    n_reads += 1
+                    bytes_read += int(problem.inputs.nbytes[i])
+                    item_idx, cells = route_chunk(
+                        chunk, mapping, grid, region,
+                        cache=routing_cache, chunk_id=gid,
                     )
+                    if len(cells):
+                        values = coerce_values(chunk.values, spec.value_components)
+                        segs = group_read(
+                            item_idx, cells, values, grid, sel_map,
+                            plan.tile_of_output, t, indexer,
+                        )
                 # Partition segments by assigned processor; apply own,
                 # forward the rest (the DA communication), keeping the
                 # ascending-segment order everywhere.  Duplicate cells
@@ -295,7 +381,9 @@ def _worker_body(
                 # supports it), so forwarded segments ship one row per
                 # distinct cell and both sides apply one fancy-indexed
                 # scatter per segment -- the same arithmetic, in the
-                # same order, as the sequential backend.
+                # same order, as the sequential backend.  A degraded
+                # (unreadable) chunk still ships its (empty) messages,
+                # so the cross-rank message schedule never skews.
                 outbound: Dict[int, list] = {int(q): [] for q in recipients}
                 if segs is not None:
                     reduced = spec.prereduce_groups(segs.values, segs.group_starts)
@@ -306,16 +394,18 @@ def _worker_body(
                     for k in range(len(segs.seg_out)):
                         o = int(segs.seg_out[k])
                         q = edge_proc_of(i, o)
-                        if q == rank:
-                            assert o in accs, "reader aggregating into chunk it does not hold"
+                        if q == reader:
+                            assert o in accs[reader], (
+                                "reader aggregating into chunk it does not hold"
+                            )
                             if reduced is None:
                                 s, e = segs.starts[k], segs.ends[k]
                                 spec.aggregate_grouped(
-                                    accs[o], segs.flat[s:e], segs.values[s:e]
+                                    accs[reader][o], segs.flat[s:e], segs.values[s:e]
                                 )
                             else:
                                 spec.scatter_groups(
-                                    accs[o],
+                                    accs[reader][o],
                                     gflat[gb[k] : gb[k + 1]],
                                     reduced[gb[k] : gb[k + 1]],
                                 )
@@ -333,20 +423,27 @@ def _worker_body(
                                  np.ascontiguousarray(reduced[gb[k] : gb[k + 1]]))
                             )
                 for q in recipients:
+                    if injector is not None and injector.should_drop("seg", r):
+                        continue
                     inboxes[int(q)].put((("seg", t, r), outbound[int(q)]))
-            elif rank in recipients:
-                segments = inbox.expect(("seg", t, r))
+            for q in recipients:
+                q = int(q)
+                if q not in rank_set:
+                    continue
+                segments = inbox[q].expect(("seg", t, r))
                 i = int(reads.chunk[r])
                 for kind, o, cell_idx, payload in segments:
-                    assert edge_proc_of(i, o) == rank, (
+                    assert edge_proc_of(i, o) == q, (
                         "forwarded segment for an edge the plan did not "
                         "assign to this processor"
                     )
-                    assert o in accs, "segment for a chunk this worker does not hold"
+                    assert o in accs[q], (
+                        "segment for a chunk this rank does not hold"
+                    )
                     if kind == "red":
-                        spec.scatter_groups(accs[o], cell_idx, payload)
+                        spec.scatter_groups(accs[q][o], cell_idx, payload)
                     else:
-                        spec.aggregate_grouped(accs[o], cell_idx, payload)
+                        spec.aggregate_grouped(accs[q][o], cell_idx, payload)
                     n_aggregations += 1
         phase_times["reduce"] += time.perf_counter() - t0
 
@@ -356,18 +453,21 @@ def _worker_body(
             g = int(g)
             o = int(gt.chunk[g])
             src, dst = int(gt.src[g]), int(gt.dst[g])
-            if rank == src:
-                assert o in accs, "shipping a ghost this worker does not hold"
+            if src in rank_set:
+                assert o in accs[src], "shipping a ghost this rank does not hold"
                 # Copy before put: Queue serializes in a feeder thread,
                 # and the arena view is recycled next tile.
-                inboxes[dst].put((("ghost", t, g), accs[o].copy()))
-            if rank == dst:
-                ghost_data = inbox.expect(("ghost", t, g))
-                assert int(problem.output_owner[o]) == rank, (
+                if not (
+                    injector is not None and injector.should_drop("ghost", g)
+                ):
+                    inboxes[dst].put((("ghost", t, g), accs[src][o].copy()))
+            if dst in rank_set:
+                ghost_data = inbox[dst].expect(("ghost", t, g))
+                assert int(problem.output_owner[o]) == dst, (
                     "ghost shipped to a non-owner"
                 )
-                assert o in accs and ghost_data.shape == accs[o].shape
-                spec.combine(accs[o], ghost_data)
+                assert o in accs[dst] and ghost_data.shape == accs[dst][o].shape
+                spec.combine(accs[dst][o], ghost_data)
                 n_combines += 1
         phase_times["combine"] += time.perf_counter() - t0
 
@@ -375,12 +475,16 @@ def _worker_body(
         t0 = time.perf_counter()
         for k in schedule.outputs_of(t):
             o = int(k)
-            if int(problem.output_owner[o]) != rank:
+            owner = int(problem.output_owner[o])
+            if owner not in rank_set:
                 continue
-            assert o in accs, "owner does not hold its own chunk"
-            result_q.put(("result", o, spec.output(accs[o])))
+            assert o in accs[owner], "owner does not hold its own chunk"
+            result_q.put(("result", o, spec.output(accs[owner][o])))
         accs.clear()
         phase_times["output"] += time.perf_counter() - t0
+        # Per-tile heartbeat: progress signal for the parent's
+        # liveness/stall tracking.
+        result_q.put(("tile", host, t))
 
     cache_stats = {}
     if routing_cache is not None:
@@ -396,13 +500,33 @@ def _worker_body(
         "n_combines": n_combines,
         "phase_times": phase_times,
         "cache_stats": cache_stats,
+        "chunk_errors": chunk_errors,
     }
-    result_q.put(("done", rank, stats))
+    result_q.put(("done", host, stats))
 
 
 # ---------------------------------------------------------------------------
 # Parent orchestration
 # ---------------------------------------------------------------------------
+
+
+def _regroup(
+    groups: List[List[int]], dead_hosts: Sequence[int]
+) -> List[List[int]]:
+    """Reassign the ranks of dead hosts to survivors.
+
+    Orphaned ranks are adopted by the first surviving host (lowest
+    index); if every host died, one fresh host takes all ranks.  The
+    result is deterministic, so a recovered run's hosting -- and hence
+    its message schedule -- is reproducible.
+    """
+    dead = set(dead_hosts)
+    survivors = [list(g) for h, g in enumerate(groups) if h not in dead]
+    orphaned = sorted(r for h in dead for r in groups[h])
+    if not survivors:
+        return [orphaned]
+    survivors[0] = survivors[0] + orphaned
+    return survivors
 
 
 def execute_parallel(
@@ -415,17 +539,30 @@ def execute_parallel(
     region=None,
     prior: Optional[Callable[[int], np.ndarray]] = None,
     routing_cache: Optional[RoutingCache] = None,
+    on_error: str = "raise",
+    fault_injector=None,
+    recovery: Optional[RecoveryPolicy] = None,
 ):
-    """Execute *plan* with one OS process per virtual processor.
+    """Execute *plan* with the virtual processors as OS processes.
 
     Same contract and result as ``execute_plan(..., backend=
     "sequential")`` -- bit for bit -- except that race detection is not
-    available (each worker asserts plan-authorized access instead) and
-    ``phase_times`` reports the per-phase maximum across workers (the
-    critical path).  A *routing_cache* is forked copy-on-write into
-    each worker: hits still apply per worker, but the parent's cache
-    object is not updated; per-worker hit counters are summed into
+    available (each rank asserts plan-authorized access instead) and
+    ``phase_times`` reports the per-phase maximum across worker hosts
+    (the critical path).  A *routing_cache* is forked copy-on-write
+    into each host: hits still apply per host, but the parent's cache
+    object is not updated; per-host hit counters are summed into
     ``cache_stats``.
+
+    Fault tolerance: a worker host that dies (or a peer timeout it
+    causes) triggers up to ``recovery.max_restarts`` deterministic
+    re-executions with the dead ranks reassigned to surviving hosts;
+    outputs and counters come exclusively from the successful attempt.
+    ``on_error='degrade'`` absorbs unreadable chunks into the result's
+    ``chunk_errors`` / ``completeness`` instead of failing the query.
+    *fault_injector* (a :class:`repro.faults.FaultInjector`) arms
+    deterministic fault injection in the workers' read paths, read
+    loops, and IPC sends.
 
     Requires the ``fork`` start method (POSIX): the chunk provider and
     *prior* callables are inherited, never pickled.
@@ -435,6 +572,8 @@ def execute_parallel(
 
     from repro.runtime.engine import QueryResult, _provider
 
+    if recovery is None:
+        recovery = RecoveryPolicy()
     problem = plan.problem
     provider = _provider(chunks)
     layout = _Layout(plan, grid, spec, enforce_memory)
@@ -458,91 +597,161 @@ def execute_parallel(
             "backend='parallel' requires the fork start method (POSIX)"
         ) from None
 
+    cfg = _WorkerConfig(
+        on_error=on_error,
+        inbox_timeout=recovery.inbox_timeout,
+        injector=fault_injector,
+    )
+    groups: List[List[int]] = [[p] for p in range(problem.n_procs)]
     shm = shared_memory.SharedMemory(create=True, size=layout.arena_bytes)
-    inboxes = [ctx.Queue() for _ in range(problem.n_procs)]
-    result_q = ctx.Queue()
-    workers = [
-        ctx.Process(
-            target=_worker,
-            args=(
-                p, plan, provider, mapping, grid, spec, region, prior,
-                routing_cache, layout, shm.name, inboxes, result_q,
-            ),
-            daemon=True,
-        )
-        for p in range(problem.n_procs)
-    ]
+
     results: Dict[int, np.ndarray] = {}
     totals = {"n_reads": 0, "bytes_read": 0, "n_aggregations": 0, "n_combines": 0}
     phase_times = {"initialize": 0.0, "reduce": 0.0, "combine": 0.0, "output": 0.0}
     cache_stats: Dict[str, int] = {}
+    chunk_errors: Dict[int, str] = {}
+
     try:
-        for w in workers:
-            w.start()
-        pending = set(range(problem.n_procs))
-        quiet_polls = 0
-        while pending:
-            try:
-                msg = result_q.get(timeout=_PARENT_POLL)
-            except queue_mod.Empty:
-                dead = [
-                    p for p in pending
-                    if not workers[p].is_alive() and workers[p].exitcode is not None
-                ]
-                # A worker that exited without reporting "done" broke the
-                # protocol; give the queue a few grace polls in case its
-                # final messages are still in flight.
-                quiet_polls += 1
-                if dead and (
-                    quiet_polls >= 10
-                    or any(workers[p].exitcode != 0 for p in dead)
-                ):
-                    raise RuntimeError(
-                        f"parallel worker(s) {dead} died without reporting "
-                        "(exit codes "
-                        f"{[workers[p].exitcode for p in dead]})"
-                    )
-                continue
-            quiet_polls = 0
-            kind = msg[0]
-            if kind == "result":
-                _, o, value = msg
-                results[int(o)] = value
-            elif kind == "done":
-                _, rank, stats = msg
-                pending.discard(rank)
-                for key in totals:
-                    totals[key] += stats[key]
-                for key in phase_times:
-                    phase_times[key] = max(phase_times[key], stats["phase_times"][key])
-                for key, v in stats["cache_stats"].items():
-                    if key.endswith("_bytes"):
-                        cache_stats[key] = max(cache_stats.get(key, 0), int(v))
-                    else:
-                        cache_stats[key] = cache_stats.get(key, 0) + int(v)
-            elif kind == "error":
-                _, rank, tb = msg
-                raise RuntimeError(
-                    f"parallel worker {rank} failed:\n{tb}"
+        attempt = 0
+        restarts_left = recovery.max_restarts
+        while True:
+            if fault_injector is not None:
+                fault_injector.attempt = attempt
+            # Fresh queues per attempt: messages of a failed attempt
+            # must never leak into its re-execution.
+            inboxes = [ctx.Queue() for _ in range(problem.n_procs)]
+            result_q = ctx.Queue()
+            workers = [
+                ctx.Process(
+                    target=_worker,
+                    args=(
+                        h, tuple(group), plan, provider, mapping, grid, spec,
+                        region, prior, routing_cache, layout, shm.name,
+                        inboxes, result_q, cfg,
+                    ),
+                    daemon=True,
                 )
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unexpected worker message {kind!r}")
-        for w in workers:
-            w.join(timeout=30)
+                for h, group in enumerate(groups)
+            ]
+            # Per-attempt tallies: only the successful attempt counts,
+            # keeping recovered counters identical to a clean run.
+            results.clear()
+            for key in totals:
+                totals[key] = 0
+            for key in phase_times:
+                phase_times[key] = 0.0
+            cache_stats.clear()
+            chunk_errors.clear()
+
+            failed: Optional[str] = None
+            fatal: Optional[str] = None
+            dead_hosts: List[int] = []
+            try:
+                for w in workers:
+                    w.start()
+                pending = set(range(len(groups)))
+                quiet_polls = 0
+                while pending:
+                    try:
+                        msg = result_q.get(timeout=recovery.poll_interval)
+                    except queue_mod.Empty:
+                        dead = [
+                            h for h in pending
+                            if not workers[h].is_alive()
+                            and workers[h].exitcode is not None
+                        ]
+                        # A worker that exited 0 without reporting
+                        # "done" broke the protocol; give the queue a
+                        # few grace polls in case its final messages
+                        # are still in flight.  Nonzero exits are
+                        # immediate failures.
+                        quiet_polls += 1
+                        if dead and (
+                            quiet_polls >= recovery.grace_polls
+                            or any(workers[h].exitcode != 0 for h in dead)
+                        ):
+                            dead_hosts = dead
+                            failed = (
+                                f"worker host(s) {dead} died without reporting "
+                                f"(exit codes "
+                                f"{[workers[h].exitcode for h in dead]})"
+                            )
+                            break
+                        continue
+                    quiet_polls = 0
+                    kind = msg[0]
+                    if kind == "result":
+                        _, o, value = msg
+                        results[int(o)] = value
+                    elif kind == "tile":
+                        pass  # heartbeat: progress noted, quiet_polls reset
+                    elif kind == "done":
+                        _, h, stats = msg
+                        pending.discard(h)
+                        for key in totals:
+                            totals[key] += stats[key]
+                        for key in phase_times:
+                            phase_times[key] = max(
+                                phase_times[key], stats["phase_times"][key]
+                            )
+                        for key, v in stats["cache_stats"].items():
+                            if key.endswith("_bytes"):
+                                cache_stats[key] = max(
+                                    cache_stats.get(key, 0), int(v)
+                                )
+                            else:
+                                cache_stats[key] = cache_stats.get(key, 0) + int(v)
+                        for gid, err in stats["chunk_errors"].items():
+                            chunk_errors.setdefault(int(gid), err)
+                    elif kind == "error":
+                        _, h, tb, retryable = msg
+                        dead_hosts = [
+                            x for x in pending
+                            if workers[x].exitcode not in (None, 0)
+                        ]
+                        if retryable:
+                            failed = f"worker host {h} failed:\n{tb}"
+                        else:
+                            fatal = f"parallel worker host {h} failed:\n{tb}"
+                        break
+                    else:  # pragma: no cover - defensive
+                        raise RuntimeError(f"unexpected worker message {kind!r}")
+                if failed is None and fatal is None:
+                    for w in workers:
+                        w.join(timeout=30)
+            finally:
+                for w in workers:
+                    if w.is_alive():
+                        w.terminate()
+                for w in workers:
+                    w.join(timeout=5)
+                for w in workers:
+                    if w.is_alive():  # pragma: no cover - stuck worker
+                        w.kill()
+                        w.join(timeout=5)
+                for q in inboxes:
+                    q.close()
+                result_q.close()
+            if fatal is not None:
+                raise RuntimeError(fatal)
+            if failed is None:
+                break  # attempt succeeded
+            if restarts_left <= 0:
+                raise RuntimeError(
+                    f"parallel execution failed after "
+                    f"{recovery.max_restarts} restart(s); last failure: "
+                    f"{failed}"
+                )
+            restarts_left -= 1
+            attempt += 1
+            groups = _regroup(groups, dead_hosts)
     finally:
-        for w in workers:
-            if w.is_alive():
-                w.terminate()
-        for w in workers:
-            w.join(timeout=5)
-        for q in inboxes:
-            q.close()
-        result_q.close()
         shm.close()
         shm.unlink()
 
     out_global = problem.output_global_ids
     ordered = sorted(results)
+    n_in = max(problem.n_in, 1)
     return QueryResult(
         strategy=plan.strategy,
         output_ids=out_global[np.asarray(ordered, dtype=np.int64)]
@@ -557,4 +766,6 @@ def execute_parallel(
         race_diagnostics=[],
         phase_times=phase_times,
         cache_stats=cache_stats,
+        chunk_errors=dict(sorted(chunk_errors.items())),
+        completeness=1.0 - len(chunk_errors) / n_in,
     )

@@ -6,23 +6,43 @@ read/written only by the node the disk is attached to.  This package
 provides that substrate for the functional path:
 
 - :mod:`repro.store.format` -- self-describing binary chunk files with
-  header and CRC;
+  header and CRC (corruption surfaces as :class:`CorruptChunkError`);
 - :mod:`repro.store.chunk_store` -- the store interface plus a
   file-backed :class:`FileChunkStore` (one directory per (node, disk))
-  and a :class:`MemoryChunkStore` for tests.
+  and a :class:`MemoryChunkStore` for tests;
+- :mod:`repro.store.retry` -- :class:`RetryPolicy` (exponential
+  backoff + per-read deadline) and the :class:`RetryingChunkStore`
+  wrapper;
+- :mod:`repro.store.cache` -- the LRU payload cache (never caches a
+  failed read).
 
 Performance experiments never touch this package; they use the
 machine model in :mod:`repro.machine` / :mod:`repro.sim`.
 """
 
-from repro.store.format import encode_chunk, decode_chunk, ChunkFormatError
-from repro.store.chunk_store import ChunkStore, FileChunkStore, MemoryChunkStore
+from repro.store.format import (
+    encode_chunk,
+    decode_chunk,
+    ChunkFormatError,
+    CorruptChunkError,
+)
+from repro.store.chunk_store import (
+    ChunkStore,
+    FileChunkStore,
+    MemoryChunkStore,
+    RECOVERABLE_READ_ERRORS,
+)
+from repro.store.retry import RetryPolicy, RetryingChunkStore
 
 __all__ = [
     "encode_chunk",
     "decode_chunk",
     "ChunkFormatError",
+    "CorruptChunkError",
     "ChunkStore",
     "FileChunkStore",
     "MemoryChunkStore",
+    "RECOVERABLE_READ_ERRORS",
+    "RetryPolicy",
+    "RetryingChunkStore",
 ]

@@ -103,6 +103,9 @@ class CachedChunkStore(ChunkStore):
         key = (dataset, int(chunk_id))
         chunk = self._lookup(key)
         if chunk is None:
+            # A raising inner read inserts nothing: failures (corrupt,
+            # missing, I/O error) are never cached, so a later retry
+            # reaches the real store.
             chunk = self.inner.read_chunk(dataset, chunk_id)
             self._insert(key, chunk)
         return chunk
@@ -110,7 +113,15 @@ class CachedChunkStore(ChunkStore):
     def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:
         """Serve hits from cache; fetch the misses in one batch through
         the inner store (which orders them by disk placement); yield in
-        the caller's order."""
+        the caller's order.
+
+        Partial failures honor the :class:`ChunkStore` contract: chunks
+        retrieved before the inner iterator raised are cached and
+        yielded (cache hits always are), and the first id without a
+        chunk raises the inner store's error at its position in the
+        iteration.  A failed read is **never** cached -- the next call
+        re-attempts it against the inner store.
+        """
         ids = [int(c) for c in chunk_ids]
         got: Dict[int, Chunk] = {}
         missing: List[int] = []
@@ -120,12 +131,25 @@ class CachedChunkStore(ChunkStore):
                 missing.append(cid)
             else:
                 got[cid] = chunk
+        failure: Optional[Exception] = None
         if missing:
-            for chunk in self.inner.read_many(dataset, missing):
+            inner_iter = self.inner.read_many(dataset, missing)
+            while True:
+                try:
+                    chunk = next(inner_iter)
+                except StopIteration:
+                    break
+                except Exception as e:
+                    failure = e  # cache the prefix, report at yield time
+                    break
                 cid = int(chunk.chunk_id)
                 got[cid] = chunk
                 self._insert((dataset, cid), chunk)
         for cid in ids:
+            if cid not in got:
+                if failure is not None:
+                    raise failure
+                raise KeyError(f"chunk {cid} of {dataset!r} not in store")
             yield got[cid]
 
     def write_chunk(self, dataset: str, chunk: Chunk, node: int, disk: int) -> None:

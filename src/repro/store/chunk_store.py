@@ -21,14 +21,30 @@ import json
 import os
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.dataset.chunk import Chunk
 from repro.store.format import ChunkFormatError, decode_chunk, encode_chunk
 
-__all__ = ["ChunkStore", "FileChunkStore", "MemoryChunkStore"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle (retry imports this module)
+    from repro.store.retry import RetryPolicy
+
+__all__ = [
+    "ChunkStore",
+    "FileChunkStore",
+    "MemoryChunkStore",
+    "RECOVERABLE_READ_ERRORS",
+]
 
 Placement = Tuple[int, int]
+
+#: Exception classes a degraded query (``on_error='degrade'``) may
+#: absorb on a chunk read: damage (:class:`ChunkFormatError`, which
+#: includes :class:`~repro.store.format.CorruptChunkError`), I/O
+#: failure (``OSError``, which includes injected faults), and absence
+#: (``KeyError``).  Anything else -- a planner bug, a kernel assertion
+#: -- is never swallowed.
+RECOVERABLE_READ_ERRORS: Tuple[type, ...] = (ChunkFormatError, OSError, KeyError)
 
 
 class ChunkStore(ABC):
@@ -55,7 +71,17 @@ class ChunkStore(ABC):
         """Remove a dataset and all its chunks."""
 
     def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:
-        """Retrieve several chunks (in the given order)."""
+        """Retrieve several chunks (in the given order).
+
+        **Partial-failure contract** (all implementations): chunks are
+        yielded in the caller's order; the first id whose read fails
+        raises that chunk's own error *at its position* in the
+        iteration, after every preceding id has been yielded.  No id is
+        ever silently skipped -- each requested chunk is either yielded
+        or is the one that raised.  (A raised iterator is finished, per
+        the iterator protocol; callers needing per-chunk recovery use
+        ``read_chunk`` individually or degraded execution.)
+        """
         for cid in chunk_ids:
             yield self.read_chunk(dataset, cid)
 
@@ -103,11 +129,20 @@ class MemoryChunkStore(ChunkStore):
 
 
 class FileChunkStore(ChunkStore):
-    """Directory-tree store emulating a multi-disk farm."""
+    """Directory-tree store emulating a multi-disk farm.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    With a :class:`~repro.store.retry.RetryPolicy` attached, each
+    chunk's open-read-decode is retried with exponential backoff under
+    the policy's per-read deadline; manifest lookups (``KeyError``,
+    i.e. absence) are never retried.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike, retry: Optional["RetryPolicy"] = None
+    ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.retry = retry
         # dataset -> chunk_id -> (node, disk); lazily loaded from manifests.
         self._manifests: Dict[str, Dict[int, Placement]] = {}
 
@@ -195,20 +230,27 @@ class FileChunkStore(ChunkStore):
     def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
         node, disk = self.placement(dataset, chunk_id)
         path = self._chunk_path(dataset, chunk_id, node, disk)
-        try:
-            with open(path, "rb") as fh:
-                data = fh.read()
-        except FileNotFoundError:
-            raise ChunkFormatError(
-                f"manifest lists chunk {chunk_id} of {dataset!r} at "
-                f"node {node} disk {disk} but the file is missing"
-            ) from None
-        chunk = decode_chunk(data)
-        if chunk.chunk_id != chunk_id:
-            raise ChunkFormatError(
-                f"file {path} claims chunk id {chunk.chunk_id}, expected {chunk_id}"
-            )
-        return chunk
+
+        def attempt() -> Chunk:
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+            except FileNotFoundError:
+                raise ChunkFormatError(
+                    f"manifest lists chunk {chunk_id} of {dataset!r} at "
+                    f"node {node} disk {disk} but the file is missing"
+                ) from None
+            chunk = decode_chunk(data)
+            if chunk.chunk_id != chunk_id:
+                raise ChunkFormatError(
+                    f"file {path} claims chunk id {chunk.chunk_id}, "
+                    f"expected {chunk_id}"
+                )
+            return chunk
+
+        if self.retry is None:
+            return attempt()
+        return self.retry.run(attempt)
 
     def placement(self, dataset: str, chunk_id: int) -> Placement:
         manifest = self._manifest(dataset)
@@ -228,14 +270,28 @@ class FileChunkStore(ChunkStore):
         the caller's order, so callers are oblivious to the reordering
         (duplicated ids are read once and yielded as many times as
         requested).
+
+        Partial failures honor the base-class contract: every distinct
+        id is physically attempted (a failure on one disk does not
+        abandon the scan of the others), successes are yielded in
+        caller order, and the first failed id raises its own error at
+        its position in the iteration.
         """
         ids = [int(c) for c in chunk_ids]
         distinct = list(dict.fromkeys(ids))
         by_placement = sorted(
             distinct, key=lambda cid: (*self.placement(dataset, cid), cid)
         )
-        got = {cid: self.read_chunk(dataset, cid) for cid in by_placement}
+        got: Dict[int, Chunk] = {}
+        errors: Dict[int, Exception] = {}
+        for cid in by_placement:
+            try:
+                got[cid] = self.read_chunk(dataset, cid)
+            except RECOVERABLE_READ_ERRORS as e:
+                errors[cid] = e
         for cid in ids:
+            if cid in errors:
+                raise errors[cid]
             yield got[cid]
 
     def chunk_ids(self, dataset: str) -> List[int]:

@@ -24,7 +24,7 @@ offset    size   field
 
 The format is deliberately self-describing: a chunk file can be read
 back without the dataset manifest, and the CRC turns silent bit-rot
-into a loud :class:`ChunkFormatError` -- the property the round-trip
+into a loud :class:`CorruptChunkError` -- the property the round-trip
 and corruption tests pin down.
 """
 
@@ -38,7 +38,14 @@ import numpy as np
 from repro.dataset.chunk import Chunk, ChunkMeta
 from repro.util.geometry import Rect
 
-__all__ = ["encode_chunk", "decode_chunk", "ChunkFormatError", "MAGIC", "VERSION"]
+__all__ = [
+    "encode_chunk",
+    "decode_chunk",
+    "ChunkFormatError",
+    "CorruptChunkError",
+    "MAGIC",
+    "VERSION",
+]
 
 MAGIC = b"ADRC"
 VERSION = 1
@@ -47,6 +54,18 @@ _HEADER = struct.Struct("<4sHHqqIIIII")  # 44 bytes
 
 class ChunkFormatError(Exception):
     """Raised when a chunk file is malformed or corrupt."""
+
+
+class CorruptChunkError(ChunkFormatError):
+    """A chunk that *exists* but whose payload failed integrity checks
+    (CRC mismatch or truncation).
+
+    Distinguishes damage from absence: a chunk id unknown to the store
+    raises ``KeyError``; a present-but-rotten payload raises this.
+    Degraded execution (``on_error='degrade'``) and retry policies key
+    off the distinction -- a corrupt read can be retried or skipped
+    with accounting, a missing chunk is a catalog error.
+    """
 
 
 def encode_chunk(chunk: Chunk) -> bytes:
@@ -85,11 +104,14 @@ def decode_chunk(data: bytes) -> Chunk:
     Raises
     ------
     ChunkFormatError
-        On a bad magic number, unsupported version, truncated file, or
-        CRC mismatch.
+        On a bad magic number or unsupported version (a file that was
+        never a chunk of this format).
+    CorruptChunkError
+        On truncation or CRC mismatch (a chunk file that was valid
+        once and has since been damaged).
     """
     if len(data) < _HEADER.size:
-        raise ChunkFormatError(f"file too short for header ({len(data)} bytes)")
+        raise CorruptChunkError(f"file too short for header ({len(data)} bytes)")
     (
         magic,
         version,
@@ -109,11 +131,11 @@ def decode_chunk(data: bytes) -> Chunk:
     body = data[_HEADER.size :]
     expected = dtype_len + 8 * rank + 16 * ndim + coords_len + values_len
     if len(body) != expected:
-        raise ChunkFormatError(
+        raise CorruptChunkError(
             f"body length {len(body)} does not match header ({expected})"
         )
     if zlib.crc32(body) != crc:
-        raise ChunkFormatError("CRC mismatch: chunk file is corrupt")
+        raise CorruptChunkError("CRC mismatch: chunk file is corrupt")
     pos = 0
     dtype = np.dtype(body[pos : pos + dtype_len].decode("ascii"))
     pos += dtype_len

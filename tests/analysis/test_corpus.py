@@ -7,6 +7,7 @@ from repro.analysis.corpus import (
     functional_workloads,
     main,
     verify_corpus,
+    verify_fault_corpus,
     verify_functional_corpus,
 )
 
@@ -48,3 +49,22 @@ class TestFunctionalCorpus:
         n_plans, failures = verify_functional_corpus(strategies=("FRA",))
         assert n_plans == 9
         assert failures == [], "\n".join(failures)
+
+
+class TestFaultCorpus:
+    """The fault matrix over the functional corpus.
+
+    The full 9-workload x 3-scenario sweep is the CI job ``python -m
+    repro.analysis.corpus --faults``; here one workload (all three
+    scenarios: corrupt+degrade, flaky+retry, crash+recover) keeps
+    tier-1 fast while exercising every fault path end to end.
+    """
+
+    def test_first_workload_survives_fault_matrix(self, monkeypatch):
+        import repro.analysis.corpus as corpus
+
+        first = next(iter(functional_workloads()))
+        monkeypatch.setattr(corpus, "functional_workloads", lambda: [first])
+        n_scenarios, failures = verify_fault_corpus(strategies=("FRA",))
+        assert n_scenarios == 3
+        assert failures == [], "\n".join(f"{a}: {b}" for a, b in failures)

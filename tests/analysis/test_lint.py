@@ -160,6 +160,92 @@ class TestAggregateLoop:
         assert "ADR305" in capsys.readouterr().out
 
 
+class TestExceptionHygiene:
+    """ADR401: no bare except anywhere; no silently swallowed
+    exceptions in the fault-critical paths (runtime/store)."""
+
+    SWALLOW = """
+    try:
+        f()
+    except OSError:
+        pass
+    """
+
+    def test_bare_except_flagged_everywhere(self):
+        src = """
+        try:
+            f()
+        except:
+            handle()
+        """
+        assert codes(src) == {"ADR401"}
+        assert codes(src, fault_critical=True) == {"ADR401"}
+
+    def test_swallow_flagged_only_in_fault_critical_code(self):
+        assert codes(self.SWALLOW) == set()
+        assert codes(self.SWALLOW, fault_critical=True) == {"ADR401"}
+
+    def test_continue_and_ellipsis_bodies_flagged(self):
+        src = """
+        for x in xs:
+            try:
+                f(x)
+            except ValueError:
+                continue
+        """
+        assert codes(src, fault_critical=True) == {"ADR401"}
+        src = """
+        try:
+            f()
+        except ValueError:
+            ...
+        """
+        assert codes(src, fault_critical=True) == {"ADR401"}
+
+    def test_recording_handler_ok(self):
+        src = """
+        try:
+            f()
+        except OSError as e:
+            errors[cid] = str(e)
+        """
+        assert codes(src, fault_critical=True) == set()
+
+    def test_reraise_ok(self):
+        src = """
+        try:
+            f()
+        except OSError:
+            raise
+        """
+        assert codes(src, fault_critical=True) == set()
+
+    def test_noqa_opt_out(self):
+        src = """
+        try:
+            f()
+        except OSError:  # noqa: ADR401 -- probing an optional capability
+            pass
+        """
+        assert codes(src, fault_critical=True) == set()
+
+    def test_fault_critical_resolved_from_file_location(self, tmp_path):
+        """lint_file applies the stricter half only under repro/runtime/
+        and repro/store/."""
+        import textwrap as tw
+
+        from repro.analysis.lint import lint_file
+
+        critical = tmp_path / "repro" / "store" / "mod.py"
+        critical.parent.mkdir(parents=True)
+        critical.write_text(tw.dedent(self.SWALLOW))
+        elsewhere = tmp_path / "repro" / "frontend" / "mod.py"
+        elsewhere.parent.mkdir(parents=True)
+        elsewhere.write_text(tw.dedent(self.SWALLOW))
+        assert {d.code for d in lint_file(critical)} == {"ADR401"}
+        assert {d.code for d in lint_file(elsewhere)} == set()
+
+
 class TestTree:
     def test_src_tree_is_clean(self):
         root = Path(__file__).resolve().parents[2]

@@ -169,3 +169,64 @@ class TestQuerySpec:
         adr, _, mapping, grid = build_instance(rng)
         with pytest.raises(ValueError):
             adr.plan(full_query(mapping, grid, "WAT"))
+
+
+class TestRobustness:
+    """Retry and degraded execution wired through the façade."""
+
+    def test_retry_sits_under_the_cache(self):
+        from repro.store.cache import CachedChunkStore
+        from repro.store.retry import RetryPolicy, RetryingChunkStore
+
+        adr = ADR(machine=MachineConfig(n_procs=2, memory_per_proc=MB),
+                  retry=RetryPolicy(base_delay=0))
+        assert isinstance(adr.store, CachedChunkStore)
+        assert isinstance(adr.store.inner, RetryingChunkStore)
+
+    def test_flaky_store_healed_by_retry(self, rng):
+        """Two injected I/O failures are absorbed by the façade's retry
+        policy; the result matches the clean serial run exactly."""
+        from repro.faults import FaultInjector, FaultPlan, FaultyChunkStore
+        from repro.store.chunk_store import MemoryChunkStore
+        from repro.store.retry import RetryPolicy
+
+        faulty = FaultyChunkStore(
+            MemoryChunkStore(), FaultInjector(FaultPlan.flaky_read(times=2))
+        )
+        adr = ADR(machine=MachineConfig(n_procs=3, memory_per_proc=1 * MB),
+                  store=faulty, retry=RetryPolicy(max_attempts=4, base_delay=0))
+        in_space = AttributeSpace.regular("readings", ("x", "y"), (0, 0), (10, 10))
+        out_space = AttributeSpace.regular("image", ("u", "v"), (0, 0), (1, 1))
+        coords = rng.uniform(0, 10, size=(400, 2))
+        values = rng.integers(0, 100, size=400).astype(float)
+        chunks = hilbert_partition(coords, values, items_per_chunk=25)
+        adr.load("sensors", in_space, chunks)
+        grid = OutputGrid(out_space, (12, 12), (4, 4))
+        mapping = GridMapping(in_space, out_space, (12, 12))
+        q = full_query(mapping, grid, "FRA", aggregation="sum")
+        result = adr.execute(q)
+        assert result.completeness == 1.0 and result.chunk_errors == {}
+        serial = execute_serial(chunks, mapping, grid, q.spec())
+        for o, vals in zip(result.output_ids, result.chunk_values):
+            np.testing.assert_allclose(vals, serial[int(o)])
+
+    def test_degraded_query_through_facade(self, rng):
+        """on_error='degrade' on the RangeQuery flows to the engine and
+        surfaces the lost chunk in the result."""
+        from repro.faults import FaultInjector, FaultPlan, FaultyChunkStore
+        from repro.store.chunk_store import MemoryChunkStore
+
+        faulty = FaultyChunkStore(
+            MemoryChunkStore(),
+            FaultInjector(FaultPlan.corrupt_chunk(0, dataset="sensors")),
+        )
+        adr, chunks, mapping, grid = build_instance(rng, store=faulty)
+        q = full_query(mapping, grid, "FRA", aggregation="sum")
+        with pytest.raises(Exception, match="CRC"):
+            adr.execute(q)  # default on_error='raise' propagates
+        q.on_error = "degrade"
+        result = adr.execute(q)
+        assert len(result.chunk_errors) == 1
+        (msg,) = result.chunk_errors.values()
+        assert "CorruptChunkError" in msg
+        assert result.completeness == pytest.approx(1 - 1 / len(chunks))

@@ -91,6 +91,66 @@ class TestQueryRoundTrip:
             query_from_dict(payload)
 
 
+class TestDegradedResultsOnTheWire:
+    """on_error / chunk_errors / completeness cross the wire, and only
+    when non-default -- clean payloads stay byte-identical to old ones."""
+
+    @staticmethod
+    def make_result(**kw):
+        from repro.runtime.engine import QueryResult
+
+        return QueryResult(
+            strategy="FRA", output_ids=np.array([0]),
+            chunk_values=[np.array([[1.0]])],
+            n_tiles=1, n_reads=1, bytes_read=10, n_combines=0,
+            n_aggregations=1, **kw,
+        )
+
+    def test_degraded_result_roundtrip(self):
+        res = self.make_result(
+            chunk_errors={7: "CorruptChunkError: CRC mismatch"},
+            completeness=0.875,
+        )
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+        assert back.chunk_errors == {7: "CorruptChunkError: CRC mismatch"}
+        assert back.completeness == 0.875
+
+    def test_chunk_error_keys_restored_to_ints(self):
+        """JSON forces object keys to strings; decoding restores ints."""
+        res = self.make_result(chunk_errors={3: "OSError: gone"},
+                               completeness=0.9)
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+        assert list(back.chunk_errors) == [3]
+
+    def test_clean_result_payload_has_no_robustness_keys(self):
+        payload = result_to_dict(self.make_result())
+        assert "chunk_errors" not in payload
+        assert "completeness" not in payload
+
+    def test_old_result_payload_decodes_clean(self):
+        back = result_from_dict(json.loads(json.dumps(
+            result_to_dict(self.make_result()))))
+        assert back.chunk_errors == {} and back.completeness == 1.0
+
+    def test_query_on_error_roundtrip(self):
+        q = make_query()
+        q.on_error = "degrade"
+        payload = json.loads(json.dumps(query_to_dict(q)))
+        assert payload["on_error"] == "degrade"
+        assert query_from_dict(payload).on_error == "degrade"
+
+    def test_default_query_payload_has_no_on_error_key(self):
+        payload = query_to_dict(make_query())
+        assert "on_error" not in payload
+        assert query_from_dict(payload).on_error == "raise"
+
+    def test_unknown_on_error_rejected_at_construction(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="on_error"):
+            dataclasses.replace(make_query(), on_error="shrug")
+
+
 class TestResultRoundTrip:
     def test_end_to_end_through_the_wire(self, rng):
         """A full client interaction: encode query, decode server-side,

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.dataset.chunk import Chunk
+from repro.faults import FaultInjector, FaultPlan, FaultyChunkStore, InjectedFault
 from repro.store.cache import CachedChunkStore
 from repro.store.chunk_store import FileChunkStore, MemoryChunkStore
+from repro.store.format import CorruptChunkError
 
 
 def make_chunks(rng, n=5, items=4):
@@ -152,6 +154,43 @@ class TestReadMany:
         store.read_chunk("ds", 2)
         list(store.read_many("ds", [2, 4, 0]))
         assert seen == [[4, 0]]  # only the misses, one batch
+
+
+class TestCacheFailureHandling:
+    """Failed reads are never cached; successes around a failure are."""
+
+    def make_faulty(self, rng, plan):
+        inner = MemoryChunkStore()
+        for c in make_chunks(rng):
+            inner.write_chunk("ds", c, 0, 0)
+        return CachedChunkStore(FaultyChunkStore(inner, FaultInjector(plan)))
+
+    def test_failure_not_cached_then_retry_reaches_inner(self, rng):
+        store = self.make_faulty(rng, FaultPlan.flaky_read(chunk_id=1, times=1))
+        with pytest.raises(InjectedFault):
+            store.read_chunk("ds", 1)
+        assert len(store) == 0  # the failure left no cache entry
+        assert store.read_chunk("ds", 1).chunk_id == 1  # retry hits inner
+        assert len(store) == 1
+
+    def test_read_many_caches_successful_prefix(self, rng):
+        store = self.make_faulty(rng, FaultPlan.corrupt_chunk(1))
+        it = store.read_many("ds", [0, 1, 2])
+        assert next(it).chunk_id == 0
+        with pytest.raises(CorruptChunkError):
+            next(it)
+        assert len(store) == 1  # chunk 0 cached, the failure not
+        hits = store.hits
+        store.read_chunk("ds", 0)
+        assert store.hits == hits + 1
+
+    def test_cache_hits_served_before_failure_position(self, rng):
+        store = self.make_faulty(rng, FaultPlan.corrupt_chunk(2))
+        store.read_chunk("ds", 3)  # warm an unaffected chunk
+        it = store.read_many("ds", [3, 2, 0])
+        assert next(it).chunk_id == 3
+        with pytest.raises(CorruptChunkError):
+            next(it)
 
 
 class TestFileStoreBatching:

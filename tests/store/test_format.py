@@ -6,7 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dataset.chunk import Chunk
-from repro.store.format import ChunkFormatError, decode_chunk, encode_chunk
+from repro.store.format import (
+    ChunkFormatError,
+    CorruptChunkError,
+    decode_chunk,
+    encode_chunk,
+)
 
 
 def make_chunk(rng, n=10, ndim=2, comps=0, dtype=np.float64):
@@ -51,6 +56,23 @@ class TestRoundTrip:
         np.testing.assert_array_equal(back.coords, chunk.coords)
         np.testing.assert_array_equal(back.values, chunk.values)
 
+    @given(
+        st.integers(0, 2**31),
+        st.integers(1, 4),
+        st.integers(1, 30),
+        st.integers(0, 3),
+        st.sampled_from([np.float32, np.float64, np.int32, np.uint8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_dtypes_property(self, seed, ndim, n, comps, dtype):
+        """Checksum round-trip holds across payload dtypes and shapes."""
+        rng = np.random.default_rng(seed)
+        chunk = make_chunk(rng, n=n, ndim=ndim, comps=comps, dtype=dtype)
+        back = decode_chunk(encode_chunk(chunk))
+        assert back.values.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(back.coords, chunk.coords)
+        np.testing.assert_array_equal(back.values, chunk.values)
+
 
 class TestCorruption:
     def test_flipped_payload_byte_detected(self, rng):
@@ -78,4 +100,48 @@ class TestCorruption:
         data = bytearray(encode_chunk(make_chunk(rng)))
         data[4] = 99
         with pytest.raises(ChunkFormatError, match="version"):
+            decode_chunk(bytes(data))
+
+
+class TestCorruptionErrorTaxonomy:
+    """Damage is CorruptChunkError; wrong format stays ChunkFormatError."""
+
+    def test_crc_mismatch_is_corrupt(self, rng):
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[-1] ^= 0xFF
+        with pytest.raises(CorruptChunkError):
+            decode_chunk(bytes(data))
+
+    def test_truncation_is_corrupt(self, rng):
+        data = encode_chunk(make_chunk(rng))
+        with pytest.raises(CorruptChunkError):
+            decode_chunk(data[:-5])
+        with pytest.raises(CorruptChunkError):
+            decode_chunk(data[:10])
+
+    def test_bad_magic_is_not_corrupt(self, rng):
+        """Wrong format is permanent: a retry policy matching only
+        CorruptChunkError must not spin on it."""
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[0:4] = b"NOPE"
+        with pytest.raises(ChunkFormatError) as excinfo:
+            decode_chunk(bytes(data))
+        assert not isinstance(excinfo.value, CorruptChunkError)
+
+    def test_corrupt_is_a_format_error(self):
+        assert issubclass(CorruptChunkError, ChunkFormatError)
+
+    @given(st.integers(0, 2**31), st.integers(0, 2000))
+    @settings(max_examples=40, deadline=None)
+    def test_any_flipped_body_byte_raises(self, seed, pos):
+        """Property: flipping any CRC-protected body byte (everything
+        after the 44-byte header) always raises -- no silent bit-rot.
+        Header fields are validated at the store layer (id check)."""
+        from repro.store.format import _HEADER
+
+        rng = np.random.default_rng(seed)
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        pos = _HEADER.size + pos % (len(data) - _HEADER.size)
+        data[pos] ^= 0x01
+        with pytest.raises(CorruptChunkError):
             decode_chunk(bytes(data))
