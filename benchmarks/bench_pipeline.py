@@ -1,0 +1,219 @@
+"""Pipelined execution benchmark: synchronous reads vs read-ahead.
+
+Measures the I/O-overlap win of the unified tile pipeline on a real
+multi-tile query:
+
+- **sync** -- ``execute_plan(..., prefetch=False)``: every chunk
+  retrieval blocks the reduction loop, so per-read latency is paid
+  serially (the pre-pipeline behaviour);
+- **prefetch** -- ``execute_plan(..., prefetch=PrefetchPolicy(...))``:
+  the :class:`repro.store.prefetch.TilePrefetcher` issues reads in
+  placement order from worker threads, at most one tile ahead, so
+  retrieval latency overlaps reduction/combine/output of the current
+  tile.
+
+Chunk retrieval carries an artificial per-read latency (``sleep``
+inside the provider, as a remote disk or object store would impose);
+results are verified bit-for-bit identical -- counters included --
+before any timing counts, since the pipeline's contract is that
+overlap never changes the answer.
+
+Run standalone (not under pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--min-speedup 1.5]
+
+writes ``BENCH_pipeline.json`` with wall-clock for both modes and the
+speedup.  Fidelity follows ``REPRO_BENCH_FIDELITY`` (``fast`` shrinks
+the item population and round count, as for the figure benches).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregation.functions import MeanAggregation  # noqa: E402
+from repro.aggregation.output_grid import OutputGrid  # noqa: E402
+from repro.dataset.chunkset import ChunkSet  # noqa: E402
+from repro.dataset.graph import ChunkGraph  # noqa: E402
+from repro.dataset.partition import hilbert_partition  # noqa: E402
+from repro.decluster.hilbert import HilbertDeclusterer  # noqa: E402
+from repro.planner.problem import PlanningProblem  # noqa: E402
+from repro.planner.strategies import plan_query  # noqa: E402
+from repro.runtime.engine import execute_plan  # noqa: E402
+from repro.space.attribute_space import AttributeSpace  # noqa: E402
+from repro.space.mapping import GridMapping  # noqa: E402
+from repro.store.prefetch import PrefetchPolicy  # noqa: E402
+from repro.util.rng import make_rng  # noqa: E402
+
+FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "fast").lower()
+SEED = 20260806
+
+WORKLOADS = {
+    # n_items, items_per_chunk, grid_cells, chunk_cells, n_procs,
+    # memory (bytes/proc), read latency (s), rounds
+    "fast": (3_000, 30, (16, 16), (4, 4), 4, 1_024, 0.004, 3),
+    "full": (12_000, 60, (24, 24), (4, 4), 4, 2_048, 0.004, 5),
+}
+
+POLICY = PrefetchPolicy(depth=8, workers=4)
+
+
+def build_workload():
+    (n_items, per_chunk, gcells, ccells, n_procs, memory, delay, rounds) = WORKLOADS[
+        "fast" if FIDELITY == "fast" else "full"
+    ]
+    rng = make_rng(SEED)
+    in_space = AttributeSpace.regular("in", ("x", "y"), (0, 0), (10, 10))
+    out_space = AttributeSpace.regular("out", ("u", "v"), (0, 0), (1, 1))
+    spec = MeanAggregation(1)
+    coords = rng.uniform(0, 10, size=(n_items, 2))
+    values = rng.integers(1, 100, size=(n_items, 1)).astype(float)
+    chunks = hilbert_partition(coords, values, per_chunk)
+    grid = OutputGrid(out_space, gcells, ccells)
+    mapping = GridMapping(in_space, out_space, gcells)
+
+    inputs = ChunkSet.from_metas([c.meta for c in chunks])
+    decl = HilbertDeclusterer()
+    inputs = decl.place(inputs, n_procs)
+    outputs = decl.place(grid.chunkset(), n_procs)
+    graph = ChunkGraph.from_geometry(inputs, outputs, mapping)
+    acc = np.asarray(
+        [spec.acc_bytes(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)],
+        dtype=np.int64,
+    )
+    problem = PlanningProblem(
+        n_procs=n_procs,
+        memory_per_proc=np.int64(memory),  # tight: forces a multi-tile plan
+        inputs=inputs,
+        outputs=outputs,
+        graph=graph,
+        acc_nbytes=acc,
+    )
+    return chunks, mapping, grid, spec, problem, delay, rounds
+
+
+def slow_provider(chunks, delay):
+    """Chunk provider with per-read latency (sleep releases the GIL,
+    so prefetch threads overlap it exactly as real I/O would)."""
+
+    def provider(i: int):
+        time.sleep(delay)
+        return chunks[i]
+
+    return provider
+
+
+def run_mode(plan, provider, mapping, grid, spec, prefetch):
+    return execute_plan(plan, provider, mapping, grid, spec, prefetch=prefetch)
+
+
+def time_mode(fn, rounds):
+    """Best-of-N wall clock."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_strategy(strategy, chunks, mapping, grid, spec, problem, delay, rounds):
+    plan = plan_query(problem, strategy)
+    provider = slow_provider(chunks, delay)
+
+    # Correctness gate: overlap must not change the answer, bit for
+    # bit, counters included.
+    sync = run_mode(plan, provider, mapping, grid, spec, prefetch=False)
+    pre = run_mode(plan, provider, mapping, grid, spec, prefetch=POLICY)
+    assert pre.output_ids.tolist() == sync.output_ids.tolist()
+    for o, pv, sv in zip(sync.output_ids, pre.chunk_values, sync.chunk_values):
+        if not np.array_equal(pv, sv, equal_nan=True):
+            raise AssertionError(f"{strategy}: output chunk {int(o)} diverged")
+    for counter in ("n_reads", "bytes_read", "n_aggregations", "n_combines"):
+        if getattr(pre, counter) != getattr(sync, counter):
+            raise AssertionError(f"{strategy}: counter {counter} diverged")
+
+    t_sync = time_mode(
+        lambda: run_mode(plan, provider, mapping, grid, spec, prefetch=False),
+        rounds,
+    )
+    t_pre = time_mode(
+        lambda: run_mode(plan, provider, mapping, grid, spec, prefetch=POLICY),
+        rounds,
+    )
+    return {
+        "n_tiles": int(plan.n_tiles),
+        "n_reads": int(sync.n_reads),
+        "io_seconds_serial": sync.n_reads * delay,
+        "sync_seconds": t_sync,
+        "prefetch_seconds": t_pre,
+        "speedup": t_sync / t_pre,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="exit 1 unless every strategy's prefetch speedup meets this factor",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"),
+        help="output JSON path (default: repo-root BENCH_pipeline.json)",
+    )
+    args = parser.parse_args(argv)
+
+    chunks, mapping, grid, spec, problem, delay, rounds = build_workload()
+    report = {
+        "bench": "pipeline",
+        "fidelity": "fast" if FIDELITY == "fast" else "full",
+        "n_chunks": len(chunks),
+        "read_latency_seconds": delay,
+        "prefetch_depth": POLICY.depth,
+        "prefetch_workers": POLICY.workers,
+        "rounds": rounds,
+        "strategies": {},
+    }
+    for strategy in ("FRA", "DA"):
+        r = bench_strategy(
+            strategy, chunks, mapping, grid, spec, problem, delay, rounds
+        )
+        report["strategies"][strategy] = r
+        print(
+            f"{strategy}: tiles={r['n_tiles']} reads={r['n_reads']} "
+            f"sync {r['sync_seconds']:.3f}s, prefetch {r['prefetch_seconds']:.3f}s, "
+            f"speedup {r['speedup']:.2f}x"
+        )
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None:
+        slow = {
+            name: r["speedup"]
+            for name, r in report["strategies"].items()
+            if r["speedup"] < args.min_speedup
+        }
+        if slow:
+            print(
+                f"FAIL: speedup below {args.min_speedup}x for "
+                + ", ".join(f"{n} ({s:.2f}x)" for n, s in slow.items())
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

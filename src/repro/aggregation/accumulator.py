@@ -96,8 +96,19 @@ class AccumulatorSet:
         self._chunks: Dict[int, Accumulator] = {}
         self._bytes = 0
 
-    def allocate(self, output_chunk: int, n_cells: int, ghost: bool) -> Accumulator:
-        """Allocate + initialize an accumulator chunk (phase 1)."""
+    def allocate(
+        self,
+        output_chunk: int,
+        n_cells: int,
+        ghost: bool,
+        data: np.ndarray | None = None,
+    ) -> Accumulator:
+        """Allocate + initialize an accumulator chunk (phase 1).
+
+        When *data* is given (the parallel backend's shared-memory
+        arena views), it is re-initialized in place and used directly;
+        the pool is bypassed, but the memory budget still applies.
+        """
         if output_chunk in self._chunks:
             raise KeyError(f"accumulator for output chunk {output_chunk} already allocated")
         need = self.spec.acc_bytes(n_cells)
@@ -107,8 +118,9 @@ class AccumulatorSet:
                 f"the {self.memory_limit}-byte accumulator budget "
                 f"({self._bytes} in use) -- the tiling step should prevent this"
             )
-        data = None
-        if self.pool is not None:
+        if data is not None:
+            self.spec.initialize_into(data)
+        elif self.pool is not None:
             data = self.pool.take((n_cells, self.spec.acc_components))
             if data is not None:
                 self.spec.initialize_into(data)

@@ -14,20 +14,24 @@ change prove the Figure 4-6 contracts before it lands.
 
 ``--functional`` switches to the execution corpus: nine small
 geometry-derived workloads with real payloads, planned with all four
-strategies (36 plans) and *executed* three ways --
+strategies (36 plans) and *executed* five ways --
 
-- sequential backend with the simulated-race detector armed,
 - the serial single-pass oracle (:func:`repro.runtime.serial.execute_serial`),
-- the multiprocess backend (``backend="parallel"``).
+- sequential backend with the simulated-race detector armed,
+- the multiprocess backend (``backend="parallel"``),
+- both backends again with threaded read-ahead (``prefetch=True``).
 
 The sequential result must match the oracle to floating-point
-tolerance, and the parallel result must match the sequential one
-bit for bit (same tile schedule, same kernels, same operation order).
+tolerance, and every other variant must match the sequential one bit
+for bit (same phase executor, same kernels, same operation order),
+counters and ``phase_times`` key set included.
 
 ``--faults`` replays the functional corpus under a deterministic fault
 matrix (corrupt chunk + degrade, flaky disk + retry, worker crash +
 recovery) and checks every degraded or recovered result against ground
-truth -- see :func:`verify_fault_corpus`.
+truth -- see :func:`verify_fault_corpus`; ``--faults --prefetch``
+replays the same matrix with read-ahead enabled, proving injected
+faults surface identically from the prefetch thread.
 """
 
 from __future__ import annotations
@@ -208,18 +212,28 @@ def functional_workloads() -> Iterator[Tuple[str, dict]]:
         }
 
 
+#: The cross-backend counter contract asserted by the functional
+#: corpus (defined in :mod:`repro.runtime.phases`).
+_COUNTERS = ("n_reads", "bytes_read", "n_aggregations", "n_combines")
+
+
 def verify_functional_corpus(
     strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
 ) -> Tuple[int, List[Tuple[str, str]]]:
     """Execute the functional corpus; return ``(n_plans, failures)``.
 
-    Each plan runs on the sequential backend (race detector armed) and
-    on the parallel backend.  Sequential must match the serial oracle to
-    floating-point tolerance; parallel must match sequential bitwise,
-    counters included.
+    Each plan runs four ways -- {sequential, parallel} x {prefetch off,
+    prefetch on} -- with the race detector armed on the plain
+    sequential run.  Sequential must match the serial oracle to
+    floating-point tolerance; every other variant must match the
+    sequential result bit for bit, counters included, and every
+    variant's ``phase_times`` must carry exactly the
+    :data:`repro.runtime.phases.PHASES` key set (the cross-backend
+    contract).
     """
     from repro.planner.strategies import plan_query
     from repro.runtime.engine import execute_plan
+    from repro.runtime.phases import PHASES
     from repro.runtime.serial import execute_serial
 
     failures: List[Tuple[str, str]] = []
@@ -243,33 +257,58 @@ def verify_functional_corpus(
                     failures.append(
                         (tag, f"sequential output chunk {int(o)} != serial oracle")
                     )
-            par = execute_plan(
-                plan, lambda i: chunks[i], mapping, grid, spec, backend="parallel"
-            )
-            if par.output_ids.tolist() != seq.output_ids.tolist():
-                failures.append((tag, "parallel output ids != sequential"))
-                continue
-            for o, pv, sv in zip(par.output_ids, par.chunk_values, seq.chunk_values):
-                if not np.array_equal(pv, sv, equal_nan=True):
-                    failures.append(
-                        (tag, f"parallel output chunk {int(o)} not bitwise-equal")
-                    )
-            for counter in ("n_reads", "bytes_read", "n_aggregations", "n_combines"):
-                if getattr(par, counter) != getattr(seq, counter):
-                    failures.append(
-                        (
-                            tag,
-                            f"parallel {counter}={getattr(par, counter)}"
-                            f" != sequential {getattr(seq, counter)}",
+            variants = {
+                "parallel": execute_plan(
+                    plan, lambda i: chunks[i], mapping, grid, spec,
+                    backend="parallel",
+                ),
+                "sequential+prefetch": execute_plan(
+                    plan, lambda i: chunks[i], mapping, grid, spec, prefetch=True
+                ),
+                "parallel+prefetch": execute_plan(
+                    plan, lambda i: chunks[i], mapping, grid, spec,
+                    backend="parallel", prefetch=True,
+                ),
+            }
+            if sorted(seq.phase_times) != sorted(PHASES):
+                failures.append(
+                    (tag, f"sequential phase_times keys {sorted(seq.phase_times)}")
+                )
+            for name, res in variants.items():
+                if res.output_ids.tolist() != seq.output_ids.tolist():
+                    failures.append((tag, f"{name} output ids != sequential"))
+                    continue
+                for o, pv, sv in zip(res.output_ids, res.chunk_values, seq.chunk_values):
+                    if not np.array_equal(pv, sv, equal_nan=True):
+                        failures.append(
+                            (tag, f"{name} output chunk {int(o)} not bitwise-equal")
                         )
+                for counter in _COUNTERS:
+                    if getattr(res, counter) != getattr(seq, counter):
+                        failures.append(
+                            (
+                                tag,
+                                f"{name} {counter}={getattr(res, counter)}"
+                                f" != sequential {getattr(seq, counter)}",
+                            )
+                        )
+                if sorted(res.phase_times) != sorted(PHASES):
+                    failures.append(
+                        (tag, f"{name} phase_times keys {sorted(res.phase_times)}")
                     )
     return n_plans, failures
 
 
 def verify_fault_corpus(
     strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+    prefetch: bool = False,
 ) -> Tuple[int, List[Tuple[str, str]]]:
     """Replay the functional corpus under the fault matrix.
+
+    With ``prefetch=True`` every execution runs with threaded
+    read-ahead enabled: injected read faults then fire inside the
+    prefetch thread and must surface -- and degrade/retry/recover --
+    exactly as on the synchronous path.
 
     Three deterministic scenarios per workload (strategy rotating
     through *strategies* so the matrix covers all four across the nine
@@ -309,7 +348,9 @@ def verify_fault_corpus(
         problem = w["problem"]
         strategy = strategies[i % len(strategies)]
         plan = plan_query(problem, strategy)
-        clean = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+        clean = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec, prefetch=prefetch
+        )
 
         # -- corrupt chunk, degraded completion -------------------------
         n_scenarios += 1
@@ -318,12 +359,13 @@ def verify_fault_corpus(
         degraded = execute_plan(
             plan, lambda i: chunks[i], mapping, grid, spec,
             fault_injector=FaultInjector(FaultPlan.corrupt_chunk(victim)),
-            on_error="degrade",
+            on_error="degrade", prefetch=prefetch,
         )
         par_degraded = execute_plan(
             plan, lambda i: chunks[i], mapping, grid, spec,
             backend="parallel", on_error="degrade", recovery=recovery,
             fault_injector=FaultInjector(FaultPlan.corrupt_chunk(victim)),
+            prefetch=prefetch,
         )
         if set(degraded.chunk_errors) != {victim}:
             failures.append(
@@ -373,7 +415,8 @@ def verify_fault_corpus(
             lambda i: chunks[i]
         )
         retried = execute_plan(
-            plan, lambda i: policy.run(lambda: flaky(i)), mapping, grid, spec
+            plan, lambda i: policy.run(lambda: flaky(i)), mapping, grid, spec,
+            prefetch=prefetch,
         )
         if retried.completeness != 1.0 or retried.chunk_errors:
             failures.append((tag, "retried run reported degradation"))
@@ -393,6 +436,7 @@ def verify_fault_corpus(
             fault_injector=FaultInjector(
                 FaultPlan.crash_worker(rank=crash_rank, after_reads=1)
             ),
+            prefetch=prefetch,
         )
         if recovered.output_ids.tolist() != clean.output_ids.tolist() or not all(
             np.array_equal(a, b, equal_nan=True)
@@ -411,17 +455,18 @@ def verify_fault_corpus(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     unknown = [
-        a for a in argv if a not in ("--no-emulators", "--functional", "--faults")
+        a for a in argv
+        if a not in ("--no-emulators", "--functional", "--faults", "--prefetch")
     ]
     if unknown:
         print(f"repro.analysis.corpus: unknown argument(s): {' '.join(unknown)}")
         print(
             "usage: python -m repro.analysis.corpus "
-            "[--no-emulators] [--functional] [--faults]"
+            "[--no-emulators] [--functional] [--faults [--prefetch]]"
         )
         return 2
     if "--faults" in argv:
-        n_scenarios, failures = verify_fault_corpus()
+        n_scenarios, failures = verify_fault_corpus(prefetch="--prefetch" in argv)
         for label, message in failures:
             print(f"{label}: {message}")
         if failures:

@@ -37,6 +37,15 @@ ADR401    bare ``except:`` anywhere, or an exception handler that
           (``src/repro/runtime/``, ``src/repro/store/``) -- degraded
           execution must *record* every absorbed failure
           (``chunk_errors``), never discard it
+ADR501    phase-sequencing accumulator call (``allocate`` /
+          ``aggregate_grouped`` / ``scatter_groups`` /
+          ``combine_from`` / ``initialize_into`` /
+          ``initialize_from`` / ``prereduce_groups``) in a
+          ``src/repro/runtime/`` module other than ``phases.py`` --
+          the four-phase tile loop lives in one place
+          (:class:`repro.runtime.phases.PhaseExecutor`); backends
+          drive it, they do not re-implement it (the serial Figure-1
+          oracle opts out with ``noqa``)
 ========  ==========================================================
 """
 
@@ -52,7 +61,7 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Severity
 
 __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
-LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR401")
+LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR401", "ADR501")
 
 #: Directory whose modules are the execution hot path (ADR305).
 _RUNTIME_HOT_PATH = ("repro/runtime/",)
@@ -60,6 +69,20 @@ _RUNTIME_HOT_PATH = ("repro/runtime/",)
 #: Directories where silently swallowed exceptions hide data loss
 #: (ADR401's stricter half applies here).
 _FAULT_CRITICAL_PATHS = ("repro/runtime/", "repro/store/")
+
+#: The one module allowed to sequence the four phases (ADR501).
+_PHASE_LOOP_HOME = ("runtime/phases.py", "runtime\\phases.py")
+
+#: Accumulator-lifecycle methods whose call sites *are* the phase
+#: loop: allocating/initializing accumulators, applying reduction
+#: segments, merging ghosts.  Any runtime module calling these is
+#: duplicating :class:`~repro.runtime.phases.PhaseExecutor`.
+_PHASE_SEQUENCING_CALLS = frozenset(
+    {
+        "allocate", "aggregate_grouped", "scatter_groups", "combine_from",
+        "initialize_into", "initialize_from", "prereduce_groups",
+    }
+)
 
 #: np.random functions backed by the legacy global RandomState --
 #: unseedable per call site, therefore never reproducible.
@@ -165,12 +188,14 @@ class _Visitor(ast.NodeVisitor):
     def __init__(
         self, path: str, out: DiagnosticCollector, rng_exempt: bool,
         runtime_hot_path: bool = False, fault_critical: bool = False,
+        phase_scope: bool = False,
     ) -> None:
         self.path = path
         self.out = out
         self.rng_exempt = rng_exempt
         self.runtime_hot_path = runtime_hot_path
         self.fault_critical = fault_critical
+        self.phase_scope = phase_scope
 
     def _loc(self, node: ast.AST) -> str:
         return f"{self.path}:{node.lineno}:{node.col_offset}"
@@ -207,6 +232,21 @@ class _Visitor(ast.NodeVisitor):
                             "nondeterministic; thread a seed or Generator "
                             "through repro.util.rng.make_rng",
                         )
+        # -- ADR501: phase sequencing outside runtime/phases.py -----------
+        if (
+            self.phase_scope
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PHASE_SEQUENCING_CALLS
+        ):
+            self.out.emit(
+                "ADR501",
+                Severity.ERROR,
+                self._loc(node),
+                f"phase-sequencing call '{node.func.attr}()' outside "
+                "runtime/phases.py; the four-phase tile loop is owned by "
+                "PhaseExecutor -- drive it instead of re-implementing it "
+                "(the serial oracle may opt out with noqa)",
+            )
         self.generic_visit(node)
 
     # -- ADR302: float equality on accumulator values ----------------------
@@ -327,6 +367,7 @@ def _is_public_library_module(path: Path) -> bool:
 def lint_source(
     source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False,
     runtime_hot_path: bool = False, fault_critical: bool = False,
+    phase_scope: bool = False,
 ) -> List[Diagnostic]:
     """Lint one module's source text (the testable core)."""
     out = DiagnosticCollector()
@@ -335,7 +376,9 @@ def lint_source(
     except SyntaxError as exc:
         out.error("ADR300", f"{path}:{exc.lineno or 0}:0", f"syntax error: {exc.msg}")
         return out.diagnostics
-    _Visitor(path, out, rng_exempt, runtime_hot_path, fault_critical).visit(tree)
+    _Visitor(
+        path, out, rng_exempt, runtime_hot_path, fault_critical, phase_scope
+    ).visit(tree)
     if check_all and not any(
         isinstance(n, ast.Assign)
         and any(isinstance(t, ast.Name) and t.id == "__all__" for t in n.targets)
@@ -371,6 +414,10 @@ def lint_file(path: Path) -> List[Diagnostic]:
         check_all=_is_public_library_module(path),
         runtime_hot_path=any(m in posix for m in _RUNTIME_HOT_PATH),
         fault_critical=any(m in posix for m in _FAULT_CRITICAL_PATHS),
+        phase_scope=(
+            any(m in posix for m in _RUNTIME_HOT_PATH)
+            and not any(posix.endswith(e) for e in _PHASE_LOOP_HOME)
+        ),
     )
 
 

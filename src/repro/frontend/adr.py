@@ -21,7 +21,7 @@ are all reachable separately for inspection (``build_problem``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Type
+from typing import Dict, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
@@ -47,6 +47,7 @@ from repro.sim.query_sim import SimResult, simulate_query
 from repro.space.attribute_space import AttributeSpace, AttributeSpaceRegistry
 from repro.store.cache import CachedChunkStore
 from repro.store.chunk_store import ChunkStore, MemoryChunkStore
+from repro.store.prefetch import PrefetchPolicy
 from repro.store.retry import RetryPolicy, RetryingChunkStore
 from repro.util.units import MB
 
@@ -68,8 +69,12 @@ class ADR:
         costs: ComputeCosts = DEFAULT_COSTS,
         cache_bytes: int = 64 * MB,
         retry: Optional[RetryPolicy] = None,
+        prefetch: Union[bool, PrefetchPolicy, None] = None,
     ) -> None:
         self.machine = machine
+        #: instance-wide read-ahead default; a query's ``prefetch``
+        #: field overrides it (see :mod:`repro.store.prefetch`)
+        self.prefetch = PrefetchPolicy.coerce(prefetch)
         self.store = store if store is not None else MemoryChunkStore()
         # Retry sits *under* the cache: a retried read that eventually
         # succeeds is cached like any other, and cache hits never pay
@@ -225,6 +230,10 @@ class ADR:
         ``backend="parallel"`` runs the virtual processors as real OS
         processes (see :mod:`repro.runtime.parallel`).
 
+        Read-ahead follows ``query.prefetch`` when set, else the
+        instance-wide ``prefetch`` passed to :class:`ADR`; results are
+        bit-for-bit identical with it on or off.
+
         Failure handling follows ``query.on_error``: ``"raise"``
         surfaces the first unreadable chunk's error, ``"degrade"``
         completes over the readable chunks and reports the rest in
@@ -245,6 +254,7 @@ class ADR:
             region=region, backend=backend,
             routing_cache=self.routing_cache(name),
             on_error=query.on_error,
+            prefetch=self.prefetch if query.prefetch is None else query.prefetch,
         )
         if store_base is not None:
             self._merge_store_stats(result, store_base)
@@ -315,6 +325,7 @@ class ADR:
             region=region, prior=prior,
             routing_cache=self.routing_cache(name),
             on_error=query.on_error,
+            prefetch=self.prefetch if query.prefetch is None else query.prefetch,
         )
         # write updated chunks back to their original locations
         missing = [int(o) for o in result.output_ids if int(o) not in pos_of]

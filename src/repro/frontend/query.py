@@ -16,6 +16,7 @@ from typing import Optional, Union
 from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
 from repro.space.mapping import GridMapping
+from repro.store.prefetch import PrefetchPolicy
 from repro.util.geometry import Rect
 
 __all__ = ["RangeQuery"]
@@ -50,6 +51,12 @@ class RangeQuery:
         completes over the readable chunks, reporting the unreadable
         ones in ``QueryResult.chunk_errors`` and the incorporated
         fraction in ``QueryResult.completeness``.
+    prefetch:
+        I/O read-ahead for this query: ``True`` or a
+        :class:`~repro.store.prefetch.PrefetchPolicy` overlaps chunk
+        retrieval with reduction, ``False`` forces synchronous reads,
+        ``None`` (default) defers to the ADR instance's setting.
+        Results are bit-for-bit identical either way.
     """
 
     dataset: str
@@ -60,12 +67,15 @@ class RangeQuery:
     strategy: str = "AUTO"
     value_components: int = 1
     on_error: str = "raise"
+    prefetch: Union[bool, PrefetchPolicy, None] = None
 
     def __post_init__(self) -> None:
         if self.on_error not in ("raise", "degrade"):
             raise ValueError(
                 f"unknown on_error {self.on_error!r}; expected 'raise' or 'degrade'"
             )
+        if self.prefetch is not None:
+            PrefetchPolicy.coerce(self.prefetch)  # validate the type early
 
     def spec(self) -> AggregationSpec:
         """Resolve the aggregation to a spec instance."""

@@ -222,6 +222,27 @@ class QueryPlan:
                 np.add.at(recv, tr.dst, sizes[tr.chunk])
         return sent, recv
 
+    # -- execution schedule ---------------------------------------------------
+
+    def schedule(self):
+        """The plan's cached :class:`repro.runtime.phases.PhaseSchedule`.
+
+        One derivation of everything schedule-shaped -- per-tile
+        read/transfer/output orders, per-read forwarding recipients,
+        per-(tile, processor) work tallies -- shared by the sequential
+        engine, the multiprocess workers (which inherit it through
+        fork), the prefetcher and the discrete-event simulator.
+        Imported lazily: the planner package stays importable without
+        the runtime layer.
+        """
+        sched = self.__dict__.get("_phase_schedule")
+        if sched is None:
+            from repro.runtime.phases import PhaseSchedule
+
+            sched = PhaseSchedule(self)
+            self.__dict__["_phase_schedule"] = sched
+        return sched
+
     # -- persistence ---------------------------------------------------------
 
     def save(self, path) -> None:
@@ -240,7 +261,7 @@ class QueryPlan:
             "edge_arrays", "edge_tile", "reads", "input_transfers",
             "ghost_transfers", "init_transfers", "total_read_bytes",
             "read_multiplicity", "total_comm_bytes", "n_holder_entries",
-            "ghost_count",
+            "ghost_count", "_phase_schedule",
         ):
             state.pop(cached, None)
         with open(path, "wb") as fh:

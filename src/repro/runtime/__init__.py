@@ -8,9 +8,33 @@ combining), and final output values are produced.  Running the same
 query under FRA, SRA and DA must -- and in the test suite does --
 yield the same answer as a serial reference execution, which is the
 correctness proof for the planner's workload partitioning.
+
+The per-tile four-phase loop itself lives in
+:mod:`repro.runtime.phases` (one :class:`PhaseExecutor` for every
+backend, over the :mod:`repro.runtime.transport` abstraction); the
+sequential engine and the multiprocess backend are thin drivers around
+it.
 """
 
 from repro.runtime.engine import QueryResult, execute_plan
+from repro.runtime.phases import PHASES, PhaseExecutor, PhaseSchedule
 from repro.runtime.serial import execute_serial
+from repro.runtime.transport import (
+    InprocTransport,
+    QueueTransport,
+    RecoveryPolicy,
+    Transport,
+)
 
-__all__ = ["QueryResult", "execute_plan", "execute_serial"]
+__all__ = [
+    "PHASES",
+    "InprocTransport",
+    "PhaseExecutor",
+    "PhaseSchedule",
+    "QueryResult",
+    "QueueTransport",
+    "RecoveryPolicy",
+    "Transport",
+    "execute_plan",
+    "execute_serial",
+]

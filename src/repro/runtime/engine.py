@@ -1,4 +1,4 @@
-"""Parallel functional execution of a query plan.
+"""Sequential functional execution of a query plan.
 
 Executes the four phases per tile over *virtual processors*, each with
 its own :class:`~repro.aggregation.accumulator.AccumulatorSet`:
@@ -17,51 +17,66 @@ its own :class:`~repro.aggregation.accumulator.AccumulatorSet`:
 4. **Output handling** -- owners post-process accumulators into final
    output values.
 
-Because the virtual processors run in one address space the engine is
-sequential, but it honors the plan's *data placement* exactly: an
-aggregation only ever touches the accumulator set of its assigned
-processor, and a combine only merges data the plan actually ships.
-That is what makes "FRA == SRA == DA == serial" a meaningful test of
-the planner rather than a tautology.
+The phase loop itself lives in :class:`repro.runtime.phases.
+PhaseExecutor` -- this module is a thin driver that hosts *every*
+virtual processor in one address space over an
+:class:`~repro.runtime.transport.InprocTransport` (the multiprocess
+backend drives the same executor per worker host over a
+:class:`~repro.runtime.transport.QueueTransport`).  Because the
+virtual processors run in one address space the engine is sequential,
+but it honors the plan's *data placement* exactly: an aggregation only
+ever touches the accumulator set of its assigned processor, and a
+combine only merges data the plan actually ships.  That is what makes
+"FRA == SRA == DA == serial" a meaningful test of the planner rather
+than a tautology.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.aggregation.accumulator import AccumulatorSet, BufferPool
+from repro.aggregation.accumulator import BufferPool
 from repro.aggregation.functions import AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
 from repro.dataset.chunk import Chunk
 from repro.dataset.dataset import Dataset
 from repro.planner.plan import QueryPlan
-from repro.runtime.kernels import (
-    RoutingCache,
-    coerce_values,
-    grid_indexer,
-    group_read,
-    route_chunk,
-    tile_schedule,
+from repro.runtime.kernels import RoutingCache
+from repro.runtime.phases import (
+    PHASES,
+    AccumulatorHost,
+    ChunkSource,
+    PhaseExecutor,
+    ProviderChunkSource,
 )
-from repro.runtime.serial import map_chunk_to_cells  # noqa: F401  (re-export)
+from repro.runtime.transport import InprocTransport
 from repro.space.mapping import GridMapping
-from repro.store.chunk_store import RECOVERABLE_READ_ERRORS
+from repro.store.prefetch import PrefetchPolicy
 
 __all__ = ["QueryResult", "execute_plan"]
-
-#: Execution phases, in order; keys of ``QueryResult.phase_times``.
-PHASES = ("initialize", "reduce", "combine", "output")
 
 ChunkProvider = Callable[[int], Chunk]
 
 
 @dataclass
 class QueryResult:
-    """Final values per output chunk, plus execution counters."""
+    """Final values per output chunk, plus execution counters.
+
+    The counters follow one backend-independent contract (documented
+    in full in :mod:`repro.runtime.phases` and asserted across
+    backends by the functional corpus): ``n_reads`` counts successful
+    scheduled chunk retrievals summed over ranks, ``bytes_read`` the
+    plan's chunk bytes over those reads, ``n_aggregations`` applied
+    edge segments on whichever rank the plan assigned them,
+    ``n_combines`` ghost merges at the owning rank, and
+    ``phase_times`` has exactly the keys of
+    :data:`repro.runtime.phases.PHASES` (sequential: this process's
+    wall clock; parallel: the per-phase maximum across worker hosts,
+    i.e. the critical path).
+    """
 
     strategy: str
     #: dataset-level output chunk ids, parallel to ``chunk_values``
@@ -127,6 +142,21 @@ def _provider(source: Union[Dataset, ChunkProvider]) -> ChunkProvider:
     raise TypeError("chunk source must be a Dataset with payloads or a callable")
 
 
+def _chunk_source(
+    provider: ChunkProvider, plan: QueryPlan, prefetch, ranks=None
+) -> ChunkSource:
+    """The reduce phase's payload source: synchronous provider calls,
+    or a :class:`~repro.store.prefetch.TilePrefetcher` issuing them
+    ahead of consumption in placement order.  *ranks* restricts the
+    prefetched reads to the hosted processors (worker hosts)."""
+    policy = PrefetchPolicy.coerce(prefetch)
+    if policy is None:
+        return ProviderChunkSource(provider)
+    from repro.store.prefetch import TilePrefetcher, read_batches
+
+    return TilePrefetcher(provider, read_batches(plan, ranks=ranks), policy)
+
+
 def execute_plan(
     plan: QueryPlan,
     chunks: Union[Dataset, ChunkProvider],
@@ -143,6 +173,7 @@ def execute_plan(
     on_error: str = "raise",
     fault_injector=None,
     recovery=None,
+    prefetch: Union[bool, PrefetchPolicy, None] = None,
 ) -> QueryResult:
     """Execute *plan* over real chunk payloads.
 
@@ -189,13 +220,15 @@ def execute_plan(
         one address space; ``"parallel"`` runs each virtual processor
         as a real OS process (:mod:`repro.runtime.parallel`) with
         shared-memory accumulators and ghost transfers as real IPC.
-        Both backends share the same fused kernels and per-accumulator
-        operation order, so their results agree bit-for-bit.  Race
-        detection is a sequential-backend feature: requesting it
-        explicitly together with ``backend="parallel"`` raises (the
-        parallel backend instead asserts plan-authorized access inside
-        each worker); the ``REPRO_DETECT_RACES`` environment default
-        is silently ignored by the parallel backend.
+        Both backends drive the same
+        :class:`~repro.runtime.phases.PhaseExecutor` over the same
+        fused kernels and per-accumulator operation order, so their
+        results agree bit-for-bit.  Race detection is a
+        sequential-backend feature: requesting it explicitly together
+        with ``backend="parallel"`` raises (the parallel backend
+        instead asserts plan-authorized access inside each worker);
+        the ``REPRO_DETECT_RACES`` environment default is silently
+        ignored by the parallel backend.
     routing_cache:
         Optional :class:`repro.runtime.kernels.RoutingCache` memoizing
         ``map_chunk_to_cells`` per (chunk, region) across tiles and
@@ -218,6 +251,14 @@ def execute_plan(
         Optional :class:`repro.runtime.parallel.RecoveryPolicy` tuning
         worker-crash detection and the restart budget (parallel
         backend only).
+    prefetch:
+        I/O read-ahead: ``True`` (or a
+        :class:`~repro.store.prefetch.PrefetchPolicy`) overlaps chunk
+        retrieval with reduction by issuing the current tile's and the
+        next tile's reads from background threads in placement order
+        (see :mod:`repro.store.prefetch`).  ``None``/``False`` (the
+        default) reads synchronously.  Results are bit-for-bit
+        identical either way, counters included.
     """
     if backend not in ("sequential", "parallel"):
         raise ValueError(
@@ -227,6 +268,7 @@ def execute_plan(
         raise ValueError(
             f"unknown on_error {on_error!r}; expected 'raise' or 'degrade'"
         )
+    PrefetchPolicy.coerce(prefetch)  # validate early, on any backend
     if backend == "parallel":
         if race_detector is not None or detect_races:
             raise ValueError(
@@ -250,6 +292,7 @@ def execute_plan(
             routing_cache=routing_cache,
             on_error=on_error,
             fault_injector=fault_injector,
+            prefetch=prefetch,
             **kwargs,
         )
     problem = plan.problem
@@ -266,166 +309,43 @@ def execute_plan(
     provider = _provider(chunks)
     if fault_injector is not None:
         provider = fault_injector.wrap_provider(provider)
-    in_global = problem.input_global_ids
-    out_global = problem.output_global_ids
 
     pool = BufferPool()
-    acc_sets = [
-        AccumulatorSet(
-            spec,
-            memory_limit=int(problem.memory_per_proc[p]) if enforce_memory else None,
-            pool=pool,
-        )
-        for p in range(problem.n_procs)
-    ]
-
-    # Dataset-level output chunk id -> dense local id (or -1).
-    sel_map = np.full(grid.n_chunks, -1, dtype=np.int64)
-    sel_map[out_global] = np.arange(problem.n_out)
-
-    # Per-input-chunk edge lookup: outputs_of(i) is sorted and aligned
-    # with the same slice of plan.edge_proc (forward-CSR order).
-    fwd_indptr, fwd_ids = problem.graph.forward_csr
-
-    reads = plan.reads
-    schedule = tile_schedule(plan)
-    indexer = grid_indexer(grid)
-
-    results: Dict[int, np.ndarray] = {}
-    n_reads = 0
-    bytes_read = 0
-    n_combines = 0
-    n_aggregations = 0
-    chunk_errors: Dict[int, str] = {}
-    phase_times = dict.fromkeys(PHASES, 0.0)
-
-    for t in range(plan.n_tiles):
-        # -- phase 1: initialization -----------------------------------
-        t0 = time.perf_counter()
-        for k in schedule.outputs_of(t):
-            o = int(k)
-            n_cells = grid.cells_in_chunk(int(out_global[o]))
-            owner = int(problem.output_owner[o])
-            prior_acc = None
-            if problem.init_from_output and prior is not None:
-                prior_vals = prior(int(out_global[o]))
-                if prior_vals is not None:
-                    prior_acc = spec.initialize_from(prior_vals)
-            for p in plan.holders_of(o):
-                acc = acc_sets[int(p)].allocate(o, n_cells, ghost=int(p) != owner)
-                if detector is not None:
-                    detector.on_allocate(int(p), o, t)
-                if prior_acc is not None and (int(p) == owner or spec.idempotent):
-                    acc.data[:] = prior_acc
-        phase_times["initialize"] += time.perf_counter() - t0
-
-        # -- phase 2: local reduction --------------------------------------
-        t0 = time.perf_counter()
-        for r in schedule.reads_of(t):
-            i = int(reads.chunk[int(r)])
-            gid = int(in_global[i])
-            try:
-                chunk = provider(gid)
-            except RECOVERABLE_READ_ERRORS as e:
-                if on_error != "degrade":
-                    raise
-                chunk_errors.setdefault(gid, f"{type(e).__name__}: {e}")
-                continue
-            n_reads += 1
-            bytes_read += int(problem.inputs.nbytes[i])
-
-            item_idx, cells = route_chunk(
-                chunk, mapping, grid, region, cache=routing_cache, chunk_id=gid
-            )
-            if len(cells) == 0:
-                continue
-            values = coerce_values(chunk.values, spec.value_components)
-            segs = group_read(
-                item_idx, cells, values, grid, sel_map, plan.tile_of_output, t, indexer
-            )
-            if segs is None:
-                continue
-
-            edges_out = fwd_ids[fwd_indptr[i] : fwd_indptr[i + 1]]
-            edges_proc = plan.edge_proc[fwd_indptr[i] : fwd_indptr[i + 1]]
-            pos = np.searchsorted(edges_out, segs.seg_out)
-            if len(edges_out):
-                found = pos < len(edges_out)
-                found &= edges_out[np.where(found, pos, 0)] == segs.seg_out
-            else:
-                found = np.zeros(len(segs.seg_out), dtype=bool)
-            if not found.all():
-                o = int(segs.seg_out[np.flatnonzero(~found)[0]])
-                raise AssertionError(
-                    f"items of input chunk {i} land in output chunk {o} "
-                    "but the chunk graph has no such edge -- the graph "
-                    "must be a superset of the item-level mapping"
-                )
-            seg_procs = edges_proc[pos]
-            seg_out = segs.seg_out.tolist()
-            procs = seg_procs.tolist()
-            reduced = spec.prereduce_groups(segs.values, segs.group_starts)
-            if reduced is None:
-                # No pre-reduction for this aggregation: grouped
-                # scatter per segment (still sorted + pre-coerced).
-                starts, ends = segs.starts.tolist(), segs.ends.tolist()
-                for k, (o, q) in enumerate(zip(seg_out, procs)):
-                    if detector is not None:
-                        detector.on_aggregate(q, o, t)
-                    s, e = starts[k], ends[k]
-                    acc_sets[q].aggregate_grouped(
-                        o, segs.flat[s:e], segs.values[s:e]
-                    )
-                    n_aggregations += 1
-            else:
-                # One lexsorted scatter per (read, segment): duplicate
-                # cells were collapsed read-wide by prereduce_groups.
-                gflat = segs.flat[segs.group_starts]
-                gb = segs.group_bounds.tolist()
-                for k, (o, q) in enumerate(zip(seg_out, procs)):
-                    if detector is not None:
-                        detector.on_aggregate(q, o, t)
-                    acc_sets[q].scatter_groups(
-                        o, gflat[gb[k] : gb[k + 1]], reduced[gb[k] : gb[k + 1]]
-                    )
-                    n_aggregations += 1
-        phase_times["reduce"] += time.perf_counter() - t0
-
-        # -- phase 3: global combine ----------------------------------------
-        t0 = time.perf_counter()
-        gt = plan.ghost_transfers
-        for g in schedule.transfers_of(t):
-            g = int(g)
-            o = int(gt.chunk[g])
-            src, dst = int(gt.src[g]), int(gt.dst[g])
-            if detector is not None:
-                detector.on_combine(src, dst, o, t)
-            acc_sets[dst].combine_from(o, acc_sets[src].get(o).data)
-            n_combines += 1
-        phase_times["combine"] += time.perf_counter() - t0
-
-        # -- phase 4: output handling -----------------------------------------
-        t0 = time.perf_counter()
-        for k in schedule.outputs_of(t):
-            o = int(k)
-            owner = int(problem.output_owner[o])
-            acc = acc_sets[owner].get(o)
-            if acc.ghost:
-                raise AssertionError("owner holds a ghost for its own chunk")
-            if detector is not None:
-                detector.on_output(owner, o, t)
-            results[o] = spec.output(acc.data)
-
-        for s in acc_sets:
-            s.clear()
-        phase_times["output"] += time.perf_counter() - t0
-        if detector is not None:
-            detector.end_tile(t)
+    accs = AccumulatorHost(
+        spec,
+        range(problem.n_procs),
+        memory_limit=(
+            (lambda p: int(problem.memory_per_proc[p])) if enforce_memory else None
+        ),
+        pool=pool,
+    )
+    transport = InprocTransport()
+    source = _chunk_source(provider, plan, prefetch)
+    executor = PhaseExecutor(
+        plan,
+        grid,
+        spec,
+        mapping,
+        source,
+        accs,
+        transport,
+        region=region,
+        prior=prior,
+        routing_cache=routing_cache,
+        on_error=on_error,
+        observer=detector,
+    )
+    try:
+        executor.run()
+    finally:
+        source.close()
 
     cache_stats: Dict[str, int] = dict(pool.stats())
     if routing_cache is not None:
         cache_stats.update(routing_cache.stats())
 
+    results = transport.results
+    out_global = problem.output_global_ids
     ordered = sorted(results)
     return QueryResult(
         strategy=plan.strategy,
@@ -434,13 +354,13 @@ def execute_plan(
         else np.empty(0, dtype=np.int64),
         chunk_values=[results[o] for o in ordered],
         n_tiles=plan.n_tiles,
-        n_reads=n_reads,
-        bytes_read=bytes_read,
-        n_combines=n_combines,
-        n_aggregations=n_aggregations,
+        n_reads=executor.n_reads,
+        bytes_read=executor.bytes_read,
+        n_combines=executor.n_combines,
+        n_aggregations=executor.n_aggregations,
         race_diagnostics=detector.report() if detector is not None else [],
-        phase_times=phase_times,
+        phase_times=executor.phase_times,
         cache_stats=cache_stats,
-        chunk_errors=dict(sorted(chunk_errors.items())),
-        completeness=1.0 - len(chunk_errors) / max(problem.n_in, 1),
+        chunk_errors=dict(sorted(executor.chunk_errors.items())),
+        completeness=1.0 - len(executor.chunk_errors) / max(problem.n_in, 1),
     )

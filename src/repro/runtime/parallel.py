@@ -22,15 +22,18 @@ sequential backend hosts every rank at once).  Messages between
 co-hosted ranks still travel their queues, so the message schedule is
 identical whatever the hosting.
 
-**Determinism.** Both backends share the fused kernels of
-:mod:`repro.runtime.kernels` and iterate the same
-:func:`~repro.runtime.kernels.tile_schedule`: every rank walks the
-tile's reads in global read order -- the reader routes the chunk and
-forwards per-edge segments, recipients block for the forward before
-moving on -- so each accumulator receives exactly the same floating-
-point operations in exactly the same order as under the sequential
-backend, and results agree **bit for bit** (``np.array_equal``)
-regardless of hosting, crashes, or recovery.
+**Determinism.** Every worker host drives the same
+:class:`~repro.runtime.phases.PhaseExecutor` as the sequential engine
+-- the phase loop is not transcribed here -- over a
+:class:`~repro.runtime.transport.QueueTransport` instead of the
+in-process mailbox, and all hosts share one
+:class:`~repro.runtime.phases.PhaseSchedule` inherited through fork.
+Every rank walks the tile's reads in global read order -- the reader
+routes the chunk and forwards per-edge segments, recipients block for
+the forward before moving on -- so each accumulator receives exactly
+the same floating-point operations in exactly the same order as under
+the sequential backend, and results agree **bit for bit**
+(``np.array_equal``) regardless of hosting, crashes, or recovery.
 
 **Fault tolerance.** The parent polls worker liveness and per-tile
 heartbeat messages.  When a host dies (or a survivor times out waiting
@@ -58,9 +61,7 @@ callables are inherited, never pickled), i.e. a POSIX host.
 
 from __future__ import annotations
 
-import os
 import queue as queue_mod
-import time
 import traceback
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -72,13 +73,12 @@ from repro.aggregation.output_grid import OutputGrid
 from repro.dataset.chunk import Chunk
 from repro.dataset.dataset import Dataset
 from repro.planner.plan import QueryPlan
-from repro.runtime.kernels import (
-    RoutingCache,
-    coerce_values,
-    grid_indexer,
-    group_read,
-    route_chunk,
-    tile_schedule,
+from repro.runtime.kernels import RoutingCache
+from repro.runtime.phases import AccumulatorHost, PhaseExecutor
+from repro.runtime.transport import (  # noqa: F401  (CRASH_EXIT_CODE re-export)
+    CRASH_EXIT_CODE,
+    QueueTransport,
+    RecoveryPolicy,
 )
 from repro.space.mapping import GridMapping
 from repro.store.chunk_store import RECOVERABLE_READ_ERRORS
@@ -89,33 +89,6 @@ ChunkProvider = Callable[[int], Chunk]
 
 _ALIGN = 64  # worker arena slices are cache-line aligned
 
-#: Exit code of an injected hard crash (``os._exit``), distinguishable
-#: from clean exits (0) and signal deaths (negative) in diagnostics.
-CRASH_EXIT_CODE = 3
-
-
-@dataclass(frozen=True)
-class RecoveryPolicy:
-    """Worker-crash detection and recovery knobs.
-
-    The parent detects failure two ways: a worker process that exited
-    without reporting completion (liveness polling every
-    ``poll_interval`` seconds, with ``grace_polls`` quiet polls of
-    slack for in-flight final messages of a cleanly-exited worker),
-    and a surviving worker reporting a peer timeout after waiting
-    ``inbox_timeout`` seconds on its inbox.  Each failure consumes one
-    of ``max_restarts`` re-executions; with ``max_restarts=0`` any
-    worker death is immediately fatal (the pre-recovery behavior).
-    """
-
-    max_restarts: int = 2
-    #: seconds a rank waits on its inbox before concluding a peer died
-    inbox_timeout: float = 120.0
-    #: seconds between parent liveness checks
-    poll_interval: float = 0.5
-    #: quiet polls tolerated for a zero-exit worker's final messages
-    grace_polls: int = 10
-
 
 @dataclass(frozen=True)
 class _WorkerConfig:
@@ -124,6 +97,7 @@ class _WorkerConfig:
     on_error: str = "raise"
     inbox_timeout: float = 120.0
     injector: Optional[object] = None  # repro.faults.FaultInjector
+    prefetch: object = None  # bool | PrefetchPolicy | None
 
 
 # ---------------------------------------------------------------------------
@@ -132,13 +106,15 @@ class _WorkerConfig:
 
 
 class _Layout:
-    """Shared-memory arena layout + per-read forwarding expectations.
+    """Shared-memory arena layout over the plan's phase schedule.
 
     Everything here is a pure function of (plan, grid, spec); workers
     inherit it read-only through fork, so parent and every worker agree
     on offsets and message schedules without any further coordination.
     The layout is keyed by *rank*, never by host process, so it is
-    invariant under recovery re-hosting.
+    invariant under recovery re-hosting.  The schedule itself (per-tile
+    orders, forwarding recipients) is ``plan.schedule()`` -- the same
+    object the sequential engine and the simulator consume.
     """
 
     def __init__(
@@ -147,7 +123,7 @@ class _Layout:
     ) -> None:
         problem = plan.problem
         out_global = problem.output_global_ids
-        self.schedule = tile_schedule(plan)
+        self.schedule = plan.schedule()
         n_procs = problem.n_procs
 
         # Per (tile, rank): [(local output id, n_cells, byte offset)].
@@ -187,47 +163,10 @@ class _Layout:
             total += -(-max(int(slice_bytes[p]), 1) // _ALIGN) * _ALIGN
         self.arena_bytes = max(total, 1)
 
-        # Per read: which ranks (beyond the reader) get a forwarded
-        # segment message.  Derived from the plan's edge assignment
-        # restricted to the read's tile, so sender and receivers agree
-        # on the message schedule even for reads that map no items.
-        fwd_indptr, fwd_ids = problem.graph.forward_csr
-        reads = plan.reads
-        self.recipients: List[np.ndarray] = []
-        for r in range(len(reads)):
-            i = int(reads.chunk[r])
-            t = int(reads.tile[r])
-            lo, hi = fwd_indptr[i], fwd_indptr[i + 1]
-            active = plan.tile_of_output[fwd_ids[lo:hi]] == t
-            procs = np.unique(plan.edge_proc[lo:hi][active])
-            self.recipients.append(procs[procs != int(reads.proc[r])])
-
 
 # ---------------------------------------------------------------------------
 # Worker
 # ---------------------------------------------------------------------------
-
-
-class _Inbox:
-    """Ordered receive over an unordered queue: messages are keyed by
-    schedule position and stashed until their turn comes."""
-
-    def __init__(self, q, timeout: float) -> None:
-        self._q = q
-        self._timeout = timeout
-        self._stash: Dict[tuple, object] = {}
-
-    def expect(self, key: tuple):
-        while key not in self._stash:
-            try:
-                got_key, payload = self._q.get(timeout=self._timeout)
-            except queue_mod.Empty:
-                raise RuntimeError(
-                    f"worker timed out waiting for message {key!r}; a peer "
-                    "processor likely died or its message was lost"
-                ) from None
-            self._stash[got_key] = payload
-        return self._stash.pop(key)
 
 
 def _worker(
@@ -270,24 +209,14 @@ def _worker_body(
     host, ranks, plan, provider, mapping, grid, spec, region, prior,
     routing_cache, layout, shm, inboxes, result_q, cfg,
 ) -> None:
-    problem = plan.problem
-    in_global = problem.input_global_ids
-    out_global = problem.output_global_ids
-    schedule = layout.schedule
-    indexer = grid_indexer(grid)
-    reads = plan.reads
-    gt = plan.ghost_transfers
-    fwd_indptr, fwd_ids = problem.graph.forward_csr
+    """Thin driver: arena views + queue transport around the unified
+    :class:`~repro.runtime.phases.PhaseExecutor`."""
+    from repro.runtime.engine import _chunk_source
 
     ranks = tuple(int(p) for p in ranks)
-    rank_set = frozenset(ranks)
-    inbox = {p: _Inbox(inboxes[p], cfg.inbox_timeout) for p in ranks}
     injector = cfg.injector
     if injector is not None:
         provider = injector.wrap_provider(provider)
-
-    sel_map = np.full(grid.n_chunks, -1, dtype=np.int64)
-    sel_map[out_global] = np.arange(problem.n_out)
 
     # The cache was forked with the parent's counters baked in; report
     # only this host's delta so the parent can sum across hosts.
@@ -295,196 +224,44 @@ def _worker_body(
 
     arena = np.frombuffer(shm.buf, dtype=np.uint8)
     bases = {p: int(layout.slice_starts[p]) for p in ranks}
+    offsets = {
+        (t, p, o): offset
+        for t in range(plan.n_tiles)
+        for p in ranks
+        for (o, n_cells, offset) in layout.tile_accs[t][p]
+    }
 
-    n_reads = 0
-    bytes_read = 0
-    n_aggregations = 0
-    n_combines = 0
-    reads_seen = {p: 0 for p in ranks}
-    chunk_errors: Dict[int, str] = {}
-    phase_times = {"initialize": 0.0, "reduce": 0.0, "combine": 0.0, "output": 0.0}
+    def buffer_for(tile: int, rank: int, o: int, n_cells: int) -> np.ndarray:
+        start = bases[rank] + offsets[(tile, rank, o)]
+        return (
+            arena[start : start + spec.acc_bytes(n_cells)]
+            .view(spec.acc_dtype)
+            .reshape(n_cells, spec.acc_components)
+        )
 
-    def edge_proc_of(i: int, o: int) -> int:
-        lo, hi = fwd_indptr[i], fwd_indptr[i + 1]
-        edges_out = fwd_ids[lo:hi]
-        pos = np.searchsorted(edges_out, o)
-        if pos >= len(edges_out) or edges_out[pos] != o:
-            raise AssertionError(
-                f"items of input chunk {i} land in output chunk {o} "
-                "but the chunk graph has no such edge -- the graph "
-                "must be a superset of the item-level mapping"
-            )
-        return int(plan.edge_proc[lo + pos])
-
-    for t in range(plan.n_tiles):
-        # -- phase 1: initialization (arena views, idempotent) ---------
-        t0 = time.perf_counter()
-        accs: Dict[int, Dict[int, np.ndarray]] = {p: {} for p in ranks}
-        for p in ranks:
-            for o, n_cells, offset in layout.tile_accs[t][p]:
-                assert p in plan.holders_of(o), "not a plan-declared holder"
-                start = bases[p] + offset
-                acc = arena[start : start + spec.acc_bytes(n_cells)].view(
-                    spec.acc_dtype
-                ).reshape(n_cells, spec.acc_components)
-                spec.initialize_into(acc)
-                if problem.init_from_output and prior is not None:
-                    owner = int(problem.output_owner[o])
-                    if p == owner or spec.idempotent:
-                        prior_vals = prior(int(out_global[o]))
-                        if prior_vals is not None:
-                            acc[:] = spec.initialize_from(prior_vals)
-                accs[p][o] = acc
-        phase_times["initialize"] += time.perf_counter() - t0
-
-        # -- phase 2: local reduction (global read order) --------------
-        t0 = time.perf_counter()
-        for r in schedule.reads_of(t):
-            r = int(r)
-            reader = int(reads.proc[r])
-            recipients = layout.recipients[r]
-            if reader in rank_set:
-                if injector is not None and injector.should_crash(
-                    reader, reads_seen[reader]
-                ):
-                    # A hard crash: no cleanup, no goodbye message --
-                    # the parent's liveness polling must catch it.
-                    os._exit(CRASH_EXIT_CODE)
-                reads_seen[reader] += 1
-                i = int(reads.chunk[r])
-                gid = int(in_global[i])
-                chunk = None
-                try:
-                    chunk = provider(gid)
-                except RECOVERABLE_READ_ERRORS as e:
-                    if cfg.on_error != "degrade":
-                        raise
-                    chunk_errors.setdefault(gid, f"{type(e).__name__}: {e}")
-                segs = None
-                if chunk is not None:
-                    n_reads += 1
-                    bytes_read += int(problem.inputs.nbytes[i])
-                    item_idx, cells = route_chunk(
-                        chunk, mapping, grid, region,
-                        cache=routing_cache, chunk_id=gid,
-                    )
-                    if len(cells):
-                        values = coerce_values(chunk.values, spec.value_components)
-                        segs = group_read(
-                            item_idx, cells, values, grid, sel_map,
-                            plan.tile_of_output, t, indexer,
-                        )
-                # Partition segments by assigned processor; apply own,
-                # forward the rest (the DA communication), keeping the
-                # ascending-segment order everywhere.  Duplicate cells
-                # are pre-reduced read-wide first (when the aggregation
-                # supports it), so forwarded segments ship one row per
-                # distinct cell and both sides apply one fancy-indexed
-                # scatter per segment -- the same arithmetic, in the
-                # same order, as the sequential backend.  A degraded
-                # (unreadable) chunk still ships its (empty) messages,
-                # so the cross-rank message schedule never skews.
-                outbound: Dict[int, list] = {int(q): [] for q in recipients}
-                if segs is not None:
-                    reduced = spec.prereduce_groups(segs.values, segs.group_starts)
-                    gflat = (
-                        segs.flat[segs.group_starts] if reduced is not None else None
-                    )
-                    gb = segs.group_bounds
-                    for k in range(len(segs.seg_out)):
-                        o = int(segs.seg_out[k])
-                        q = edge_proc_of(i, o)
-                        if q == reader:
-                            assert o in accs[reader], (
-                                "reader aggregating into chunk it does not hold"
-                            )
-                            if reduced is None:
-                                s, e = segs.starts[k], segs.ends[k]
-                                spec.aggregate_grouped(
-                                    accs[reader][o], segs.flat[s:e], segs.values[s:e]
-                                )
-                            else:
-                                spec.scatter_groups(
-                                    accs[reader][o],
-                                    gflat[gb[k] : gb[k + 1]],
-                                    reduced[gb[k] : gb[k + 1]],
-                                )
-                            n_aggregations += 1
-                        elif reduced is None:
-                            s, e = segs.starts[k], segs.ends[k]
-                            outbound[q].append(
-                                ("raw", o, np.ascontiguousarray(segs.flat[s:e]),
-                                 np.ascontiguousarray(segs.values[s:e]))
-                            )
-                        else:
-                            outbound[q].append(
-                                ("red", o,
-                                 np.ascontiguousarray(gflat[gb[k] : gb[k + 1]]),
-                                 np.ascontiguousarray(reduced[gb[k] : gb[k + 1]]))
-                            )
-                for q in recipients:
-                    if injector is not None and injector.should_drop("seg", r):
-                        continue
-                    inboxes[int(q)].put((("seg", t, r), outbound[int(q)]))
-            for q in recipients:
-                q = int(q)
-                if q not in rank_set:
-                    continue
-                segments = inbox[q].expect(("seg", t, r))
-                i = int(reads.chunk[r])
-                for kind, o, cell_idx, payload in segments:
-                    assert edge_proc_of(i, o) == q, (
-                        "forwarded segment for an edge the plan did not "
-                        "assign to this processor"
-                    )
-                    assert o in accs[q], (
-                        "segment for a chunk this rank does not hold"
-                    )
-                    if kind == "red":
-                        spec.scatter_groups(accs[q][o], cell_idx, payload)
-                    else:
-                        spec.aggregate_grouped(accs[q][o], cell_idx, payload)
-                    n_aggregations += 1
-        phase_times["reduce"] += time.perf_counter() - t0
-
-        # -- phase 3: global combine (declared transfer order) ---------
-        t0 = time.perf_counter()
-        for g in schedule.transfers_of(t):
-            g = int(g)
-            o = int(gt.chunk[g])
-            src, dst = int(gt.src[g]), int(gt.dst[g])
-            if src in rank_set:
-                assert o in accs[src], "shipping a ghost this rank does not hold"
-                # Copy before put: Queue serializes in a feeder thread,
-                # and the arena view is recycled next tile.
-                if not (
-                    injector is not None and injector.should_drop("ghost", g)
-                ):
-                    inboxes[dst].put((("ghost", t, g), accs[src][o].copy()))
-            if dst in rank_set:
-                ghost_data = inbox[dst].expect(("ghost", t, g))
-                assert int(problem.output_owner[o]) == dst, (
-                    "ghost shipped to a non-owner"
-                )
-                assert o in accs[dst] and ghost_data.shape == accs[dst][o].shape
-                spec.combine(accs[dst][o], ghost_data)
-                n_combines += 1
-        phase_times["combine"] += time.perf_counter() - t0
-
-        # -- phase 4: output handling ----------------------------------
-        t0 = time.perf_counter()
-        for k in schedule.outputs_of(t):
-            o = int(k)
-            owner = int(problem.output_owner[o])
-            if owner not in rank_set:
-                continue
-            assert o in accs[owner], "owner does not hold its own chunk"
-            result_q.put(("result", o, spec.output(accs[owner][o])))
-        accs.clear()
-        phase_times["output"] += time.perf_counter() - t0
-        # Per-tile heartbeat: progress signal for the parent's
-        # liveness/stall tracking.
-        result_q.put(("tile", host, t))
+    accs = AccumulatorHost(spec, ranks, buffer_for=buffer_for)
+    transport = QueueTransport(
+        host, ranks, inboxes, result_q, cfg.inbox_timeout, injector=injector
+    )
+    source = _chunk_source(provider, plan, cfg.prefetch, ranks=frozenset(ranks))
+    executor = PhaseExecutor(
+        plan,
+        grid,
+        spec,
+        mapping,
+        source,
+        accs,
+        transport,
+        schedule=layout.schedule,
+        region=region,
+        prior=prior,
+        routing_cache=routing_cache,
+        on_error=cfg.on_error,
+    )
+    try:
+        executor.run()
+    finally:
+        source.close()
 
     cache_stats = {}
     if routing_cache is not None:
@@ -494,13 +271,13 @@ def _worker_body(
             else:
                 cache_stats[key] = int(v) - int(cache_base.get(key, 0))
     stats = {
-        "n_reads": n_reads,
-        "bytes_read": bytes_read,
-        "n_aggregations": n_aggregations,
-        "n_combines": n_combines,
-        "phase_times": phase_times,
+        "n_reads": executor.n_reads,
+        "bytes_read": executor.bytes_read,
+        "n_aggregations": executor.n_aggregations,
+        "n_combines": executor.n_combines,
+        "phase_times": executor.phase_times,
         "cache_stats": cache_stats,
-        "chunk_errors": chunk_errors,
+        "chunk_errors": executor.chunk_errors,
     }
     result_q.put(("done", host, stats))
 
@@ -542,6 +319,7 @@ def execute_parallel(
     on_error: str = "raise",
     fault_injector=None,
     recovery: Optional[RecoveryPolicy] = None,
+    prefetch=None,
 ):
     """Execute *plan* with the virtual processors as OS processes.
 
@@ -563,6 +341,12 @@ def execute_parallel(
     *fault_injector* (a :class:`repro.faults.FaultInjector`) arms
     deterministic fault injection in the workers' read paths, read
     loops, and IPC sends.
+
+    *prefetch* (a bool or :class:`~repro.store.prefetch.PrefetchPolicy`)
+    enables per-host threaded read-ahead: each worker prefetches only
+    the reads its hosted ranks perform, in placement order, through
+    its own fully-wrapped provider (cache, retry, fault injection), so
+    injected read faults surface identically to the synchronous path.
 
     Requires the ``fork`` start method (POSIX): the chunk provider and
     *prior* callables are inherited, never pickled.
@@ -601,6 +385,7 @@ def execute_parallel(
         on_error=on_error,
         inbox_timeout=recovery.inbox_timeout,
         injector=fault_injector,
+        prefetch=prefetch,
     )
     groups: List[List[int]] = [[p] for p in range(problem.n_procs)]
     shm = shared_memory.SharedMemory(create=True, size=layout.arena_bytes)

@@ -1,0 +1,596 @@
+"""The unified per-tile phase pipeline: one executor for every backend.
+
+Both functional backends and the discrete-event simulator execute the
+same computation -- the paper's Initialization, Local Reduction,
+Global Combine, Output Handling loop per tile -- but historically each
+transcribed it independently.  This module is the single home of that
+loop:
+
+- :class:`PhaseSchedule` derives everything schedule-shaped from the
+  plan once: the per-tile read/transfer/output orders (via
+  :func:`~repro.runtime.kernels.tile_schedule`), the per-read
+  forwarding recipients, and the per-(tile, processor) work tallies
+  the simulator turns into events.  ``plan.schedule()`` caches one.
+- :class:`AccumulatorHost` is the accumulator state for the ranks one
+  executor hosts -- the sequential engine hosts every rank, a
+  multiprocess worker hosts its group -- backed either by pooled
+  private buffers or by externally provided shared-memory arena views.
+- :class:`PhaseExecutor` walks the four phases over a
+  :class:`~repro.runtime.transport.Transport`.  The sequential engine
+  and the multiprocess workers are now thin drivers around it; the
+  executor is the only place phase sequencing lives (lint rule ADR501
+  keeps it that way).
+
+**Counter contract** (one definition for every backend; the
+functional corpus asserts cross-backend equality):
+
+- ``n_reads``: successfully retrieved scheduled chunk reads, summed
+  over ranks.  A chunk read once per tile it straddles counts each
+  time; a read absorbed by ``on_error='degrade'`` does not count (it
+  lands in ``chunk_errors`` instead).
+- ``bytes_read``: ``problem.inputs.nbytes`` summed over those counted
+  reads.
+- ``n_aggregations``: applied (input chunk, accumulator chunk)
+  segment scatters, on whichever rank the plan assigned the edge --
+  forwarded segments count where they are applied.
+- ``n_combines``: ghost accumulator merges performed in global-combine
+  phases, counted at the owning (receiving) rank.
+- ``phase_times``: wall-clock seconds per phase with the keys of
+  :data:`PHASES`.  Each executor reports its own wall-clock; the
+  parallel parent reduces per-host times with ``max`` (the critical
+  path), so absolute values are backend-dependent -- only the key set
+  is part of the cross-backend contract.
+
+**Determinism.** The executor walks reads, transfers and outputs in
+the plan's deterministic schedule order, and each accumulator receives
+at most one segment per read (segments within a read target distinct
+output chunks), so per-accumulator floating-point operation order is
+identical no matter how ranks are hosted -- the backends agree bit for
+bit, counters included.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aggregation.accumulator import AccumulatorSet, BufferPool
+from repro.aggregation.functions import AggregationSpec
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.chunk import Chunk
+from repro.planner.plan import QueryPlan
+from repro.runtime.kernels import (
+    RoutingCache,
+    TileSchedule,
+    coerce_values,
+    grid_indexer,
+    group_read,
+    route_chunk,
+    tile_schedule,
+)
+from repro.runtime.transport import Transport
+from repro.space.mapping import GridMapping
+from repro.store.chunk_store import RECOVERABLE_READ_ERRORS
+
+__all__ = [
+    "PHASES",
+    "AccumulatorHost",
+    "ChunkSource",
+    "PhaseExecutor",
+    "PhaseSchedule",
+    "ProviderChunkSource",
+]
+
+#: Execution phases, in order; the keys of ``phase_times``.
+PHASES = ("initialize", "reduce", "combine", "output")
+
+
+# ---------------------------------------------------------------------------
+# Plan-derived schedule (shared by engines, workers and the simulator)
+# ---------------------------------------------------------------------------
+
+
+class PhaseSchedule:
+    """Everything schedule-shaped the phase loop needs, derived from
+    the plan once and shared by every consumer.
+
+    ``plan.schedule()`` caches one per plan, so the sequential engine,
+    the multiprocess parent (whose forked workers inherit it), the
+    prefetcher and the simulator all walk literally the same arrays.
+
+    Attributes
+    ----------
+    tiles:
+        The per-tile read/ghost-transfer/output orders
+        (:class:`~repro.runtime.kernels.TileSchedule`); delegated via
+        :meth:`reads_of` / :meth:`transfers_of` / :meth:`outputs_of`.
+    recipients:
+        Per read, the ranks beyond the reader that receive a forwarded
+        segment message.  Derived from the plan's edge assignment
+        restricted to the read's tile, so sender and receivers agree
+        on the message schedule even for reads that map no items.
+    cu_tile, cu_in, cu_proc, cu_pairs, cu_bounds:
+        The *compute units*: unique (tile, input chunk, processor)
+        triples with the number of (input, accumulator) pairs each
+        represents, tile-sliced by ``cu_bounds`` -- the quantities the
+        discrete-event simulator prices.
+    init_counts:
+        ``(max(n_tiles, 1), n_procs)`` accumulator allocations per
+        (tile, processor) -- phase 1's work tally.
+    """
+
+    def __init__(self, plan: QueryPlan) -> None:
+        problem = plan.problem
+        P = problem.n_procs
+        n_in = problem.n_in
+        self.n_tiles = plan.n_tiles
+        self.tiles: TileSchedule = tile_schedule(plan)
+
+        fwd_indptr, fwd_ids = problem.graph.forward_csr
+        reads = plan.reads
+        self.recipients: List[np.ndarray] = []
+        for r in range(len(reads)):
+            i = int(reads.chunk[r])
+            t = int(reads.tile[r])
+            lo, hi = fwd_indptr[i], fwd_indptr[i + 1]
+            active = plan.tile_of_output[fwd_ids[lo:hi]] == t
+            procs = np.unique(plan.edge_proc[lo:hi][active])
+            self.recipients.append(procs[procs != int(reads.proc[r])])
+
+        # Compute units: unique (tile, input chunk, processor) with the
+        # number of (input, accumulator) pairs each represents.
+        edge_in, _ = plan.edge_arrays
+        if len(edge_in):
+            key = (plan.edge_tile.astype(np.int64) * n_in + edge_in) * P + plan.edge_proc
+            uniq, counts = np.unique(key, return_counts=True)
+            self.cu_tile = (uniq // (n_in * P)).astype(np.int64)
+            rem = uniq % (n_in * P)
+            self.cu_in = (rem // P).astype(np.int64)
+            self.cu_proc = (rem % P).astype(np.int64)
+            self.cu_pairs = counts.astype(np.int64)
+        else:
+            self.cu_tile = np.empty(0, dtype=np.int64)
+            self.cu_in = np.empty(0, dtype=np.int64)
+            self.cu_proc = np.empty(0, dtype=np.int64)
+            self.cu_pairs = np.empty(0, dtype=np.int64)
+        self.cu_bounds = np.searchsorted(self.cu_tile, np.arange(self.n_tiles + 1))
+
+        # Initialization work: accumulator allocations per (tile, proc).
+        counts = np.diff(plan.holders_indptr)
+        flat_out = np.repeat(np.arange(problem.n_out, dtype=np.int64), counts)
+        flat_tile = plan.tile_of_output[flat_out]
+        self.init_counts = np.zeros((max(self.n_tiles, 1), P), dtype=np.int64)
+        if len(flat_out):
+            np.add.at(self.init_counts, (flat_tile, plan.holders_ids), 1)
+
+    def reads_of(self, tile: int) -> np.ndarray:
+        return self.tiles.reads_of(tile)
+
+    def transfers_of(self, tile: int) -> np.ndarray:
+        return self.tiles.transfers_of(tile)
+
+    def outputs_of(self, tile: int) -> np.ndarray:
+        return self.tiles.outputs_of(tile)
+
+
+# ---------------------------------------------------------------------------
+# Chunk sources (synchronous provider or threaded prefetcher)
+# ---------------------------------------------------------------------------
+
+
+class ChunkSource:
+    """Where the reduce phase gets its chunk payloads.
+
+    ``get`` is addressed by the plan's *read index* (so a prefetching
+    source can match issue against consumption) plus the dataset-level
+    chunk id a synchronous source needs.  Exceptions raised by the
+    underlying provider surface from ``get`` exactly as they would
+    from a direct provider call, wherever the payload was actually
+    fetched -- that is what keeps ``on_error='degrade'`` and the fault
+    corpus backend-agnostic.
+    """
+
+    def begin_tile(self, tile: int) -> None:
+        """The executor is about to consume tile *tile*'s reads."""
+
+    def get(self, read_index: int, chunk_id: int) -> Chunk:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release background resources (idempotent)."""
+
+
+class ProviderChunkSource(ChunkSource):
+    """Synchronous source: one provider call at consumption time."""
+
+    def __init__(self, provider: Callable[[int], Chunk]) -> None:
+        self._provider = provider
+
+    def get(self, read_index: int, chunk_id: int) -> Chunk:
+        return self._provider(chunk_id)
+
+
+# ---------------------------------------------------------------------------
+# Accumulator hosting
+# ---------------------------------------------------------------------------
+
+
+class AccumulatorHost:
+    """Accumulator state for the ranks one executor hosts.
+
+    Wraps one :class:`~repro.aggregation.accumulator.AccumulatorSet`
+    per hosted rank.  The sequential engine hosts every rank with
+    pooled private buffers (and optional per-rank memory budgets); a
+    multiprocess worker hosts its rank group with *buffer_for*
+    supplying shared-memory arena views, so allocation only
+    re-initializes the view in place.
+    """
+
+    def __init__(
+        self,
+        spec: AggregationSpec,
+        ranks: Sequence[int],
+        memory_limit: Optional[Callable[[int], Optional[int]]] = None,
+        pool: Optional[BufferPool] = None,
+        buffer_for: Optional[Callable[[int, int, int, int], np.ndarray]] = None,
+    ) -> None:
+        self.spec = spec
+        self.ranks = tuple(int(p) for p in ranks)
+        self.rank_set = frozenset(self.ranks)
+        self._buffer_for = buffer_for
+        self._sets = {
+            p: AccumulatorSet(
+                spec,
+                memory_limit=memory_limit(p) if memory_limit is not None else None,
+                pool=pool,
+            )
+            for p in self.ranks
+        }
+        self._tile = -1
+
+    def begin_tile(self, tile: int) -> None:
+        self._tile = int(tile)
+
+    def allocate(self, rank: int, output_chunk: int, n_cells: int, ghost: bool):
+        data = None
+        if self._buffer_for is not None:
+            data = self._buffer_for(self._tile, rank, output_chunk, n_cells)
+        return self._sets[rank].allocate(output_chunk, n_cells, ghost, data=data)
+
+    def holds(self, rank: int, output_chunk: int) -> bool:
+        return output_chunk in self._sets[rank]
+
+    def get(self, rank: int, output_chunk: int):
+        return self._sets[rank].get(output_chunk)
+
+    def aggregate_grouped(self, rank, output_chunk, cell_idx, values) -> None:
+        self._sets[rank].aggregate_grouped(output_chunk, cell_idx, values)
+
+    def scatter_groups(self, rank, output_chunk, cell_idx, reduced) -> None:
+        self._sets[rank].scatter_groups(output_chunk, cell_idx, reduced)
+
+    def combine_from(self, rank, output_chunk, ghost_data) -> None:
+        self._sets[rank].combine_from(output_chunk, ghost_data)
+
+    def end_tile(self) -> None:
+        """Release every rank's accumulators (tile boundary)."""
+        for s in self._sets.values():
+            s.clear()
+
+
+# ---------------------------------------------------------------------------
+# The phase executor
+# ---------------------------------------------------------------------------
+
+
+class PhaseExecutor:
+    """Walk the plan's tiles through the four phases for a set of
+    hosted ranks, over a transport.
+
+    This is the one implementation of phase sequencing (ADR501).  The
+    sequential engine instantiates it once with every rank and an
+    :class:`~repro.runtime.transport.InprocTransport`; each
+    multiprocess worker instantiates it with its rank group and a
+    :class:`~repro.runtime.transport.QueueTransport`.  *observer* is
+    the optional :class:`~repro.analysis.races.RaceDetector` hook
+    surface (``on_allocate`` / ``on_aggregate`` / ``on_combine`` /
+    ``on_output`` / ``end_tile``).
+
+    After :meth:`run`, the counters (``n_reads``, ``bytes_read``,
+    ``n_aggregations``, ``n_combines``, ``chunk_errors``,
+    ``phase_times``) hold this executor's totals across its hosted
+    ranks, per the module-level counter contract.
+    """
+
+    def __init__(
+        self,
+        plan: QueryPlan,
+        grid: OutputGrid,
+        spec: AggregationSpec,
+        mapping: GridMapping,
+        source: ChunkSource,
+        accs: AccumulatorHost,
+        transport: Transport,
+        *,
+        schedule: Optional[PhaseSchedule] = None,
+        region=None,
+        prior: Optional[Callable[[int], np.ndarray]] = None,
+        routing_cache: Optional[RoutingCache] = None,
+        on_error: str = "raise",
+        observer=None,
+    ) -> None:
+        self.plan = plan
+        self.problem = plan.problem
+        self.grid = grid
+        self.spec = spec
+        self.mapping = mapping
+        self.source = source
+        self.accs = accs
+        self.transport = transport
+        self.schedule = schedule if schedule is not None else plan.schedule()
+        self.region = region
+        self.prior = prior
+        self.routing_cache = routing_cache
+        self.on_error = on_error
+        self.observer = observer
+
+        self._indexer = grid_indexer(grid)
+        self._fwd_indptr, self._fwd_ids = self.problem.graph.forward_csr
+        # Dataset-level output chunk id -> dense local id (or -1).
+        self._sel_map = np.full(grid.n_chunks, -1, dtype=np.int64)
+        self._sel_map[self.problem.output_global_ids] = np.arange(self.problem.n_out)
+
+        self.n_reads = 0
+        self.bytes_read = 0
+        self.n_aggregations = 0
+        self.n_combines = 0
+        self.chunk_errors: Dict[int, str] = {}
+        self.phase_times = dict.fromkeys(PHASES, 0.0)
+        self._reads_seen = {p: 0 for p in accs.ranks}
+
+    # -- phase 1: initialization ---------------------------------------
+
+    def _initialize(self, t: int) -> None:
+        problem, spec = self.problem, self.spec
+        out_global = problem.output_global_ids
+        rank_set = self.accs.rank_set
+        for k in self.schedule.outputs_of(t):
+            o = int(k)
+            n_cells = self.grid.cells_in_chunk(int(out_global[o]))
+            owner = int(problem.output_owner[o])
+            prior_acc = None
+            prior_checked = False
+            for p in self.plan.holders_of(o):
+                p = int(p)
+                if p not in rank_set:
+                    continue
+                acc = self.accs.allocate(p, o, n_cells, ghost=p != owner)
+                if self.observer is not None:
+                    self.observer.on_allocate(p, o, t)
+                # Replicated (ghost) holders are seeded only for
+                # idempotent aggregations -- otherwise the global
+                # combine would double-count the prior.  The prior is
+                # fetched lazily so a worker host never retrieves
+                # existing output it does not seed from.
+                if (
+                    problem.init_from_output
+                    and self.prior is not None
+                    and (p == owner or spec.idempotent)
+                ):
+                    if not prior_checked:
+                        prior_checked = True
+                        prior_vals = self.prior(int(out_global[o]))
+                        if prior_vals is not None:
+                            prior_acc = spec.initialize_from(prior_vals)
+                    if prior_acc is not None:
+                        acc.data[:] = prior_acc
+
+    # -- phase 2: local reduction --------------------------------------
+
+    def _edge_slices(self, i: int):
+        lo, hi = self._fwd_indptr[i], self._fwd_indptr[i + 1]
+        return self._fwd_ids[lo:hi], self.plan.edge_proc[lo:hi]
+
+    def _edge_proc_of(self, i: int, o: int) -> int:
+        edges_out, edges_proc = self._edge_slices(i)
+        pos = np.searchsorted(edges_out, o)
+        if pos >= len(edges_out) or edges_out[pos] != o:
+            raise AssertionError(
+                f"items of input chunk {i} land in output chunk {o} "
+                "but the chunk graph has no such edge -- the graph "
+                "must be a superset of the item-level mapping"
+            )
+        return int(edges_proc[pos])
+
+    def _reduce(self, t: int) -> None:
+        plan, problem, spec = self.plan, self.problem, self.spec
+        reads = plan.reads
+        in_global = problem.input_global_ids
+        rank_set = self.accs.rank_set
+        observer = self.observer
+        for r in self.schedule.reads_of(t):
+            r = int(r)
+            reader = int(reads.proc[r])
+            recipients = self.schedule.recipients[r]
+            if reader in rank_set:
+                self.transport.before_read(reader, self._reads_seen[reader])
+                self._reads_seen[reader] += 1
+                i = int(reads.chunk[r])
+                gid = int(in_global[i])
+                chunk = None
+                try:
+                    chunk = self.source.get(r, gid)
+                except RECOVERABLE_READ_ERRORS as e:
+                    if self.on_error != "degrade":
+                        raise
+                    self.chunk_errors.setdefault(gid, f"{type(e).__name__}: {e}")
+                segs = None
+                if chunk is not None:
+                    self.n_reads += 1
+                    self.bytes_read += int(problem.inputs.nbytes[i])
+                    item_idx, cells = route_chunk(
+                        chunk, self.mapping, self.grid, self.region,
+                        cache=self.routing_cache, chunk_id=gid,
+                    )
+                    if len(cells):
+                        values = coerce_values(chunk.values, spec.value_components)
+                        segs = group_read(
+                            item_idx, cells, values, self.grid, self._sel_map,
+                            plan.tile_of_output, t, self._indexer,
+                        )
+                # Partition segments by assigned processor; apply own,
+                # forward the rest (the DA communication), keeping the
+                # ascending-segment order everywhere.  Duplicate cells
+                # are pre-reduced read-wide first (when the aggregation
+                # supports it), so forwarded segments ship one row per
+                # distinct cell and both sides apply one fancy-indexed
+                # scatter per segment -- the same arithmetic, in the
+                # same order, on every backend.  A degraded (unreadable)
+                # chunk still ships its (empty) messages, so the
+                # cross-rank message schedule never skews.
+                outbound: Dict[int, list] = {int(q): [] for q in recipients}
+                if segs is not None:
+                    edges_out, edges_proc = self._edge_slices(i)
+                    pos = np.searchsorted(edges_out, segs.seg_out)
+                    if len(edges_out):
+                        found = pos < len(edges_out)
+                        found &= edges_out[np.where(found, pos, 0)] == segs.seg_out
+                    else:
+                        found = np.zeros(len(segs.seg_out), dtype=bool)
+                    if not found.all():
+                        o = int(segs.seg_out[np.flatnonzero(~found)[0]])
+                        raise AssertionError(
+                            f"items of input chunk {i} land in output chunk {o} "
+                            "but the chunk graph has no such edge -- the graph "
+                            "must be a superset of the item-level mapping"
+                        )
+                    seg_procs = edges_proc[pos]
+                    reduced = spec.prereduce_groups(segs.values, segs.group_starts)
+                    gflat = (
+                        segs.flat[segs.group_starts] if reduced is not None else None
+                    )
+                    gb = segs.group_bounds
+                    for k in range(len(segs.seg_out)):
+                        o = int(segs.seg_out[k])
+                        q = int(seg_procs[k])
+                        if q == reader:
+                            assert self.accs.holds(reader, o), (
+                                "reader aggregating into chunk it does not hold"
+                            )
+                            if observer is not None:
+                                observer.on_aggregate(reader, o, t)
+                            if reduced is None:
+                                s, e = int(segs.starts[k]), int(segs.ends[k])
+                                self.accs.aggregate_grouped(
+                                    reader, o, segs.flat[s:e], segs.values[s:e]
+                                )
+                            else:
+                                self.accs.scatter_groups(
+                                    reader, o,
+                                    gflat[gb[k] : gb[k + 1]],
+                                    reduced[gb[k] : gb[k + 1]],
+                                )
+                            self.n_aggregations += 1
+                        elif reduced is None:
+                            s, e = int(segs.starts[k]), int(segs.ends[k])
+                            outbound[q].append(
+                                ("raw", o, np.ascontiguousarray(segs.flat[s:e]),
+                                 np.ascontiguousarray(segs.values[s:e]))
+                            )
+                        else:
+                            outbound[q].append(
+                                ("red", o,
+                                 np.ascontiguousarray(gflat[gb[k] : gb[k + 1]]),
+                                 np.ascontiguousarray(reduced[gb[k] : gb[k + 1]]))
+                            )
+                for q in recipients:
+                    self.transport.send_segments(int(q), t, r, outbound[int(q)])
+            for q in recipients:
+                q = int(q)
+                if q not in rank_set:
+                    continue
+                segments = self.transport.recv_segments(q, t, r)
+                i = int(reads.chunk[r])
+                for kind, o, cell_idx, payload in segments:
+                    assert self._edge_proc_of(i, o) == q, (
+                        "forwarded segment for an edge the plan did not "
+                        "assign to this processor"
+                    )
+                    assert self.accs.holds(q, o), (
+                        "segment for a chunk this rank does not hold"
+                    )
+                    if observer is not None:
+                        observer.on_aggregate(q, o, t)
+                    if kind == "red":
+                        self.accs.scatter_groups(q, o, cell_idx, payload)
+                    else:
+                        self.accs.aggregate_grouped(q, o, cell_idx, payload)
+                    self.n_aggregations += 1
+
+    # -- phase 3: global combine ---------------------------------------
+
+    def _combine(self, t: int) -> None:
+        problem = self.problem
+        gt = self.plan.ghost_transfers
+        rank_set = self.accs.rank_set
+        for g in self.schedule.transfers_of(t):
+            g = int(g)
+            o = int(gt.chunk[g])
+            src, dst = int(gt.src[g]), int(gt.dst[g])
+            if src in rank_set:
+                assert self.accs.holds(src, o), (
+                    "shipping a ghost this rank does not hold"
+                )
+                self.transport.send_ghost(dst, t, g, self.accs.get(src, o).data)
+            if dst in rank_set:
+                ghost_data = self.transport.recv_ghost(dst, t, g)
+                assert int(problem.output_owner[o]) == dst, (
+                    "ghost shipped to a non-owner"
+                )
+                if self.observer is not None:
+                    self.observer.on_combine(src, dst, o, t)
+                self.accs.combine_from(dst, o, ghost_data)
+                self.n_combines += 1
+
+    # -- phase 4: output handling --------------------------------------
+
+    def _output(self, t: int) -> None:
+        problem, spec = self.problem, self.spec
+        rank_set = self.accs.rank_set
+        for k in self.schedule.outputs_of(t):
+            o = int(k)
+            owner = int(problem.output_owner[o])
+            if owner not in rank_set:
+                continue
+            acc = self.accs.get(owner, o)
+            if acc.ghost:
+                raise AssertionError("owner holds a ghost for its own chunk")
+            if self.observer is not None:
+                self.observer.on_output(owner, o, t)
+            self.transport.emit_result(o, spec.output(acc.data))
+        self.accs.end_tile()
+
+    # -- driver ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Execute every tile; counters accumulate on ``self``."""
+        for t in range(self.plan.n_tiles):
+            self.accs.begin_tile(t)
+            self.source.begin_tile(t)
+            t0 = time.perf_counter()
+            self._initialize(t)
+            self.phase_times["initialize"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            self._reduce(t)
+            self.phase_times["reduce"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            self._combine(t)
+            self.phase_times["combine"] += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            self._output(t)
+            self.phase_times["output"] += time.perf_counter() - t0
+            self.transport.tile_done(t)
+            if self.observer is not None:
+                self.observer.end_tile(t)

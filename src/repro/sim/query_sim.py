@@ -149,52 +149,40 @@ class _QuerySim:
 
     def _prepare(self) -> None:
         plan, problem = self.plan, self.problem
-        P = self.machine.n_procs
-        n_in, n_out = problem.n_in, problem.n_out
         self.n_tiles = plan.n_tiles
+
+        # The simulator prices the very schedule the functional
+        # backends execute: every per-tile grouping below comes from
+        # the shared :class:`~repro.runtime.phases.PhaseSchedule`
+        # (``plan.schedule()``), so simulated and measured executions
+        # can never drift apart structurally.
+        sched = plan.schedule()
+        tiles = sched.tiles
 
         # Compute units: unique (tile, input chunk, processor) with the
         # number of (input, accumulator) pairs each represents.
-        edge_in, _ = plan.edge_arrays
-        if len(edge_in):
-            key = (plan.edge_tile.astype(np.int64) * n_in + edge_in) * P + plan.edge_proc
-            uniq, counts = np.unique(key, return_counts=True)
-            self.cu_tile = (uniq // (n_in * P)).astype(np.int64)
-            rem = uniq % (n_in * P)
-            self.cu_in = (rem // P).astype(np.int64)
-            self.cu_proc = (rem % P).astype(np.int64)
-            self.cu_pairs = counts.astype(np.int64)
-        else:
-            self.cu_tile = np.empty(0, dtype=np.int64)
-            self.cu_in = np.empty(0, dtype=np.int64)
-            self.cu_proc = np.empty(0, dtype=np.int64)
-            self.cu_pairs = np.empty(0, dtype=np.int64)
+        self.cu_tile = sched.cu_tile
+        self.cu_in = sched.cu_in
+        self.cu_proc = sched.cu_proc
+        self.cu_pairs = sched.cu_pairs
         # Tile slice boundaries over the (sorted) unit arrays.
-        self.cu_bounds = np.searchsorted(self.cu_tile, np.arange(self.n_tiles + 1))
+        self.cu_bounds = sched.cu_bounds
 
         # Initialization work: accumulator allocations per (tile, proc).
-        counts = np.diff(plan.holders_indptr)
-        flat_out = np.repeat(np.arange(n_out, dtype=np.int64), counts)
-        flat_proc = plan.holders_ids
-        flat_tile = plan.tile_of_output[flat_out]
-        self.init_counts = np.zeros((max(self.n_tiles, 1), P), dtype=np.int64)
-        if len(flat_out):
-            np.add.at(self.init_counts, (flat_tile, flat_proc), 1)
+        self.init_counts = sched.init_counts
 
         # Ghost shipments per tile (global combine).
         g = plan.ghost_transfers
-        order = np.argsort(g.tile, kind="stable")
-        self.gt_tile = g.tile[order]
-        self.gt_out = g.chunk[order]
-        self.gt_src = g.src[order]
-        self.gt_dst = g.dst[order]
-        self.gt_bounds = np.searchsorted(self.gt_tile, np.arange(self.n_tiles + 1))
+        self.gt_tile = g.tile[tiles.gt_order]
+        self.gt_out = g.chunk[tiles.gt_order]
+        self.gt_src = g.src[tiles.gt_order]
+        self.gt_dst = g.dst[tiles.gt_order]
+        self.gt_bounds = tiles.gt_bounds
 
         # Output handling per tile.
-        order = np.argsort(plan.tile_of_output, kind="stable")
-        self.oh_out = order.astype(np.int64)
-        self.oh_tile = plan.tile_of_output[order]
-        self.oh_bounds = np.searchsorted(self.oh_tile, np.arange(self.n_tiles + 1))
+        self.oh_out = tiles.out_order.astype(np.int64)
+        self.oh_tile = plan.tile_of_output[tiles.out_order]
+        self.oh_bounds = tiles.out_bounds
 
         # Initialization-from-output chains (rare; off in the paper's
         # experiments): owners re-read existing output chunks and

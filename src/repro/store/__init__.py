@@ -14,7 +14,10 @@ provides that substrate for the functional path:
   backoff + per-read deadline) and the :class:`RetryingChunkStore`
   wrapper;
 - :mod:`repro.store.cache` -- the LRU payload cache (never caches a
-  failed read).
+  failed read);
+- :mod:`repro.store.prefetch` -- bounded threaded read-ahead
+  (:class:`PrefetchPolicy` / :class:`TilePrefetcher`) overlapping
+  chunk retrieval with tile reduction in placement order.
 
 Performance experiments never touch this package; they use the
 machine model in :mod:`repro.machine` / :mod:`repro.sim`.
@@ -32,6 +35,7 @@ from repro.store.chunk_store import (
     MemoryChunkStore,
     RECOVERABLE_READ_ERRORS,
 )
+from repro.store.prefetch import PrefetchPolicy, TilePrefetcher
 from repro.store.retry import RetryPolicy, RetryingChunkStore
 
 __all__ = [
@@ -43,6 +47,8 @@ __all__ = [
     "FileChunkStore",
     "MemoryChunkStore",
     "RECOVERABLE_READ_ERRORS",
+    "PrefetchPolicy",
     "RetryPolicy",
     "RetryingChunkStore",
+    "TilePrefetcher",
 ]

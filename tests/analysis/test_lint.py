@@ -246,6 +246,52 @@ class TestExceptionHygiene:
         assert {d.code for d in lint_file(elsewhere)} == set()
 
 
+class TestPhaseLoopOwnership:
+    """ADR501: phase-sequencing accumulator calls belong to
+    runtime/phases.py; other runtime modules drive PhaseExecutor."""
+
+    CALLS = """
+    def reduce(spec, acc, idx, vals):
+        spec.aggregate_grouped(acc, idx, vals)
+    """
+
+    def test_sequencing_call_flagged_in_phase_scope(self):
+        assert codes(self.CALLS, phase_scope=True) == {"ADR501"}
+        for name in ("allocate", "scatter_groups", "combine_from",
+                     "initialize_into", "initialize_from", "prereduce_groups"):
+            assert codes(f"x = accs.{name}(a, b)\n", phase_scope=True) == {"ADR501"}
+
+    def test_not_flagged_outside_phase_scope(self):
+        assert codes(self.CALLS) == set()
+
+    def test_plain_function_call_ok(self):
+        # Only attribute calls sequence phases; a bare helper of the
+        # same name (e.g. a test fixture factory) is fine.
+        assert codes("x = allocate(5)\n", phase_scope=True) == set()
+
+    def test_noqa_opt_out(self):
+        src = """
+        spec.scatter_groups(acc, idx, vals)  # noqa: ADR501 -- reference oracle
+        """
+        assert codes(src, phase_scope=True) == set()
+
+    def test_phase_scope_resolved_from_file_location(self, tmp_path):
+        """Every runtime module except phases.py gets the rule."""
+        from repro.analysis.lint import lint_file
+
+        src = textwrap.dedent(self.CALLS)
+        runtime = tmp_path / "repro" / "runtime"
+        runtime.mkdir(parents=True)
+        (runtime / "mod.py").write_text(src)
+        (runtime / "phases.py").write_text(src)
+        elsewhere = tmp_path / "repro" / "aggregation"
+        elsewhere.mkdir(parents=True)
+        (elsewhere / "mod.py").write_text(src)
+        assert {d.code for d in lint_file(runtime / "mod.py")} == {"ADR501"}
+        assert {d.code for d in lint_file(runtime / "phases.py")} == set()
+        assert {d.code for d in lint_file(elsewhere / "mod.py")} == set()
+
+
 class TestTree:
     def test_src_tree_is_clean(self):
         root = Path(__file__).resolve().parents[2]

@@ -1,0 +1,169 @@
+"""Tests for the unified phase pipeline (:mod:`repro.runtime.phases`).
+
+One :class:`PhaseExecutor` serves every backend; these tests pin the
+cross-backend contract: {sequential, parallel} x {prefetch off, on}
+agree bit for bit -- values, counters and ``phase_times`` key set --
+and the simulator prices literally the same :class:`PhaseSchedule`
+arrays the functional backends execute.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.functions import MeanAggregation, SumAggregation
+from repro.dataset.chunkset import ChunkSet
+from repro.dataset.graph import ChunkGraph
+from repro.decluster.hilbert import HilbertDeclusterer
+from repro.planner.problem import PlanningProblem
+from repro.planner.strategies import plan_query
+from repro.runtime.engine import execute_plan
+from repro.runtime.phases import PHASES, PhaseSchedule
+from repro.store.prefetch import PrefetchPolicy
+
+from helpers import SMALL_COSTS, make_functional_setup, small_machine
+
+COUNTERS = ("n_reads", "bytes_read", "n_aggregations", "n_combines")
+
+
+def build_problem(chunks, mapping, grid, spec, n_procs, memory):
+    inputs = ChunkSet.from_metas([c.meta for c in chunks])
+    decl = HilbertDeclusterer()
+    inputs = decl.place(inputs, n_procs)
+    outputs = decl.place(grid.chunkset(), n_procs)
+    graph = ChunkGraph.from_geometry(inputs, outputs, mapping)
+    acc = np.asarray(
+        [spec.acc_bytes(grid.cells_in_chunk(o)) for o in range(grid.n_chunks)],
+        dtype=np.int64,
+    )
+    return PlanningProblem(
+        n_procs=n_procs,
+        memory_per_proc=np.int64(memory),
+        inputs=inputs,
+        outputs=outputs,
+        graph=graph,
+        acc_nbytes=acc,
+    )
+
+
+@pytest.fixture
+def workload(rng):
+    spec = MeanAggregation(1)
+    _, _, chunks, mapping, grid = make_functional_setup(rng)
+    prob = build_problem(chunks, mapping, grid, spec, n_procs=3, memory=256)
+    return chunks, mapping, grid, spec, prob
+
+
+class TestBackendEquivalence:
+    """The tentpole invariant: hosting and read-ahead are invisible."""
+
+    @pytest.mark.parametrize("strategy", ["FRA", "DA"])
+    @pytest.mark.parametrize(
+        "backend,prefetch",
+        [
+            ("sequential", True),
+            ("parallel", False),
+            ("parallel", PrefetchPolicy(depth=3, workers=2)),
+        ],
+        ids=["seq+prefetch", "parallel", "parallel+prefetch"],
+    )
+    def test_bitwise_equal(self, workload, strategy, backend, prefetch):
+        chunks, mapping, grid, spec, prob = workload
+        plan = plan_query(prob, strategy)
+        assert plan.n_tiles > 1  # memory chosen to force real tiling
+        seq = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+        res = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec,
+            backend=backend, prefetch=prefetch,
+        )
+        assert res.output_ids.tolist() == seq.output_ids.tolist()
+        for o, rv, sv in zip(seq.output_ids, res.chunk_values, seq.chunk_values):
+            assert np.array_equal(rv, sv, equal_nan=True), f"chunk {int(o)}"
+        for counter in COUNTERS:
+            assert getattr(res, counter) == getattr(seq, counter), counter
+        assert sorted(res.phase_times) == sorted(PHASES)
+        assert sorted(seq.phase_times) == sorted(PHASES)
+
+
+class TestPhaseSchedule:
+    def test_cached_on_plan(self, workload):
+        *_, prob = workload
+        plan = plan_query(prob, "FRA")
+        assert plan.schedule() is plan.schedule()
+
+    def test_tile_slices_and_tallies(self, workload):
+        chunks, mapping, grid, spec, prob = workload
+        plan = plan_query(prob, "SRA")
+        sched = plan.schedule()
+        assert isinstance(sched, PhaseSchedule)
+        # cu arrays are tile-sorted and sliced by cu_bounds.
+        assert np.all(np.diff(sched.cu_tile) >= 0)
+        assert sched.cu_bounds[0] == 0 and sched.cu_bounds[-1] == len(sched.cu_tile)
+        assert int(sched.cu_pairs.sum()) == len(plan.edge_arrays[0])
+        # init_counts tallies every holder (owner + ghosts) once.
+        assert int(sched.init_counts.sum()) == len(plan.holders_ids)
+        # Every scheduled read appears in exactly one tile's slice.
+        got = np.concatenate(
+            [sched.reads_of(t) for t in range(plan.n_tiles)]
+        )
+        assert sorted(got.tolist()) == list(range(len(plan.reads)))
+
+    def test_recipients_match_edge_assignment(self, workload):
+        chunks, mapping, grid, spec, prob = workload
+        plan = plan_query(prob, "DA")
+        sched = plan.schedule()
+        reads = plan.reads
+        fwd_indptr, fwd_ids = prob.graph.forward_csr
+        assert len(sched.recipients) == len(reads)
+        for r in range(len(reads)):
+            i = int(reads.chunk[r])
+            lo, hi = fwd_indptr[i], fwd_indptr[i + 1]
+            active = plan.tile_of_output[fwd_ids[lo:hi]] == int(reads.tile[r])
+            want = set(np.unique(plan.edge_proc[lo:hi][active]).tolist())
+            want.discard(int(reads.proc[r]))
+            assert set(sched.recipients[r].tolist()) == want
+
+
+class TestSimulatorSharesSchedule:
+    def test_sim_prices_the_executed_schedule(self, workload):
+        from repro.sim.query_sim import _QuerySim
+
+        chunks, mapping, grid, spec, prob = workload
+        plan = plan_query(prob, "FRA")
+        sim = _QuerySim(
+            plan, small_machine(n_procs=prob.n_procs), SMALL_COSTS,
+            seed=0, overlap=True,
+        )
+        sched = plan.schedule()
+        # Identity, not equality: the simulator walks the very arrays
+        # the functional backends execute.
+        assert sim.cu_tile is sched.cu_tile
+        assert sim.cu_pairs is sched.cu_pairs
+        assert sim.init_counts is sched.init_counts
+        assert sim.gt_bounds is sched.tiles.gt_bounds
+        assert sim.oh_bounds is sched.tiles.out_bounds
+
+
+class TestCounterContract:
+    def test_sequential_counters(self, workload):
+        chunks, mapping, grid, spec, prob = workload
+        plan = plan_query(prob, "FRA")
+        res = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+        assert res.n_reads == len(plan.reads)
+        per_read = prob.inputs.nbytes[plan.reads.chunk]
+        assert res.bytes_read == int(per_read.sum())
+        assert res.n_combines == len(plan.ghost_transfers.tile)
+        assert res.completeness == 1.0 and not res.chunk_errors
+
+    def test_spec_without_prereduce_matches_too(self, workload):
+        # SumAggregation exercises the prereduce/scatter path,
+        # MeanAggregation the aggregate_grouped path; both must agree
+        # across backends (covered above) and count identically here.
+        chunks, mapping, grid, _, prob = workload
+        spec = SumAggregation(1)
+        plan = plan_query(prob, "FRA")
+        seq = execute_plan(plan, lambda i: chunks[i], mapping, grid, spec)
+        par = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec, backend="parallel"
+        )
+        for counter in COUNTERS:
+            assert getattr(par, counter) == getattr(seq, counter), counter
