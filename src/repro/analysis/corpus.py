@@ -32,6 +32,16 @@ recovery) and checks every degraded or recovered result against ground
 truth -- see :func:`verify_fault_corpus`; ``--faults --prefetch``
 replays the same matrix with read-ahead enabled, proving injected
 faults surface identically from the prefetch thread.
+
+``--comm`` model-checks the communication schedule of every corpus
+plan with :func:`repro.analysis.comm.check_plan_comm` (ADR6xx):
+deadlock-freedom, exact send/receive matching, combine completeness
+and recovery-safe message keying -- the transport contract every
+scale-out backend relies on, proved statically per plan.
+
+``--format json`` (or ``github``) switches the report format for the
+verifier and ``--comm`` modes; ``--out FILE`` writes it to a file
+(the CI artifact).
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from repro.util.units import KB, MB
 __all__ = [
     "corpus_problems",
     "verify_corpus",
+    "verify_comm_corpus",
     "functional_workloads",
     "verify_functional_corpus",
     "verify_fault_corpus",
@@ -130,6 +141,33 @@ def verify_corpus(
             for diag in verify_plan(plan):
                 findings.append((f"{label} / {strategy}", diag))
     return findings
+
+
+def verify_comm_corpus(
+    include_emulators: bool = True,
+    strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+) -> Tuple[int, List[Tuple[str, Diagnostic]]]:
+    """Model-check the communication schedule of every corpus plan.
+
+    Plans the whole corpus and runs
+    :func:`repro.analysis.comm.check_plan_comm` over each plan's
+    :class:`~repro.runtime.phases.MessageFlow`; returns ``(n_plans,
+    (plan label, diagnostic) pairs)``.  A clean run proves every plan
+    deadlock-free with exactly matched send/receive multisets,
+    complete ghost combines and recovery-safe message keys.
+    """
+    from repro.analysis.comm import check_plan_comm
+    from repro.planner.strategies import plan_query
+
+    findings: List[Tuple[str, Diagnostic]] = []
+    n_plans = 0
+    for label, problem in corpus_problems(include_emulators):
+        for strategy in strategies:
+            n_plans += 1
+            plan = plan_query(problem, strategy)
+            for diag in check_plan_comm(plan):
+                findings.append((f"{label} / {strategy}", diag))
+    return n_plans, findings
 
 
 def functional_workloads() -> Iterator[Tuple[str, dict]]:
@@ -452,19 +490,85 @@ def verify_fault_corpus(
     return n_scenarios, failures
 
 
+def _render_findings(
+    findings: Sequence[Tuple[str, Diagnostic]], fmt: str, mode: str, n_plans: int
+) -> str:
+    """``(plan label, diagnostic)`` pairs in the requested format.
+
+    The label rides in the location (text/github) or as a ``plan``
+    field (json); ordering is stable: by label, then the diagnostic's
+    own sort key.
+    """
+    import json as json_mod
+
+    findings = sorted(findings, key=lambda f: (f[0], f[1].sort_key()))
+    if fmt == "json":
+        return json_mod.dumps(
+            {
+                "tool": "repro.analysis.corpus",
+                "mode": mode,
+                "summary": {"plans": n_plans, "findings": len(findings)},
+                "findings": [
+                    {"plan": label, **diag.to_dict()} for label, diag in findings
+                ],
+            },
+            indent=2,
+        )
+    if fmt == "github":
+        return "\n".join(
+            Diagnostic(
+                d.code, d.severity, f"{label} / {d.location}", d.message
+            ).format_github()
+            for label, d in findings
+        )
+    return "\n".join(f"{label}: {d.format()}" for label, d in findings)
+
+
+_USAGE = (
+    "usage: python -m repro.analysis.corpus "
+    "[--no-emulators] [--comm] [--functional] [--faults [--prefetch]] "
+    "[--format text|json|github] [--out FILE]"
+)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.analysis.lint import _parse_output_args, _write_report
+
     argv = list(sys.argv[1:] if argv is None else argv)
+    fmt, out_path, err = _parse_output_args(argv, _USAGE)
+    if err is not None:
+        print(f"repro.analysis.corpus: {err}", file=sys.stderr)
+        return 2
     unknown = [
         a for a in argv
-        if a not in ("--no-emulators", "--functional", "--faults", "--prefetch")
+        if a not in ("--no-emulators", "--comm", "--functional", "--faults",
+                     "--prefetch")
     ]
     if unknown:
-        print(f"repro.analysis.corpus: unknown argument(s): {' '.join(unknown)}")
         print(
-            "usage: python -m repro.analysis.corpus "
-            "[--no-emulators] [--functional] [--faults [--prefetch]]"
+            f"repro.analysis.corpus: unknown argument(s): {' '.join(unknown)}"
+            f"\n{_USAGE}",
+            file=sys.stderr,
         )
         return 2
+    include_emulators = "--no-emulators" not in argv
+    if "--comm" in argv:
+        n_plans, findings = verify_comm_corpus(include_emulators=include_emulators)
+        _write_report(_render_findings(findings, fmt, "comm", n_plans), out_path)
+        if findings:
+            if fmt == "text":
+                print(
+                    f"repro.analysis.corpus: {len(findings)} communication "
+                    f"diagnostic(s) over {n_plans} plans"
+                )
+            return 1
+        if fmt == "text" and out_path is None:
+            print(
+                f"repro.analysis.corpus: {n_plans} plans model-checked "
+                "(deadlock-free, matched send/recv multisets, complete "
+                "combines, recovery-safe keys), zero diagnostics"
+            )
+        return 0
     if "--faults" in argv:
         n_scenarios, failures = verify_fault_corpus(prefetch="--prefetch" in argv)
         for label, message in failures:
@@ -495,17 +599,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "all matched the serial oracle"
         )
         return 0
-    include_emulators = "--no-emulators" not in argv
     findings = verify_corpus(include_emulators=include_emulators)
     n_plans = 0
-    for label, diag in findings:
-        print(f"{label}: {diag.format()}")
     for label, _problem in corpus_problems(include_emulators):
         n_plans += 4  # FRA, SRA, DA, HYBRID
+    _write_report(_render_findings(findings, fmt, "verify", n_plans), out_path)
     if findings:
-        print(f"repro.analysis.corpus: {len(findings)} diagnostic(s) over {n_plans} plans")
+        if fmt == "text":
+            print(
+                f"repro.analysis.corpus: {len(findings)} diagnostic(s) "
+                f"over {n_plans} plans"
+            )
         return 1
-    print(f"repro.analysis.corpus: {n_plans} plans verified, zero diagnostics")
+    if fmt == "text" and out_path is None:
+        print(f"repro.analysis.corpus: {n_plans} plans verified, zero diagnostics")
     return 0
 
 

@@ -14,15 +14,25 @@ Code ranges
   (:mod:`repro.analysis.races`)
 - ``ADR3xx`` -- project lint over the source tree
   (:mod:`repro.analysis.lint`)
+- ``ADR4xx`` / ``ADR5xx`` -- exception hygiene and phase-loop
+  ownership rules (also :mod:`repro.analysis.lint`)
+- ``ADR6xx`` -- static communication-protocol checks over the
+  transport schedule (:mod:`repro.analysis.comm`)
+- ``ADR7xx`` -- dataflow/concurrency lint over the threaded runtime
+  (:mod:`repro.analysis.effects`)
 """
 
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
 __all__ = ["Severity", "Diagnostic", "DiagnosticCollector", "max_severity"]
+
+#: ``path:line:col`` locations emitted by the source-level passes.
+_SOURCE_LOC_RE = re.compile(r"^(?P<path>.*):(?P<line>\d+):(?P<col>\d+)$")
 
 
 class Severity(enum.IntEnum):
@@ -59,7 +69,60 @@ class Diagnostic:
     message: str
 
     def format(self) -> str:
-        return f"{self.location}: {self.severity}: {self.code} {self.message}"
+        # str() explicitly: IntEnum.__format__ renders the *numeric*
+        # value on some Python versions, and "error" vs "30" matters
+        # to every consumer that greps this line.
+        return f"{self.location}: {str(self.severity)}: {self.code} {self.message}"
+
+    def source_location(self) -> Optional[Tuple[str, int, int]]:
+        """``(path, line, col)`` when the location is source-shaped
+        (``path:line:col``), else None (plan locations like
+        ``"output chunk 3"``)."""
+        m = _SOURCE_LOC_RE.match(self.location)
+        if m is None:
+            return None
+        return m.group("path"), int(m.group("line")), int(m.group("col"))
+
+    def sort_key(self) -> Tuple:
+        """Stable ordering: by path, line, column, code, then message.
+
+        Non-source locations sort by their literal text with line 0,
+        so a mixed report is still deterministic.
+        """
+        src = self.source_location()
+        if src is None:
+            return (self.location, 0, 0, self.code, self.message)
+        path, line, col = src
+        return (path, line, col, self.code, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (``--format json`` in the CLIs)."""
+        out = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+        src = self.source_location()
+        if src is not None:
+            out["path"], out["line"], out["col"] = src
+        return out
+
+    def format_github(self) -> str:
+        """A GitHub Actions workflow annotation command."""
+        level = {
+            Severity.ERROR: "error",
+            Severity.WARNING: "warning",
+            Severity.NOTE: "notice",
+        }[self.severity]
+        src = self.source_location()
+        if src is None:
+            return f"::{level} title={self.code}::{self.location}: {self.message}"
+        path, line, col = src
+        return (
+            f"::{level} file={path},line={line},col={col},"
+            f"title={self.code}::{self.message}"
+        )
 
     def __str__(self) -> str:
         return self.format()

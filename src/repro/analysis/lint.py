@@ -34,7 +34,8 @@ ADR305    Python loop calling ``aggregate`` inside the runtime hot
 ADR401    bare ``except:`` anywhere, or an exception handler that
           silently swallows (body of only ``pass`` / ``continue`` /
           ``...``) inside the fault-critical paths
-          (``src/repro/runtime/``, ``src/repro/store/``) -- degraded
+          (``src/repro/runtime/``, ``src/repro/store/``,
+          ``src/repro/frontend/``, ``src/repro/faults/``) -- degraded
           execution must *record* every absorbed failure
           (``chunk_errors``), never discard it
 ADR501    phase-sequencing accumulator call (``allocate`` /
@@ -47,17 +48,33 @@ ADR501    phase-sequencing accumulator call (``allocate`` /
           drive it, they do not re-implement it (the serial Figure-1
           oracle opts out with ``noqa``)
 ========  ==========================================================
+
+Files under the concurrency-critical paths (``src/repro/runtime/``,
+``src/repro/store/``, ``src/repro/frontend/``) additionally get the
+``ADR7xx`` dataflow/concurrency rules of
+:mod:`repro.analysis.effects` (unguarded shared-state mutation in
+thread workers, ABBA lock order, unbounded blocking waits, leaked
+``SharedMemory``, cache mutation outside the guarded section), through
+the same noqa pipeline.
+
+Output formats: the default is one ``location: severity: code
+message`` line per finding; ``--format json`` emits a machine-readable
+report (uploaded as a CI artifact) and ``--format github`` emits
+workflow annotation commands.  All formats order findings by
+``(path, line, col, code)``.
 """
 
 from __future__ import annotations
 
 import ast
+import json
 import re
 import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Severity
+from repro.analysis.effects import check_effects
 
 __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
@@ -67,8 +84,19 @@ LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR401", "ADR50
 _RUNTIME_HOT_PATH = ("repro/runtime/",)
 
 #: Directories where silently swallowed exceptions hide data loss
-#: (ADR401's stricter half applies here).
-_FAULT_CRITICAL_PATHS = ("repro/runtime/", "repro/store/")
+#: (ADR401's stricter half applies here): the executing runtime, the
+#: storage layer, the user-facing frontend (degradation reporting),
+#: and the fault-injection machinery itself.
+_FAULT_CRITICAL_PATHS = (
+    "repro/runtime/", "repro/store/", "repro/frontend/", "repro/faults/",
+)
+
+#: Directories holding threaded / multiprocess code: the ADR7xx
+#: dataflow rules of :mod:`repro.analysis.effects` apply here.
+_CONCURRENCY_PATHS = ("repro/runtime/", "repro/store/", "repro/frontend/")
+
+#: The module under the ADR705 guarded-cache lock discipline.
+_GUARDED_CACHE_MODULES = ("store/cache.py", "store\\cache.py")
 
 #: The one module allowed to sequence the four phases (ADR501).
 _PHASE_LOOP_HOME = ("runtime/phases.py", "runtime\\phases.py")
@@ -98,7 +126,15 @@ _LEGACY_RANDOM = frozenset(
 #: Modules exempt from ADR301: the one place that may mint generators.
 _RNG_EXEMPT = ("util/rng.py", "util\\rng.py")
 
-_NOQA_RE = re.compile(r"#\s*noqa:\s*((?:ADR\d+[,\s]*)+)", re.IGNORECASE)
+#: ``# noqa: <code-list>`` where the list may mix tools (``# noqa:
+#: E402, ADR301``); only the listed ADR codes are suppressed, and only
+#: those -- trailing rationale text ("-- mentions ADR302") never
+#: widens the set, and a bare ``# noqa`` (no codes) suppresses nothing
+#: (this lint wants explicit, auditable opt-outs).
+_NOQA_RE = re.compile(
+    r"#\s*noqa:\s*([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+|\s+[A-Z]+\d+)*)", re.IGNORECASE
+)
+_NOQA_CODE_RE = re.compile(r"^ADR\d+$")
 
 #: Identifiers that denote accumulator *values* (float partial sums).
 _ACC_NAME_RE = re.compile(r"^acc(_|$|s$|umulator)|_acc(_|$)|^ghost_data$")
@@ -117,12 +153,23 @@ def _is_acc_value_name(name: str) -> bool:
 
 
 def _noqa_lines(source: str) -> dict:
-    """line number -> set of suppressed codes."""
+    """line number -> set of suppressed ADR codes.
+
+    A line suppresses exactly the ADR codes it lists -- co-located
+    findings with other codes always survive, non-ADR codes in a mixed
+    list (``# noqa: E402, ADR301``) are other tools' business, and
+    codes appearing only in rationale prose are not part of the list.
+    """
     out: dict = {}
     for i, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if m:
-            out[i] = {c.strip().upper() for c in re.split(r"[,\s]+", m.group(1)) if c.strip()}
+        codes: Set[str] = set()
+        for m in _NOQA_RE.finditer(line):
+            for c in re.split(r"[,\s]+", m.group(1)):
+                c = c.strip().upper()
+                if _NOQA_CODE_RE.match(c):
+                    codes.add(c)
+        if codes:
+            out[i] = codes
     return out
 
 
@@ -367,9 +414,16 @@ def _is_public_library_module(path: Path) -> bool:
 def lint_source(
     source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False,
     runtime_hot_path: bool = False, fault_critical: bool = False,
-    phase_scope: bool = False,
+    phase_scope: bool = False, concurrency_scope: bool = False,
+    guarded_cache: bool = False,
 ) -> List[Diagnostic]:
-    """Lint one module's source text (the testable core)."""
+    """Lint one module's source text (the testable core).
+
+    *concurrency_scope* adds the ADR7xx dataflow/concurrency rules
+    (:mod:`repro.analysis.effects`); *guarded_cache* additionally
+    enforces the ADR705 cache-lock discipline.  Both share this
+    function's per-line ``# noqa`` suppression.
+    """
     out = DiagnosticCollector()
     try:
         tree = ast.parse(source, filename=path)
@@ -390,6 +444,10 @@ def lint_source(
             f"{path}:1:0",
             "public module defines no __all__; declare the public API "
             "explicitly",
+        )
+    if concurrency_scope or guarded_cache:
+        out.diagnostics.extend(
+            check_effects(source, path, guarded_cache=guarded_cache, tree=tree)
         )
     suppressed = _noqa_lines(source)
     kept: List[Diagnostic] = []
@@ -418,6 +476,8 @@ def lint_file(path: Path) -> List[Diagnostic]:
             any(m in posix for m in _RUNTIME_HOT_PATH)
             and not any(posix.endswith(e) for e in _PHASE_LOOP_HOME)
         ),
+        concurrency_scope=any(m in posix for m in _CONCURRENCY_PATHS),
+        guarded_cache=any(posix.endswith(e) for e in _GUARDED_CACHE_MODULES),
     )
 
 
@@ -449,21 +509,95 @@ def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
         if "egg-info" in f.as_posix():
             continue
         findings.extend(lint_file(f))
+    findings.sort(key=lambda d: d.sort_key())  # stable across filesystems
     return findings
+
+
+def render_report(
+    findings: Sequence[Diagnostic], fmt: str, tool: str, scope: Sequence[str]
+) -> str:
+    """Findings as text in *fmt* (``text`` / ``json`` / ``github``).
+
+    Shared by the lint and corpus CLIs so both emit the same JSON
+    shape (the CI artifact) and the same annotation commands.
+    """
+    findings = sorted(findings, key=lambda d: d.sort_key())
+    if fmt == "json":
+        n_err = sum(1 for d in findings if d.severity >= Severity.ERROR)
+        return json.dumps(
+            {
+                "tool": tool,
+                "scope": list(scope),
+                "summary": {
+                    "findings": len(findings),
+                    "errors": n_err,
+                    "warnings": sum(
+                        1 for d in findings if d.severity == Severity.WARNING
+                    ),
+                },
+                "findings": [d.to_dict() for d in findings],
+            },
+            indent=2,
+        )
+    if fmt == "github":
+        return "\n".join(d.format_github() for d in findings)
+    return "\n".join(d.format() for d in findings)
+
+
+def _parse_output_args(argv: List[str], usage: str):
+    """Extract ``--format <fmt>`` / ``--out <path>`` from *argv* (in
+    place).  Returns ``(fmt, out_path, error_message)``."""
+    fmt, out_path = "text", None
+    err = None
+    for flag in ("--format", "--out"):
+        while flag in argv:
+            k = argv.index(flag)
+            if k + 1 >= len(argv):
+                return fmt, out_path, f"{flag} requires a value\n{usage}"
+            value = argv.pop(k + 1)
+            argv.pop(k)
+            if flag == "--format":
+                if value not in ("text", "json", "github"):
+                    return fmt, out_path, (
+                        f"unknown format {value!r} (text, json, github)\n{usage}"
+                    )
+                fmt = value
+            else:
+                out_path = value
+    return fmt, out_path, err
+
+
+def _write_report(text: str, out_path: Optional[str]) -> None:
+    if out_path is None:
+        if text:
+            print(text)
+        return
+    p = Path(out_path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text + "\n", encoding="utf-8")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    usage = (
+        "usage: python -m repro.analysis.lint [PATH ...] "
+        "[--format text|json|github] [--out FILE]"
+    )
+    fmt, out_path, err = _parse_output_args(argv, usage)
+    if err is not None:
+        print(f"repro.analysis.lint: {err}", file=sys.stderr)
+        return 2
     paths = argv or ["src"]
     findings = lint_paths(paths)
-    for d in findings:
-        print(d.format())
+    _write_report(render_report(findings, fmt, "repro.analysis.lint", paths), out_path)
     n_err = sum(1 for d in findings if d.severity >= Severity.ERROR)
     n_warn = len(findings) - n_err
     if findings:
-        print(f"repro.analysis.lint: {n_err} error(s), {n_warn} warning(s)")
+        if fmt == "text":
+            print(f"repro.analysis.lint: {n_err} error(s), {n_warn} warning(s)")
         return 1
-    print(f"repro.analysis.lint: clean ({', '.join(paths)})")
+    if fmt == "text" and out_path is None:
+        print(f"repro.analysis.lint: clean ({', '.join(paths)})")
     return 0
 
 

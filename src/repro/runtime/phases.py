@@ -52,7 +52,8 @@ bit, counters included.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -75,6 +76,8 @@ from repro.space.mapping import GridMapping
 from repro.store.chunk_store import RECOVERABLE_READ_ERRORS
 
 __all__ = [
+    "MESSAGE_OPS",
+    "MessageFlow",
     "PHASES",
     "AccumulatorHost",
     "ChunkSource",
@@ -85,6 +88,59 @@ __all__ = [
 
 #: Execution phases, in order; the keys of ``phase_times``.
 PHASES = ("initialize", "reduce", "combine", "output")
+
+#: Transport-visible operations a rank performs, in the vocabulary of
+#: :class:`MessageFlow` events.  ``send_seg``/``recv_seg`` forward
+#: reduction segments (keyed by read index), ``send_ghost``/
+#: ``recv_ghost`` ship ghost accumulators (keyed by transfer index),
+#: ``emit`` posts a finished output chunk (keyed by local output id).
+MESSAGE_OPS = ("send_seg", "recv_seg", "send_ghost", "recv_ghost", "emit")
+
+
+@dataclass(frozen=True)
+class MessageFlow:
+    """The per-rank communication program the executor will run.
+
+    ``events[p]`` is the exact ordered sequence of transport operations
+    rank *p* performs, each a ``(op, tile, index, peer)`` tuple with
+    *op* from :data:`MESSAGE_OPS`, *index* the schedule key of the
+    message (read index for segments, transfer index for ghosts, local
+    output chunk id for emits) and *peer* the destination rank of a
+    send, the source rank of a receive, and ``-1`` for an emit (the
+    result queue has no rank).
+
+    This is the object :mod:`repro.analysis.comm` model-checks: a send
+    event corresponds one-to-one with a
+    :meth:`~repro.runtime.transport.Transport.send_segments` /
+    :meth:`~repro.runtime.transport.Transport.send_ghost` call under
+    the message key of
+    :func:`repro.runtime.transport.message_key`, so proofs about the
+    flow (deadlock-freedom, matched multisets, combine completeness,
+    re-send safety) are proofs about what
+    :class:`PhaseExecutor` asks any transport to do.
+    """
+
+    n_procs: int
+    n_tiles: int
+    events: Dict[int, List[Tuple[str, int, int, int]]] = field(default_factory=dict)
+
+    def sends(self) -> List[Tuple[int, str, int, int, int]]:
+        """``(src, kind, tile, index, dst)`` rows for every send."""
+        out = []
+        for p, evs in self.events.items():
+            for op, tile, index, peer in evs:
+                if op in ("send_seg", "send_ghost"):
+                    out.append((p, op[5:], tile, index, peer))
+        return out
+
+    def recvs(self) -> List[Tuple[int, str, int, int, int]]:
+        """``(dst, kind, tile, index, src)`` rows for every receive."""
+        out = []
+        for p, evs in self.events.items():
+            for op, tile, index, peer in evs:
+                if op in ("recv_seg", "recv_ghost"):
+                    out.append((p, op[5:], tile, index, peer))
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +195,16 @@ class PhaseSchedule:
             procs = np.unique(plan.edge_proc[lo:hi][active])
             self.recipients.append(procs[procs != int(reads.proc[r])])
 
+        # The endpoint tables :meth:`message_flow` replays the phase
+        # loop over (kept here so the flow is derived from the same
+        # schedule object every backend walks).
+        self.n_procs = int(P)
+        self.read_proc = reads.proc.astype(np.int64)
+        gt = plan.ghost_transfers
+        self.transfer_src = gt.src.astype(np.int64)
+        self.transfer_dst = gt.dst.astype(np.int64)
+        self.output_owner = problem.output_owner.astype(np.int64)
+
         # Compute units: unique (tile, input chunk, processor) with the
         # number of (input, accumulator) pairs each represents.
         edge_in, _ = plan.edge_arrays
@@ -173,6 +239,36 @@ class PhaseSchedule:
 
     def outputs_of(self, tile: int) -> np.ndarray:
         return self.tiles.outputs_of(tile)
+
+    def message_flow(self) -> MessageFlow:
+        """The per-rank transport program (:class:`MessageFlow`).
+
+        Replays exactly the walk :meth:`PhaseExecutor.run` performs --
+        reads, then ghost transfers, then outputs, tile by tile in
+        schedule order -- recording every transport call each rank
+        would make.  :func:`repro.analysis.comm.check_plan_comm`
+        model-checks the result against the plan tables.
+        """
+        events: Dict[int, List[Tuple[str, int, int, int]]] = {
+            p: [] for p in range(self.n_procs)
+        }
+        for t in range(self.n_tiles):
+            for r in self.reads_of(t):
+                r = int(r)
+                reader = int(self.read_proc[r])
+                for q in self.recipients[r]:
+                    events[reader].append(("send_seg", t, r, int(q)))
+                for q in self.recipients[r]:
+                    events[int(q)].append(("recv_seg", t, r, reader))
+            for g in self.transfers_of(t):
+                g = int(g)
+                src, dst = int(self.transfer_src[g]), int(self.transfer_dst[g])
+                events[src].append(("send_ghost", t, g, dst))
+                events[dst].append(("recv_ghost", t, g, src))
+            for o in self.outputs_of(t):
+                o = int(o)
+                events[int(self.output_owner[o])].append(("emit", t, o, -1))
+        return MessageFlow(n_procs=self.n_procs, n_tiles=self.n_tiles, events=events)
 
 
 # ---------------------------------------------------------------------------

@@ -44,11 +44,32 @@ __all__ = [
     "QueueTransport",
     "RecoveryPolicy",
     "Transport",
+    "message_key",
 ]
 
 #: Exit code of an injected hard crash (``os._exit``), distinguishable
 #: from clean exits (0) and signal deaths (negative) in diagnostics.
 CRASH_EXIT_CODE = 3
+
+
+def message_key(kind: str, tile: int, index: int) -> tuple:
+    """The schedule key a payload travels under.
+
+    *kind* is ``"seg"`` (forwarded reduction segments, *index* = read
+    index) or ``"ghost"`` (shipped ghost accumulators, *index* =
+    transfer index).  Both transports address messages by this key --
+    the in-process mailbox adds the destination rank, the queue
+    transport's :class:`_Inbox` stashes by it -- so it must be unique
+    per destination within one execution attempt: a duplicate key
+    would silently overwrite a stashed payload, and a
+    :class:`RecoveryPolicy` re-execution (which replays every send
+    into fresh queues) is only safe because each attempt's key space
+    is disjoint by construction.  :mod:`repro.analysis.comm` checks
+    that uniqueness statically (ADR604).
+    """
+    if kind not in ("seg", "ghost"):
+        raise ValueError(f"unknown message kind {kind!r}")
+    return (kind, int(tile), int(index))
 
 
 @dataclass(frozen=True)
@@ -125,16 +146,16 @@ class InprocTransport(Transport):
         self.results: Dict[int, np.ndarray] = {}
 
     def send_segments(self, dst: int, tile: int, read: int, segments) -> None:
-        self._mail[("seg", tile, read, dst)] = segments
+        self._mail[message_key("seg", tile, read) + (int(dst),)] = segments
 
     def recv_segments(self, rank: int, tile: int, read: int):
-        return self._mail.pop(("seg", tile, read, rank))
+        return self._mail.pop(message_key("seg", tile, read) + (int(rank),))
 
     def send_ghost(self, dst: int, tile: int, transfer: int, data: np.ndarray) -> None:
-        self._mail[("ghost", tile, transfer, dst)] = data
+        self._mail[message_key("ghost", tile, transfer) + (int(dst),)] = data
 
     def recv_ghost(self, rank: int, tile: int, transfer: int) -> np.ndarray:
-        return self._mail.pop(("ghost", tile, transfer, rank))
+        return self._mail.pop(message_key("ghost", tile, transfer) + (int(rank),))
 
     def emit_result(self, output_chunk: int, values: np.ndarray) -> None:
         self.results[int(output_chunk)] = values
@@ -204,10 +225,10 @@ class QueueTransport(Transport):
     def send_segments(self, dst: int, tile: int, read: int, segments) -> None:
         if self._injector is not None and self._injector.should_drop("seg", read):
             return
-        self._inboxes[int(dst)].put((("seg", tile, read), segments))
+        self._inboxes[int(dst)].put((message_key("seg", tile, read), segments))
 
     def recv_segments(self, rank: int, tile: int, read: int):
-        return self._inbox[int(rank)].expect(("seg", tile, read))
+        return self._inbox[int(rank)].expect(message_key("seg", tile, read))
 
     def send_ghost(self, dst: int, tile: int, transfer: int, data: np.ndarray) -> None:
         if self._injector is not None and self._injector.should_drop(
@@ -216,10 +237,10 @@ class QueueTransport(Transport):
             return
         # Copy before put: Queue serializes in a feeder thread, and the
         # arena view is recycled next tile.
-        self._inboxes[int(dst)].put((("ghost", tile, transfer), data.copy()))
+        self._inboxes[int(dst)].put((message_key("ghost", tile, transfer), data.copy()))
 
     def recv_ghost(self, rank: int, tile: int, transfer: int) -> np.ndarray:
-        return self._inbox[int(rank)].expect(("ghost", tile, transfer))
+        return self._inbox[int(rank)].expect(message_key("ghost", tile, transfer))
 
     def emit_result(self, output_chunk: int, values: np.ndarray) -> None:
         self._result_q.put(("result", int(output_chunk), values))

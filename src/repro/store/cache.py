@@ -10,10 +10,22 @@ writes and dataset deletion.
 
 Cached chunks are shared between callers -- treat payload arrays as
 read-only (the execution engine never mutates retrieved chunks).
+
+Thread safety: all cache state (the LRU ordering, the byte budget and
+the hit/miss/eviction counters) is guarded by one re-entrant lock, so
+the cache may sit under a multi-worker
+:class:`~repro.store.prefetch.TilePrefetcher` or be shared between a
+query thread and a prefetch thread.  The lock is never held across an
+inner-store read (misses fetch outside the guarded section and insert
+on return), so a slow disk stalls only the caller that missed.  The
+static pass :mod:`repro.analysis.effects` (ADR705) enforces the
+discipline: every mutation happens under ``with self._lock`` or
+inside a ``*_locked`` helper.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -44,6 +56,7 @@ class CachedChunkStore(ChunkStore):
             raise ValueError("refusing to stack chunk caches")
         self.inner = inner
         self.max_bytes = int(max_bytes)
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[_Key, Chunk]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -53,13 +66,16 @@ class CachedChunkStore(ChunkStore):
     # -- cache mechanics ---------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def nbytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
-    def _insert(self, key: _Key, chunk: Chunk) -> None:
+    def _insert_locked(self, key: _Key, chunk: Chunk) -> None:
+        """Insert under ``self._lock`` (evicting LRU entries to fit)."""
         size = _chunk_bytes(chunk)
         if size > self.max_bytes or key in self._entries:
             return
@@ -70,7 +86,8 @@ class CachedChunkStore(ChunkStore):
         self._entries[key] = chunk
         self._bytes += size
 
-    def _lookup(self, key: _Key) -> Optional[Chunk]:
+    def _lookup_locked(self, key: _Key) -> Optional[Chunk]:
+        """Probe under ``self._lock``; counts the hit/miss."""
         chunk = self._entries.get(key)
         if chunk is None:
             self.misses += 1
@@ -81,33 +98,40 @@ class CachedChunkStore(ChunkStore):
 
     def invalidate(self, dataset: str, chunk_ids: Optional[List[int]] = None) -> None:
         """Drop cached payloads of *dataset* (or just *chunk_ids*)."""
-        if chunk_ids is None:
-            doomed = [k for k in self._entries if k[0] == dataset]
-        else:
-            wanted = set(int(c) for c in chunk_ids)
-            doomed = [k for k in self._entries if k[0] == dataset and k[1] in wanted]
-        for key in doomed:
-            self._bytes -= _chunk_bytes(self._entries.pop(key))
+        with self._lock:
+            if chunk_ids is None:
+                doomed = [k for k in self._entries if k[0] == dataset]
+            else:
+                wanted = set(int(c) for c in chunk_ids)
+                doomed = [
+                    k for k in self._entries if k[0] == dataset and k[1] in wanted
+                ]
+            for key in doomed:
+                self._bytes -= _chunk_bytes(self._entries.pop(key))
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "chunk_hits": self.hits,
-            "chunk_misses": self.misses,
-            "chunk_evictions": self.evictions,
-            "chunk_bytes": self._bytes,
-        }
+        with self._lock:
+            return {
+                "chunk_hits": self.hits,
+                "chunk_misses": self.misses,
+                "chunk_evictions": self.evictions,
+                "chunk_bytes": self._bytes,
+            }
 
     # -- store interface ---------------------------------------------------
 
     def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
         key = (dataset, int(chunk_id))
-        chunk = self._lookup(key)
+        with self._lock:
+            chunk = self._lookup_locked(key)
         if chunk is None:
-            # A raising inner read inserts nothing: failures (corrupt,
-            # missing, I/O error) are never cached, so a later retry
-            # reaches the real store.
+            # The lock is dropped across the inner read: a raising read
+            # inserts nothing (failures are never cached, a later retry
+            # reaches the real store) and a slow disk stalls only the
+            # caller that missed.
             chunk = self.inner.read_chunk(dataset, chunk_id)
-            self._insert(key, chunk)
+            with self._lock:
+                self._insert_locked(key, chunk)
         return chunk
 
     def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:
@@ -125,12 +149,13 @@ class CachedChunkStore(ChunkStore):
         ids = [int(c) for c in chunk_ids]
         got: Dict[int, Chunk] = {}
         missing: List[int] = []
-        for cid in dict.fromkeys(ids):  # preserve order, visit once
-            chunk = self._lookup((dataset, cid))
-            if chunk is None:
-                missing.append(cid)
-            else:
-                got[cid] = chunk
+        with self._lock:
+            for cid in dict.fromkeys(ids):  # preserve order, visit once
+                chunk = self._lookup_locked((dataset, cid))
+                if chunk is None:
+                    missing.append(cid)
+                else:
+                    got[cid] = chunk
         failure: Optional[Exception] = None
         if missing:
             inner_iter = self.inner.read_many(dataset, missing)
@@ -144,7 +169,8 @@ class CachedChunkStore(ChunkStore):
                     break
                 cid = int(chunk.chunk_id)
                 got[cid] = chunk
-                self._insert((dataset, cid), chunk)
+                with self._lock:
+                    self._insert_locked((dataset, cid), chunk)
         for cid in ids:
             if cid not in got:
                 if failure is not None:

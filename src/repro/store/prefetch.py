@@ -36,6 +36,7 @@ schedule order differs from placement order).
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
@@ -224,10 +225,26 @@ class TilePrefetcher:
                 del payload
         return payload
 
-    def close(self) -> None:
-        """Stop the fetch threads and join them (idempotent)."""
+    def close(self, timeout: float = 60.0) -> None:
+        """Stop the fetch threads and join them (idempotent).
+
+        The join is bounded: a fetch thread is only ever blocked in
+        the provider or on ``_cv`` (which ``_closed`` releases), so a
+        thread still alive after *timeout* seconds means a hung
+        provider -- raise instead of hanging the recovery path that
+        called us (every wait on the crash-recovery path must be
+        bounded; lint rule ADR703 enforces the same discipline
+        statically).
+        """
         with self._cv:
             self._closed = True
             self._cv.notify_all()
+        deadline = time.monotonic() + timeout
         for th in self._threads:
-            th.join()
+            th.join(timeout=max(0.0, deadline - time.monotonic()))
+        stuck = [th.name for th in self._threads if th.is_alive()]
+        if stuck:
+            raise RuntimeError(
+                f"prefetch thread(s) {', '.join(stuck)} still alive "
+                f"{timeout:.0f}s after close(); the chunk provider is hung"
+            )

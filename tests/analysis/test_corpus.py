@@ -6,6 +6,7 @@ from repro.analysis.corpus import (
     corpus_problems,
     functional_workloads,
     main,
+    verify_comm_corpus,
     verify_corpus,
     verify_fault_corpus,
     verify_functional_corpus,
@@ -28,6 +29,40 @@ class TestCorpus:
     def test_cli_exits_zero(self, capsys):
         assert main(["--no-emulators"]) == 0
         assert "zero diagnostics" in capsys.readouterr().out
+
+    def test_cli_json_report(self, capsys):
+        import json
+
+        assert main(["--no-emulators", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro.analysis.corpus"
+        assert doc["mode"] == "verify"
+        assert doc["summary"] == {"plans": 24, "findings": 0}
+
+    def test_cli_rejects_unknown_arguments(self, capsys):
+        assert main(["--bogus"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestCommCorpus:
+    """The communication model check over the synthetic corpus.
+
+    The full 36-plan sweep (emulators included) is the CI job
+    ``python -m repro.analysis.corpus --comm``; tier-1 proves the 24
+    synthetic plans here.
+    """
+
+    def test_synthetic_corpus_model_checks_clean(self):
+        n_plans, findings = verify_comm_corpus(include_emulators=False)
+        assert n_plans == 24
+        assert findings == [], "\n".join(
+            f"{label}: {d.format()}" for label, d in findings
+        )
+
+    def test_cli_comm_exits_zero(self, capsys):
+        assert main(["--comm", "--no-emulators"]) == 0
+        out = capsys.readouterr().out
+        assert "model-checked" in out and "zero diagnostics" in out
 
 
 class TestFunctionalCorpus:

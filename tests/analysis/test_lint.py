@@ -90,6 +90,10 @@ class TestDunderAll:
 
 
 class TestSuppression:
+    # One line carrying two distinct findings: ADR301 (unseeded
+    # global RNG) and ADR303 (chunk payload mutation).
+    TWO = "import numpy as np\nchunk.values = np.random.rand(3){noqa}\n"
+
     def test_noqa_with_rationale_suppresses(self):
         src = "import numpy as np\nx = np.random.rand(3)  # noqa: ADR301 -- test fixture\n"
         assert codes(src) == set()
@@ -97,6 +101,34 @@ class TestSuppression:
     def test_noqa_other_code_does_not_suppress(self):
         src = "import numpy as np\nx = np.random.rand(3)  # noqa: ADR302\n"
         assert codes(src) == {"ADR301"}
+
+    def test_noqa_suppresses_only_the_named_code(self):
+        """A line with two co-located findings keeps the unnamed one."""
+        src = self.TWO.format(noqa="  # noqa: ADR301")
+        assert codes(src) == {"ADR303"}
+        src = self.TWO.format(noqa="  # noqa: ADR303")
+        assert codes(src) == {"ADR301"}
+
+    def test_noqa_code_list_suppresses_all_named(self):
+        src = self.TWO.format(noqa="  # noqa: ADR301, ADR303")
+        assert codes(src) == set()
+        src = self.TWO.format(noqa="  # noqa: ADR303 ADR301 -- oracle fixture")
+        assert codes(src) == set()
+
+    def test_noqa_mixed_tool_list(self):
+        """Foreign codes in the list (other linters share the noqa
+        convention) neither block nor widen the ADR suppression."""
+        src = self.TWO.format(noqa="  # noqa: E402, ADR301")
+        assert codes(src) == {"ADR303"}
+
+    def test_rationale_text_does_not_widen_suppression(self):
+        src = self.TWO.format(noqa="  # noqa: ADR301 -- ADR303 is deliberate here?")
+        assert codes(src) == {"ADR303"}
+
+    def test_bare_noqa_suppresses_nothing(self):
+        """Blanket suppression is banned: every opt-out names codes."""
+        src = self.TWO.format(noqa="  # noqa")
+        assert codes(src) == {"ADR301", "ADR303"}
 
 
 class TestAggregateLoop:
@@ -230,19 +262,22 @@ class TestExceptionHygiene:
         assert codes(src, fault_critical=True) == set()
 
     def test_fault_critical_resolved_from_file_location(self, tmp_path):
-        """lint_file applies the stricter half only under repro/runtime/
-        and repro/store/."""
+        """lint_file applies the stricter half under repro/runtime/,
+        repro/store/, repro/frontend/ and repro/faults/ -- everywhere
+        an error can reach the fault-tolerant execution path."""
         import textwrap as tw
 
         from repro.analysis.lint import lint_file
 
-        critical = tmp_path / "repro" / "store" / "mod.py"
-        critical.parent.mkdir(parents=True)
-        critical.write_text(tw.dedent(self.SWALLOW))
-        elsewhere = tmp_path / "repro" / "frontend" / "mod.py"
+        src = tw.dedent(self.SWALLOW)
+        for part in ("store", "runtime", "frontend", "faults"):
+            critical = tmp_path / "repro" / part / "mod.py"
+            critical.parent.mkdir(parents=True)
+            critical.write_text(src)
+            assert {d.code for d in lint_file(critical)} == {"ADR401"}, part
+        elsewhere = tmp_path / "repro" / "planner" / "mod.py"
         elsewhere.parent.mkdir(parents=True)
-        elsewhere.write_text(tw.dedent(self.SWALLOW))
-        assert {d.code for d in lint_file(critical)} == {"ADR401"}
+        elsewhere.write_text(src)
         assert {d.code for d in lint_file(elsewhere)} == set()
 
 
@@ -325,3 +360,57 @@ class TestCli:
         # a typo'd path in CI must not pass as vacuously clean
         assert main([str(tmp_path / "no_such_dir")]) == 1
         assert "ADR300" in capsys.readouterr().out
+
+    def test_findings_are_sorted(self, tmp_path):
+        from repro.analysis.lint import lint_paths
+
+        (tmp_path / "b.py").write_text("import numpy as np\nnp.random.seed(1)\n")
+        (tmp_path / "a.py").write_text(
+            "import numpy as np\nx = 1\nnp.random.seed(1)\nnp.random.seed(2)\n"
+        )
+        out = lint_paths([str(tmp_path)])
+        assert [d.sort_key() for d in out] == sorted(d.sort_key() for d in out)
+        assert [Path(d.location.split(":")[0]).name for d in out] == [
+            "a.py", "a.py", "b.py",
+        ]
+
+
+class TestCliFormats:
+    BAD = "import numpy as np\nnp.random.seed(1)\n"
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "bad.py").write_text(self.BAD)
+        assert main([str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro.analysis.lint"
+        assert doc["summary"]["findings"] == 1 == doc["summary"]["errors"]
+        (finding,) = doc["findings"]
+        assert finding["code"] == "ADR301"
+        assert finding["severity"] == "error"
+        assert finding["line"] == 2
+
+    def test_github_annotations(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(self.BAD)
+        assert main([str(tmp_path), "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "title=ADR301" in out and ",line=2," in out
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "bad.py").write_text(self.BAD)
+        report = tmp_path / "reports" / "lint.json"
+        assert main(
+            [str(tmp_path / "bad.py"), "--format", "json", "--out", str(report)]
+        ) == 1
+        doc = json.loads(report.read_text())
+        assert doc["summary"]["findings"] == 1
+        # stdout keeps only the human summary line, not the report
+        assert "ADR301" not in capsys.readouterr().out.replace(str(report), "")
+
+    def test_unknown_format_is_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path), "--format", "yaml"]) == 2
+        assert "usage" in capsys.readouterr().err.lower()
