@@ -24,7 +24,11 @@ strategies (36 plans) and *executed* five ways --
 The sequential result must match the oracle to floating-point
 tolerance, and every other variant must match the sequential one bit
 for bit (same phase executor, same kernels, same operation order),
-counters and ``phase_times`` key set included.
+counters and ``phase_times`` key set included.  Each workload then
+re-runs with a value predicate (``where=``): a synopsis-pruned plan
+must reproduce the unpruned predicate run bit for bit on all four
+execution variants while reading strictly fewer chunks and reporting
+``chunks_pruned`` / ``bytes_pruned`` consistently.
 
 ``--faults`` replays the functional corpus under a deterministic fault
 matrix (corrupt chunk + degrade, flaky disk + retry, worker crash +
@@ -216,6 +220,10 @@ def functional_workloads() -> Iterator[Tuple[str, dict]]:
         values = rng.integers(
             1, 100, size=(n_items, spec.value_components)
         ).astype(float)
+        # Component 0 tracks the x coordinate, so the spatially local
+        # chunks the Hilbert partitioner produces carry narrow per-chunk
+        # value ranges -- the shape value-synopsis pruning exploits.
+        values[:, 0] = coords[:, 0] * 10.0 + rng.uniform(0.0, 5.0, size=n_items)
         chunks = hilbert_partition(coords, values, 20)
         grid = OutputGrid(out_space, gcells, ccells)
         mapping = GridMapping(in_space, out_space, gcells, footprint=footprint)
@@ -247,6 +255,10 @@ def functional_workloads() -> Iterator[Tuple[str, dict]]:
             "grid": grid,
             "spec": spec,
             "problem": problem,
+            # A selective value predicate on the coord-correlated
+            # component; prunes a real fraction of every workload's
+            # chunks through their synopses.
+            "where": {0: (None, 35.0)},
         }
 
 
@@ -269,6 +281,10 @@ def verify_functional_corpus(
     :data:`repro.runtime.phases.PHASES` key set (the cross-backend
     contract).
     """
+    from repro.dataset.graph import ChunkGraph
+    from repro.dataset.predicate import ValuePredicate
+    from repro.dataset.synopsis import ValueSynopsis
+    from repro.planner.problem import PlanningProblem
     from repro.planner.strategies import plan_query
     from repro.runtime.engine import execute_plan
     from repro.runtime.phases import PHASES
@@ -276,7 +292,7 @@ def verify_functional_corpus(
 
     failures: List[Tuple[str, str]] = []
     n_plans = 0
-    for label, w in functional_workloads():
+    for wi, (label, w) in enumerate(functional_workloads()):
         chunks, mapping = w["chunks"], w["mapping"]
         grid, spec = w["grid"], w["spec"]
         serial = execute_serial(chunks, mapping, grid, spec)
@@ -334,6 +350,106 @@ def verify_functional_corpus(
                     failures.append(
                         (tag, f"{name} phase_times keys {sorted(res.phase_times)}")
                     )
+
+        # -- predicate-bearing plan: pruned == unpruned, bit for bit ----
+        # Mirrors ADR.build_problem: drop synopsis-prunable inputs
+        # before planning, rebuild the graph geometrically, and let the
+        # residual kernel filter make the pruned result identical to
+        # the unpruned one (strategy rotates across workloads).
+        predicate = ValuePredicate.coerce(w["where"])
+        prunable = predicate.prunable_chunks(ValueSynopsis.from_chunks(chunks))
+        strategy = strategies[wi % len(strategies)]
+        tag = f"{label} / {strategy} / where"
+        n_plans += 1
+        problem = w["problem"]
+        if not prunable.any() or prunable.all():
+            failures.append(
+                (tag, f"predicate prunes {int(prunable.sum())}/{len(chunks)} "
+                      "chunks; workload exercises nothing")
+            )
+            continue
+        keep = np.flatnonzero(~prunable)
+        kept_inputs = problem.inputs.subset(keep)
+        pruned_problem = PlanningProblem(
+            n_procs=problem.n_procs,
+            memory_per_proc=problem.memory_per_proc,
+            inputs=kept_inputs,
+            outputs=problem.outputs,
+            graph=ChunkGraph.from_geometry(kept_inputs, problem.outputs, mapping),
+            acc_nbytes=problem.acc_nbytes,
+            input_global_ids=keep,
+            pruned_input_ids=np.flatnonzero(prunable),
+            pruned_bytes=int(problem.inputs.nbytes[prunable].sum()),
+        )
+        unpruned = execute_plan(
+            plan_query(problem, strategy), lambda i: chunks[i], mapping, grid,
+            spec, detect_races=True, predicate=predicate,
+        )
+        serial_pred = execute_serial(chunks, mapping, grid, spec, predicate=predicate)
+        for o, vals in zip(unpruned.output_ids, unpruned.chunk_values):
+            if not np.allclose(vals, serial_pred[int(o)], equal_nan=True):
+                failures.append(
+                    (tag, f"unpruned predicate chunk {int(o)} != serial oracle")
+                )
+        if unpruned.chunks_pruned != 0:
+            failures.append((tag, "unpruned plan reported pruned chunks"))
+        pruned_plan = plan_query(pruned_problem, strategy)
+        pruned_runs = {
+            "pruned sequential": execute_plan(
+                pruned_plan, lambda i: chunks[i], mapping, grid, spec,
+                detect_races=True, predicate=predicate,
+            ),
+            "pruned parallel": execute_plan(
+                pruned_plan, lambda i: chunks[i], mapping, grid, spec,
+                backend="parallel", predicate=predicate,
+            ),
+            "pruned sequential+prefetch": execute_plan(
+                pruned_plan, lambda i: chunks[i], mapping, grid, spec,
+                prefetch=True, predicate=predicate,
+            ),
+            "pruned parallel+prefetch": execute_plan(
+                pruned_plan, lambda i: chunks[i], mapping, grid, spec,
+                backend="parallel", prefetch=True, predicate=predicate,
+            ),
+        }
+        for name, res in pruned_runs.items():
+            if res.output_ids.tolist() != unpruned.output_ids.tolist():
+                failures.append((tag, f"{name} output ids != unpruned"))
+                continue
+            for o, pv, uv in zip(res.output_ids, res.chunk_values,
+                                 unpruned.chunk_values):
+                if not np.array_equal(pv, uv, equal_nan=True):
+                    failures.append(
+                        (tag, f"{name} output chunk {int(o)} not bitwise-equal "
+                              "to unpruned")
+                    )
+            if res.chunks_pruned != int(prunable.sum()):
+                failures.append(
+                    (tag, f"{name} chunks_pruned={res.chunks_pruned} != "
+                          f"{int(prunable.sum())}")
+                )
+            if res.bytes_pruned != pruned_problem.pruned_bytes:
+                failures.append(
+                    (tag, f"{name} bytes_pruned={res.bytes_pruned} != "
+                          f"{pruned_problem.pruned_bytes}")
+                )
+        seq = pruned_runs["pruned sequential"]
+        for name, res in pruned_runs.items():
+            for counter in _COUNTERS:
+                if getattr(res, counter) != getattr(seq, counter):
+                    failures.append(
+                        (tag, f"{name} {counter}={getattr(res, counter)}"
+                              f" != pruned sequential {getattr(seq, counter)}")
+                    )
+        # Pruned chunks never reach the read phase (multi-tile plans
+        # re-read inputs per tile, so the saving can exceed
+        # bytes_pruned, which counts each pruned chunk once).
+        if seq.n_reads >= unpruned.n_reads or seq.bytes_read >= unpruned.bytes_read:
+            failures.append(
+                (tag, f"pruning did not reduce reads: {seq.n_reads} reads/"
+                      f"{seq.bytes_read} B vs unpruned {unpruned.n_reads}/"
+                      f"{unpruned.bytes_read}")
+            )
     return n_plans, failures
 
 
@@ -368,6 +484,7 @@ def verify_fault_corpus(
       be bitwise identical to the sequential backend, counters
       included.
     """
+    from repro.dataset.predicate import ValuePredicate
     from repro.faults import FaultInjector, FaultPlan
     from repro.planner.strategies import plan_query
     from repro.runtime.engine import execute_plan
@@ -420,6 +537,19 @@ def verify_fault_corpus(
             for a, b in zip(degraded.chunk_values, par_degraded.chunk_values)
         ):
             failures.append((tag, "degraded parallel != degraded sequential"))
+        # A value predicate filters items, never reads: it must not
+        # change which chunks fail or the completeness accounting.
+        pred_degraded = execute_plan(
+            plan, lambda i: chunks[i], mapping, grid, spec,
+            fault_injector=FaultInjector(FaultPlan.corrupt_chunk(victim)),
+            on_error="degrade", prefetch=prefetch,
+            predicate=ValuePredicate.coerce(w["where"]),
+        )
+        if (
+            pred_degraded.chunk_errors != degraded.chunk_errors
+            or pred_degraded.completeness != degraded.completeness
+        ):
+            failures.append((tag, "where= changed the degradation report"))
         # Ground truth: the oracle over every chunk but the victim.
         oracle = execute_serial(
             [c for j, c in enumerate(chunks) if j != victim],

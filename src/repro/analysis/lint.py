@@ -31,6 +31,14 @@ ADR305    Python loop calling ``aggregate`` inside the runtime hot
           the slow pattern the fused kernels replaced; use
           ``aggregate_grouped`` over lexsorted segments instead (the
           preserved reference oracles opt out with ``noqa``)
+ADR306    per-rectangle Python loop in the index hot path
+          (``src/repro/index/``): a loop body that subscripts one MBR
+          row at a time (``los[i]`` / ``his[i]`` with the loop
+          variable) or calls ``Rect.intersects`` per entry -- compare
+          MBRs with vectorized column operations
+          (``rects_intersect_mask``, packed bitsets) instead; bounded
+          structural loops (node splits, dynamic insert) opt out with
+          ``noqa``
 ADR401    bare ``except:`` anywhere, or an exception handler that
           silently swallows (body of only ``pass`` / ``continue`` /
           ``...``) inside the fault-critical paths
@@ -78,10 +86,17 @@ from repro.analysis.effects import check_effects
 
 __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
-LINT_CODES = ("ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR401", "ADR501")
+LINT_CODES = (
+    "ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR306", "ADR401",
+    "ADR501",
+)
 
 #: Directory whose modules are the execution hot path (ADR305).
 _RUNTIME_HOT_PATH = ("repro/runtime/",)
+
+#: Directory whose modules answer every query's chunk selection
+#: (ADR306): MBR comparisons there must be vectorized.
+_INDEX_HOT_PATH = ("repro/index/",)
 
 #: Directories where silently swallowed exceptions hide data loss
 #: (ADR401's stricter half applies here): the executing runtime, the
@@ -235,7 +250,7 @@ class _Visitor(ast.NodeVisitor):
     def __init__(
         self, path: str, out: DiagnosticCollector, rng_exempt: bool,
         runtime_hot_path: bool = False, fault_critical: bool = False,
-        phase_scope: bool = False,
+        phase_scope: bool = False, index_hot_path: bool = False,
     ) -> None:
         self.path = path
         self.out = out
@@ -243,6 +258,7 @@ class _Visitor(ast.NodeVisitor):
         self.runtime_hot_path = runtime_hot_path
         self.fault_critical = fault_critical
         self.phase_scope = phase_scope
+        self.index_hot_path = index_hot_path
 
     def _loc(self, node: ast.AST) -> str:
         return f"{self.path}:{node.lineno}:{node.col_offset}"
@@ -357,16 +373,78 @@ class _Visitor(ast.NodeVisitor):
                 "noqa)",
             )
 
+    # -- ADR306: per-rectangle loops in the index hot path -----------------
+
+    def _check_index_loop(self, node: ast.AST) -> None:
+        if not self.index_hot_path:
+            return
+        # Loop targets (``for i in ...``): a bare-name subscript
+        # ``los[i]`` / ``his[i]`` with one of them walks MBRs one row
+        # at a time.  ``los[:, dim]`` (a per-dimension column, tuple
+        # slice) stays vectorized over the rectangles and is fine.
+        targets = (
+            {n.id for n in ast.walk(node.target) if isinstance(n, ast.Name)}
+            if isinstance(node, (ast.For, ast.AsyncFor))
+            else set()
+        )
+        if targets:
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Subscript):
+                    continue
+                base = child.value
+                name = base.attr if isinstance(base, ast.Attribute) else (
+                    base.id if isinstance(base, ast.Name) else None
+                )
+                if (
+                    name in ("los", "his")
+                    and isinstance(child.slice, ast.Name)
+                    and child.slice.id in targets
+                ):
+                    self.out.emit(
+                        "ADR306",
+                        Severity.ERROR,
+                        self._loc(child),
+                        f"per-rectangle subscript '{name}[{child.slice.id}]' "
+                        "inside a Python loop in the index hot path; compare "
+                        "MBRs with vectorized column operations "
+                        "(rects_intersect_mask, packed bitsets) -- bounded "
+                        "structural loops may opt out with noqa",
+                    )
+        # Per-entry Rect.intersects() calls anywhere in the loop body
+        # (nested loops report from their own visit, like ADR305).
+        stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+        while stack:
+            child = stack.pop(0)
+            if isinstance(child, (ast.For, ast.While, ast.AsyncFor)):
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr == "intersects"
+            ):
+                self.out.emit(
+                    "ADR306",
+                    Severity.ERROR,
+                    self._loc(child),
+                    "per-entry intersects() call inside a Python loop in the "
+                    "index hot path; test all candidates at once with "
+                    "rects_intersect_mask",
+                )
+            stack.extend(ast.iter_child_nodes(child))
+
     def visit_For(self, node: ast.For) -> None:
         self._check_aggregate_loop(node)
+        self._check_index_loop(node)
         self.generic_visit(node)
 
     def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
         self._check_aggregate_loop(node)
+        self._check_index_loop(node)
         self.generic_visit(node)
 
     def visit_While(self, node: ast.While) -> None:
         self._check_aggregate_loop(node)
+        self._check_index_loop(node)
         self.generic_visit(node)
 
     # -- ADR401: swallowed exceptions in fault-critical code ---------------
@@ -415,7 +493,7 @@ def lint_source(
     source: str, path: str, *, rng_exempt: bool = False, check_all: bool = False,
     runtime_hot_path: bool = False, fault_critical: bool = False,
     phase_scope: bool = False, concurrency_scope: bool = False,
-    guarded_cache: bool = False,
+    guarded_cache: bool = False, index_hot_path: bool = False,
 ) -> List[Diagnostic]:
     """Lint one module's source text (the testable core).
 
@@ -431,7 +509,8 @@ def lint_source(
         out.error("ADR300", f"{path}:{exc.lineno or 0}:0", f"syntax error: {exc.msg}")
         return out.diagnostics
     _Visitor(
-        path, out, rng_exempt, runtime_hot_path, fault_critical, phase_scope
+        path, out, rng_exempt, runtime_hot_path, fault_critical, phase_scope,
+        index_hot_path,
     ).visit(tree)
     if check_all and not any(
         isinstance(n, ast.Assign)
@@ -478,6 +557,7 @@ def lint_file(path: Path) -> List[Diagnostic]:
         ),
         concurrency_scope=any(m in posix for m in _CONCURRENCY_PATHS),
         guarded_cache=any(posix.endswith(e) for e in _GUARDED_CACHE_MODULES),
+        index_hot_path=any(m in posix for m in _INDEX_HOT_PATH),
     )
 
 

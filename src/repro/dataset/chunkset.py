@@ -15,6 +15,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from repro.dataset.chunk import ChunkMeta
+from repro.dataset.synopsis import ValueSynopsis
 from repro.util.geometry import Rect, rects_intersect_mask
 from repro.util.hilbert import hilbert_sort_keys
 
@@ -34,6 +35,9 @@ class ChunkSet:
         ``(n,)`` int64 item counts.
     node, disk:
         ``(n,)`` int32 placement arrays (-1 = unplaced).
+    synopsis:
+        Optional :class:`~repro.dataset.synopsis.ValueSynopsis` with one
+        row per chunk (``None`` when value summaries were not built).
     """
 
     def __init__(
@@ -44,6 +48,7 @@ class ChunkSet:
         n_items: Optional[np.ndarray] = None,
         node: Optional[np.ndarray] = None,
         disk: Optional[np.ndarray] = None,
+        synopsis: Optional[ValueSynopsis] = None,
     ) -> None:
         self.los = np.ascontiguousarray(los, dtype=float)
         self.his = np.ascontiguousarray(his, dtype=float)
@@ -75,6 +80,11 @@ class ChunkSet:
         for name, arr in (("n_items", self.n_items), ("node", self.node), ("disk", self.disk)):
             if arr.shape != (n,):
                 raise ValueError(f"{name} must be (n,)")
+        if synopsis is not None and len(synopsis) != n:
+            raise ValueError(
+                f"synopsis has {len(synopsis)} rows for {n} chunks"
+            )
+        self.synopsis = synopsis
 
     # -- construction ---------------------------------------------------
 
@@ -169,7 +179,17 @@ class ChunkSet:
 
     def with_placement(self, node: np.ndarray, disk: np.ndarray) -> "ChunkSet":
         """A copy of this set with new placement arrays."""
-        return ChunkSet(self.los, self.his, self.nbytes, self.n_items, node, disk)
+        return ChunkSet(
+            self.los, self.his, self.nbytes, self.n_items, node, disk,
+            synopsis=self.synopsis,
+        )
+
+    def with_synopsis(self, synopsis: Optional[ValueSynopsis]) -> "ChunkSet":
+        """A copy of this set carrying *synopsis* (length-checked)."""
+        return ChunkSet(
+            self.los, self.his, self.nbytes, self.n_items, self.node,
+            self.disk, synopsis=synopsis,
+        )
 
     def chunks_on_node(self, node: int) -> np.ndarray:
         return np.flatnonzero(self.node == node)
@@ -195,4 +215,5 @@ class ChunkSet:
             self.n_items[ids],
             self.node[ids],
             self.disk[ids],
+            synopsis=None if self.synopsis is None else self.synopsis.subset(ids),
         )

@@ -20,6 +20,7 @@ import numpy as np
 from repro.dataset.chunk import Chunk
 from repro.dataset.chunkset import ChunkSet
 from repro.dataset.dataset import Dataset
+from repro.dataset.synopsis import ValueSynopsis
 from repro.decluster.base import Declusterer
 from repro.decluster.hilbert import HilbertDeclusterer
 from repro.index.base import SpatialIndex
@@ -63,6 +64,9 @@ def load_dataset(
     chunkset = ChunkSet.from_metas(metas)
     if chunkset.ndim != space.ndim:
         raise ValueError("chunk MBRs do not match the attribute space")
+    # Value synopses are summarized here, while the payloads are still in
+    # hand; after this point only the store sees chunk values.
+    chunkset = chunkset.with_synopsis(ValueSynopsis.from_chunks(chunks))
 
     # Step 2: placement.
     decl = declusterer if declusterer is not None else HilbertDeclusterer()

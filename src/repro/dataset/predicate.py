@@ -1,0 +1,153 @@
+"""Value predicates: range constraints on item *values*.
+
+A :class:`ValuePredicate` is a conjunction of closed intervals over a
+chunk's value components -- the ``where=`` clause of a
+:class:`~repro.frontend.query.RangeQuery`.  It serves two roles that
+must agree exactly for pruned queries to stay bit-identical to
+unpruned ones:
+
+- :meth:`mask` is the **residual filter**: the per-item truth value
+  applied by the fused kernels to every retrieved chunk, whether or
+  not any pruning happened.  NaN components never satisfy a
+  constraint.
+- :meth:`prunable_chunks` is the **synopsis prune test**: given
+  per-chunk min/max/null summaries (:class:`~repro.dataset.synopsis.
+  ValueSynopsis`), it flags chunks that *provably* contain no item
+  satisfying the conjunction.  It is deliberately one-sided: a chunk
+  is flagged only when some constrained component can be shown empty
+  (all-null, or the synopsis interval disjoint from the constraint),
+  so pruning can drop reads but never results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["ValuePredicate"]
+
+
+@dataclass(frozen=True)
+class ValuePredicate:
+    """Conjunction of closed per-component intervals ``lo <= v <= hi``.
+
+    ``bounds`` is a sorted tuple of ``(component, lo, hi)`` triples;
+    one-sided constraints use ``-inf`` / ``+inf``.  Construct directly
+    or via :meth:`coerce` from the ``where=`` mapping syntax
+    ``{component: (lo, hi)}`` (``None`` endpoints mean unbounded).
+    """
+
+    bounds: Tuple[Tuple[int, float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ValueError("a ValuePredicate needs at least one constraint")
+        seen = set()
+        norm = []
+        for comp, lo, hi in self.bounds:
+            comp = int(comp)
+            lo = float(-math.inf if lo is None else lo)
+            hi = float(math.inf if hi is None else hi)
+            if comp < 0:
+                raise ValueError(f"value component {comp} must be non-negative")
+            if comp in seen:
+                raise ValueError(f"duplicate constraint on component {comp}")
+            if math.isnan(lo) or math.isnan(hi):
+                raise ValueError("predicate endpoints must not be NaN")
+            if lo > hi:
+                raise ValueError(f"empty interval [{lo}, {hi}] on component {comp}")
+            seen.add(comp)
+            norm.append((comp, lo, hi))
+        object.__setattr__(self, "bounds", tuple(sorted(norm)))
+
+    @staticmethod
+    def coerce(
+        obj: Union["ValuePredicate", Dict[int, tuple], None],
+    ) -> Optional["ValuePredicate"]:
+        """Normalize the ``where=`` argument; ``None`` passes through."""
+        if obj is None or isinstance(obj, ValuePredicate):
+            return obj
+        if isinstance(obj, dict):
+            bounds = []
+            for comp, interval in obj.items():
+                try:
+                    lo, hi = interval
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"where[{comp!r}] must be a (lo, hi) pair, got {interval!r}"
+                    ) from None
+                bounds.append((int(comp), lo, hi))
+            return ValuePredicate(tuple(bounds))
+        raise TypeError(
+            f"where= must be a ValuePredicate or {{component: (lo, hi)}} "
+            f"mapping, got {type(obj).__name__}"
+        )
+
+    @property
+    def max_component(self) -> int:
+        return self.bounds[-1][0]
+
+    # -- residual item filter -------------------------------------------
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Per-item truth of the conjunction over ``(n,)`` or ``(n, k)``
+        values.  NaN fails every constraint (as SQL NULL would)."""
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.ndim == 1:
+            vals = vals[:, None]
+        elif vals.ndim > 2:
+            vals = vals.reshape(len(vals), -1)
+        if self.max_component >= vals.shape[1]:
+            raise ValueError(
+                f"predicate constrains component {self.max_component} but "
+                f"values have {vals.shape[1]}"
+            )
+        keep = np.ones(len(vals), dtype=bool)
+        for comp, lo, hi in self.bounds:
+            col = vals[:, comp]
+            keep &= (col >= lo) & (col <= hi)  # NaN compares False
+        return keep
+
+    # -- synopsis prune test --------------------------------------------
+
+    def prunable_chunks(self, synopsis) -> np.ndarray:
+        """``(n,)`` bool: chunks that provably satisfy no item.
+
+        A chunk is prunable when, for *some* constrained component, all
+        its items are null or the chunk's [min, max] misses the
+        interval entirely.  Chunks are never flagged on components the
+        synopsis does not carry.
+        """
+        n = len(synopsis)
+        prunable = np.zeros(n, dtype=bool)
+        for comp, lo, hi in self.bounds:
+            if comp >= synopsis.n_components:
+                continue
+            all_null = synopsis.nulls[:, comp] >= synopsis.counts
+            with np.errstate(invalid="ignore"):
+                # NaN vmin/vmax (all-null chunk) compares False on both
+                # sides, so only the all_null test can flag such chunks.
+                disjoint = (synopsis.vmax[:, comp] < lo) | (
+                    synopsis.vmin[:, comp] > hi
+                )
+            prunable |= all_null | disjoint
+        return prunable
+
+    # -- wire encoding ---------------------------------------------------
+
+    def to_payload(self) -> list:
+        """JSON-safe encoding (``inf`` travels as ``None``)."""
+        return [
+            [c, None if math.isinf(lo) else lo, None if math.isinf(hi) else hi]
+            for c, lo, hi in self.bounds
+        ]
+
+    @staticmethod
+    def from_payload(payload: list) -> "ValuePredicate":
+        try:
+            return ValuePredicate(tuple((int(c), lo, hi) for c, lo, hi in payload))
+        except (TypeError, ValueError) as e:
+            raise ValueError(f"bad where payload: {e}") from e

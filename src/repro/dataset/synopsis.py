@@ -1,0 +1,139 @@
+"""Per-chunk value synopses: min/max/count/null-count per component.
+
+A :class:`ValueSynopsis` is the column-packed summary the planner uses
+to prune chunks against a :class:`~repro.dataset.predicate.
+ValuePredicate` before any I/O is scheduled.  It is built once at
+dataset load (from the payload-bearing chunks) and rides on the
+:class:`~repro.dataset.chunkset.ChunkSet`; ``subset()`` keeps it
+aligned with chunk renumbering so synopsis row ``i`` always describes
+chunk ``i`` of the set it is attached to.
+
+Nulls are NaN values.  ``vmin``/``vmax`` are NaN for components with
+no non-null item -- the predicate layer treats those chunks as
+prunable via the null counts, never via the NaN extrema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ValueSynopsis"]
+
+
+class ValueSynopsis:
+    """Column-packed per-chunk value summaries.
+
+    Arrays (all length ``n`` on axis 0):
+
+    - ``vmin``, ``vmax``: ``(n, k)`` float64 extrema over non-null items
+    - ``nulls``: ``(n, k)`` int64 NaN counts
+    - ``counts``: ``(n,)`` int64 item counts
+    """
+
+    def __init__(
+        self,
+        vmin: np.ndarray,
+        vmax: np.ndarray,
+        nulls: np.ndarray,
+        counts: np.ndarray,
+    ) -> None:
+        self.vmin = np.ascontiguousarray(vmin, dtype=np.float64)
+        self.vmax = np.ascontiguousarray(vmax, dtype=np.float64)
+        self.nulls = np.ascontiguousarray(nulls, dtype=np.int64)
+        self.counts = np.ascontiguousarray(counts, dtype=np.int64)
+        if self.vmin.ndim != 2:
+            raise ValueError(f"vmin must be (n, k), got shape {self.vmin.shape}")
+        for name, arr in (("vmax", self.vmax), ("nulls", self.nulls)):
+            if arr.shape != self.vmin.shape:
+                raise ValueError(
+                    f"{name} shape {arr.shape} != vmin shape {self.vmin.shape}"
+                )
+        if self.counts.shape != (self.vmin.shape[0],):
+            raise ValueError(
+                f"counts shape {self.counts.shape} != ({self.vmin.shape[0]},)"
+            )
+
+    def __len__(self) -> int:
+        return self.vmin.shape[0]
+
+    @property
+    def n_components(self) -> int:
+        return self.vmin.shape[1]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ValueSynopsis):
+            return NotImplemented
+        return (
+            self.vmin.shape == other.vmin.shape
+            and np.array_equal(self.vmin, other.vmin, equal_nan=True)
+            and np.array_equal(self.vmax, other.vmax, equal_nan=True)
+            and np.array_equal(self.nulls, other.nulls)
+            and np.array_equal(self.counts, other.counts)
+        )
+
+    __hash__ = None
+
+    @staticmethod
+    def summarize_values(values: np.ndarray) -> tuple:
+        """``(vmin, vmax, nulls, count)`` row for one chunk's values.
+
+        Accepts ``(n,)`` or ``(n, k)`` (trailing dims flattened); the
+        extrema ignore NaN, the null row counts NaN per component.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if vals.ndim == 1:
+            vals = vals[:, None]
+        elif vals.ndim > 2:
+            vals = vals.reshape(len(vals), -1)
+        n, k = vals.shape
+        nulls = np.count_nonzero(np.isnan(vals), axis=0).astype(np.int64)
+        vmin = np.full(k, np.nan)
+        vmax = np.full(k, np.nan)
+        live = nulls < n
+        if n and live.any():
+            with np.errstate(all="ignore"):
+                vmin[live] = np.nanmin(vals[:, live], axis=0)
+                vmax[live] = np.nanmax(vals[:, live], axis=0)
+        return vmin, vmax, nulls, n
+
+    @classmethod
+    def from_chunks(cls, chunks: Iterable) -> "ValueSynopsis":
+        """Build from payload-bearing :class:`~repro.dataset.chunk.Chunk`
+        objects (anything with a ``.values`` array)."""
+        rows = [cls.summarize_values(c.values) for c in chunks]
+        if not rows:
+            raise ValueError("cannot build a synopsis over zero chunks")
+        k = max(len(r[0]) for r in rows)
+        if any(len(r[0]) != k for r in rows):
+            raise ValueError("chunks disagree on value component count")
+        return cls(
+            vmin=np.stack([r[0] for r in rows]),
+            vmax=np.stack([r[1] for r in rows]),
+            nulls=np.stack([r[2] for r in rows]),
+            counts=np.asarray([r[3] for r in rows], dtype=np.int64),
+        )
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple]) -> "ValueSynopsis":
+        """Build from ``(vmin, vmax, nulls, count)`` rows, e.g. decoded
+        from the on-disk chunk headers by ``store.format.decode_synopsis``."""
+        if not rows:
+            raise ValueError("cannot build a synopsis over zero rows")
+        return cls(
+            vmin=np.stack([np.atleast_1d(r[0]) for r in rows]),
+            vmax=np.stack([np.atleast_1d(r[1]) for r in rows]),
+            nulls=np.stack([np.atleast_1d(r[2]) for r in rows]),
+            counts=np.asarray([r[3] for r in rows], dtype=np.int64),
+        )
+
+    def subset(self, ids: np.ndarray) -> "ValueSynopsis":
+        """Rows for ``ids``, in that order (mirrors ``ChunkSet.subset``)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        return ValueSynopsis(
+            vmin=self.vmin[ids],
+            vmax=self.vmax[ids],
+            nulls=self.nulls[ids],
+            counts=self.counts[ids],
+        )

@@ -154,14 +154,34 @@ class ADR:
 
     def build_problem(self, query: RangeQuery) -> PlanningProblem:
         """Restrict the universe to the query: select intersecting
-        input chunks through the index, project the region onto the
-        output grid, and derive the chunk graph geometrically."""
+        input chunks through the index, prune chunks whose value
+        synopsis rules out the ``where`` predicate, project the region
+        onto the output grid, and derive the chunk graph geometrically."""
         ds = self.dataset(query.dataset)
         region = ds.space.validate_query(query.region)
 
         in_ids = self.index(query.dataset).query(region)
         if len(in_ids) == 0:
             raise ValueError(f"query region {region} selects no input chunks")
+
+        # Value-synopsis pruning: a chunk that spatially intersects but
+        # provably holds no predicate-satisfying item is never planned,
+        # scheduled, or read.  The kernels re-apply the predicate exactly
+        # to every surviving chunk, so pruning cannot change results.
+        pruned_ids = np.empty(0, dtype=np.int64)
+        pruned_bytes = 0
+        predicate = query.predicate()
+        if predicate is not None and ds.chunks.synopsis is not None:
+            prunable = predicate.prunable_chunks(ds.chunks.synopsis.subset(in_ids))
+            pruned_ids = in_ids[prunable]
+            pruned_bytes = int(ds.chunks.nbytes[pruned_ids].sum())
+            in_ids = in_ids[~prunable]
+            if len(in_ids) == 0:
+                raise ValueError(
+                    f"query region {region} selects no input chunks after "
+                    f"value-synopsis pruning (predicate excluded all "
+                    f"{len(pruned_ids)} intersecting chunks)"
+                )
         inputs = ds.chunks.subset(in_ids)
 
         grid = query.grid
@@ -192,6 +212,8 @@ class ADR:
             acc_nbytes=acc_nbytes,
             input_global_ids=in_ids,
             output_global_ids=out_ids,
+            pruned_input_ids=pruned_ids,
+            pruned_bytes=pruned_bytes,
         )
 
     def plan(self, query: RangeQuery) -> QueryPlan:
@@ -255,6 +277,7 @@ class ADR:
             routing_cache=self.routing_cache(name),
             on_error=query.on_error,
             prefetch=self.prefetch if query.prefetch is None else query.prefetch,
+            predicate=query.predicate(),
         )
         if store_base is not None:
             self._merge_store_stats(result, store_base)
@@ -326,6 +349,7 @@ class ADR:
             routing_cache=self.routing_cache(name),
             on_error=query.on_error,
             prefetch=self.prefetch if query.prefetch is None else query.prefetch,
+            predicate=query.predicate(),
         )
         # write updated chunks back to their original locations
         missing = [int(o) for o in result.output_ids if int(o) not in pos_of]

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.predicate import ValuePredicate
 from repro.frontend.query import RangeQuery
 from repro.runtime.engine import QueryResult
 from repro.space.attribute_space import AttributeSpace
@@ -164,6 +165,9 @@ def query_to_dict(query: RangeQuery) -> Dict[str, Any]:
             }
         else:
             payload["prefetch"] = bool(query.prefetch)
+    predicate = query.predicate()
+    if predicate is not None:
+        payload["where"] = predicate.to_payload()
     return payload
 
 
@@ -178,6 +182,15 @@ def _prefetch_from_payload(value: Any) -> Any:
         except (KeyError, TypeError, ValueError) as e:
             raise ProtocolError(f"bad prefetch payload: {e}") from e
     raise ProtocolError(f"bad prefetch payload: {value!r}")
+
+
+def _where_from_payload(value: Any) -> Any:
+    if value is None:
+        return None
+    try:
+        return ValuePredicate.from_payload(value)
+    except (KeyError, TypeError, ValueError) as e:
+        raise ProtocolError(f"bad where payload: {e}") from e
 
 
 def query_from_dict(payload: Dict[str, Any]) -> RangeQuery:
@@ -199,6 +212,7 @@ def query_from_dict(payload: Dict[str, Any]) -> RangeQuery:
         value_components=int(payload.get("value_components", 1)),
         on_error=payload.get("on_error", "raise"),
         prefetch=_prefetch_from_payload(payload.get("prefetch")),
+        where=_where_from_payload(payload.get("where")),
     )
 
 
@@ -229,6 +243,11 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
         payload["phase_times"] = {k: float(v) for k, v in result.phase_times.items()}
     if result.cache_stats:
         payload["cache_stats"] = {k: int(v) for k, v in result.cache_stats.items()}
+    # Pruning counters: present only when the planner actually pruned,
+    # so unpruned results encode byte-identically to older payloads.
+    if result.chunks_pruned:
+        payload["chunks_pruned"] = int(result.chunks_pruned)
+        payload["bytes_pruned"] = int(result.bytes_pruned)
     # Degradation report: present only on degraded results, so clean
     # results encode byte-identically to pre-robustness payloads.
     if result.chunk_errors:
@@ -273,6 +292,8 @@ def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
                 for k, v in payload.get("chunk_errors", {}).items()
             },
             completeness=float(payload.get("completeness", 1.0)),
+            chunks_pruned=int(payload.get("chunks_pruned", 0)),
+            bytes_pruned=int(payload.get("bytes_pruned", 0)),
         )
     except (KeyError, TypeError, ValueError) as e:
         raise ProtocolError(f"bad result payload: {e}") from e

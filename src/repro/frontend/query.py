@@ -11,10 +11,11 @@ forwards to the back end: the input dataset, the output grid, the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.predicate import ValuePredicate
 from repro.space.mapping import GridMapping
 from repro.store.prefetch import PrefetchPolicy
 from repro.util.geometry import Rect
@@ -57,6 +58,17 @@ class RangeQuery:
         retrieval with reduction, ``False`` forces synchronous reads,
         ``None`` (default) defers to the ADR instance's setting.
         Results are bit-for-bit identical either way.
+    where:
+        Optional value predicate restricting which *items* contribute:
+        a :class:`~repro.dataset.predicate.ValuePredicate` or a
+        ``{component: (lo, hi)}`` mapping of closed intervals (``None``
+        endpoints unbounded), conjoined across components.  Items with
+        NaN in a constrained component never qualify.  The planner uses
+        per-chunk value synopses to skip chunks that provably contain
+        no qualifying item (reported via ``QueryResult.chunks_pruned``
+        / ``bytes_pruned``); the fused kernels apply the same predicate
+        exactly to every chunk that is read, so results are
+        bit-identical with or without pruning.
     """
 
     dataset: str
@@ -68,6 +80,7 @@ class RangeQuery:
     value_components: int = 1
     on_error: str = "raise"
     prefetch: Union[bool, PrefetchPolicy, None] = None
+    where: Union[ValuePredicate, Dict[int, tuple], None] = None
 
     def __post_init__(self) -> None:
         if self.on_error not in ("raise", "degrade"):
@@ -76,6 +89,11 @@ class RangeQuery:
             )
         if self.prefetch is not None:
             PrefetchPolicy.coerce(self.prefetch)  # validate the type early
+        self.where = ValuePredicate.coerce(self.where)
+
+    def predicate(self) -> Optional[ValuePredicate]:
+        """The normalized ``where`` predicate (``None`` when absent)."""
+        return ValuePredicate.coerce(self.where)
 
     def spec(self) -> AggregationSpec:
         """Resolve the aggregation to a spec instance."""

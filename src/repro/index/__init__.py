@@ -11,12 +11,26 @@ This package implements that index from scratch:
   (Sort-Tile-Recursive) bulk loader used by the dataset loader;
 - :class:`GridIndex` -- a uniform-grid baseline;
 - :class:`BruteForceIndex` -- the vectorized linear scan every other
-  index is checked against in tests and benches.
+  index is checked against in tests and benches;
+- :class:`ScanIndex` -- packed MBR columns sorted on the primary
+  dimension, binsearch-narrowed branchless scan (modern-hardware
+  answer to tree traversal);
+- :class:`HierarchicalBitmapIndex` -- per-level uint64 bin bitsets
+  with segment-tree covers, AND/OR word ops per query.
 """
 
 from repro.index.base import SpatialIndex
+from repro.index.bitmap import HierarchicalBitmapIndex
 from repro.index.brute import BruteForceIndex
 from repro.index.grid import GridIndex
 from repro.index.rtree import RTree
+from repro.index.scan import ScanIndex
 
-__all__ = ["SpatialIndex", "BruteForceIndex", "GridIndex", "RTree"]
+__all__ = [
+    "SpatialIndex",
+    "BruteForceIndex",
+    "GridIndex",
+    "RTree",
+    "ScanIndex",
+    "HierarchicalBitmapIndex",
+]

@@ -1,0 +1,141 @@
+"""Hierarchical bitmap index over chunk MBRs.
+
+After Krčál & Ho (*Hierarchical Bitmap Indexing for Range and
+Membership Queries on Multidimensional Arrays*): each dimension's
+domain is cut into ``n_bins`` equal bins, and bin ``b`` keeps a bitset
+(packed uint64 words) of every chunk whose interval in that dimension
+touches the bin.  On top of the fine level sits a binary hierarchy --
+level ``L`` bin ``j`` is the OR of level ``L-1`` bins ``2j`` and
+``2j+1`` -- so a query interval spanning ``m`` fine bins is covered by
+``O(log m)`` pre-OR'ed bitsets (the classic segment-tree cover)
+instead of ``m`` ORs.
+
+A query ORs the covering bitsets per dimension (superset of the
+chunks intersecting the query in that dimension), ANDs the per-
+dimension words (candidate set for the conjunction), and finishes
+with one exact vectorized interval test over the unpacked candidates,
+so the sorted-int64 ``query()`` contract holds exactly.
+
+All build and probe steps are word-parallel NumPy ops; the only
+Python loops run over bins and levels (bounded by ``n_bins``), never
+over rectangles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.index.base import SpatialIndex
+from repro.util.geometry import Rect, rects_intersect_mask
+
+__all__ = ["HierarchicalBitmapIndex"]
+
+
+def _pack_mask(mask: np.ndarray, n_words: int) -> np.ndarray:
+    """Pack an ``(n,)`` bool mask into ``n_words`` little-endian uint64."""
+    padded = np.zeros(n_words * 64, dtype=bool)
+    padded[: len(mask)] = mask
+    return np.packbits(padded, bitorder="little").view(np.uint64)
+
+
+class HierarchicalBitmapIndex(SpatialIndex):
+    """Per-dimension hierarchical bin bitmaps + exact candidate check.
+
+    Parameters
+    ----------
+    n_bins:
+        Fine-level bins per dimension; rounded up to a power of two so
+        the hierarchy halves cleanly (default 128).
+    """
+
+    def __init__(self, los: np.ndarray, his: np.ndarray, n_bins: int = 128) -> None:
+        los = np.ascontiguousarray(los, dtype=float)
+        his = np.ascontiguousarray(his, dtype=float)
+        if los.ndim != 2 or los.shape != his.shape:
+            raise ValueError("los/his must be matching (n, d) arrays")
+        if np.any(los > his):
+            raise ValueError("some MBRs have lo > hi")
+        if n_bins < 1:
+            raise ValueError("n_bins must be positive")
+        self.los = los
+        self.his = his
+        n, d = los.shape
+        self.n_bins = 1 << max(0, int(np.ceil(np.log2(n_bins)))) if n_bins > 1 else 1
+        self.n_words = max(1, -(-n // 64))
+        self.dom_lo = los.min(axis=0) if n else np.zeros(d)
+        self.dom_hi = his.max(axis=0) if n else np.zeros(d)
+        width = self.dom_hi - self.dom_lo
+        with np.errstate(divide="ignore", invalid="ignore"):
+            self.scale = np.where(width > 0, self.n_bins / width, 0.0)
+        # levels[dim][0] is the fine level, shape (n_bins, n_words); each
+        # coarser level ORs pairs of the one below, down to a single bin.
+        self.levels: List[List[np.ndarray]] = []
+        for dim in range(d):
+            blo = self._bin(los[:, dim], dim)
+            bhi = self._bin(his[:, dim], dim)
+            fine = np.empty((self.n_bins, self.n_words), dtype=np.uint64)
+            for b in range(self.n_bins):
+                fine[b] = _pack_mask((blo <= b) & (b <= bhi), self.n_words)
+            dim_levels = [fine]
+            while len(dim_levels[-1]) > 1:
+                cur = dim_levels[-1]
+                dim_levels.append(cur[0::2] | cur[1::2])
+            self.levels.append(dim_levels)
+
+    def _bin(self, x: np.ndarray, dim: int) -> np.ndarray:
+        """Fine-level bin of coordinates *x* in *dim* (clipped)."""
+        raw = np.floor((np.asarray(x) - self.dom_lo[dim]) * self.scale[dim])
+        return np.clip(raw, 0, self.n_bins - 1).astype(np.int64)
+
+    @classmethod
+    def from_rects(
+        cls, los: np.ndarray, his: np.ndarray, **kwargs
+    ) -> "HierarchicalBitmapIndex":
+        return cls(los, his, **kwargs)
+
+    def _cover(self, dim: int, lo_bin: int, hi_bin: int) -> np.ndarray:
+        """OR of the segment-tree cover of fine bins ``[lo_bin, hi_bin]``."""
+        words = np.zeros(self.n_words, dtype=np.uint64)
+        levels = self.levels[dim]
+        level = 0
+        while lo_bin <= hi_bin and level < len(levels):
+            if lo_bin & 1:
+                words |= levels[level][lo_bin]
+                lo_bin += 1
+            if not (hi_bin & 1):
+                words |= levels[level][hi_bin]
+                hi_bin -= 1
+            lo_bin >>= 1
+            hi_bin >>= 1
+            level += 1
+        return words
+
+    def query(self, rect: Rect) -> np.ndarray:
+        qlo, qhi = rect.as_arrays()
+        if self.los.shape[1] != rect.ndim:
+            raise ValueError("query dimensionality mismatch")
+        if not len(self.los):
+            return np.empty(0, dtype=np.int64)
+        # Clip to the indexed domain: chunks live entirely inside it, so
+        # a query missing the domain in any dimension matches nothing.
+        clo = np.maximum(qlo, self.dom_lo)
+        chi = np.minimum(qhi, self.dom_hi)
+        if np.any(clo > chi):
+            return np.empty(0, dtype=np.int64)
+        words = np.full(self.n_words, ~np.uint64(0), dtype=np.uint64)
+        for dim in range(self.los.shape[1]):
+            a = int(self._bin(clo[dim], dim))
+            b = int(self._bin(chi[dim], dim))
+            words &= self._cover(dim, a, b)
+            if not words.any():
+                return np.empty(0, dtype=np.int64)
+        bits = np.unpackbits(words.view(np.uint8), bitorder="little")
+        cand = np.flatnonzero(bits[: len(self.los)])
+        exact = rects_intersect_mask(self.los[cand], self.his[cand], rect)
+        return cand[exact].astype(np.int64)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.los)

@@ -45,7 +45,7 @@ class GridIndex(SpatialIndex):
             self._span = np.ones(d)
         self._cells: Dict[Tuple[int, ...], List[int]] = {}
         for i in range(n):
-            for cell in self._cells_of(self.los[i], self.his[i]):
+            for cell in self._cells_of(self.los[i], self.his[i]):  # noqa: ADR306 -- one-time build loop; the query path is vectorized
                 self._cells.setdefault(cell, []).append(i)
 
     @classmethod

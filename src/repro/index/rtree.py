@@ -118,7 +118,7 @@ class RTree(SpatialIndex):
             tree._bulk_load(los, his, method="str")
         elif bulk is False:
             for i in range(len(los)):
-                tree.insert(i, los[i], his[i])
+                tree.insert(i, los[i], his[i])  # noqa: ADR306 -- Guttman dynamic insert (bulk=False), inherently per-entry
         else:
             raise ValueError(f"unknown bulk-load method {bulk!r}")
         return tree
@@ -198,8 +198,8 @@ class RTree(SpatialIndex):
                 if need > 0 and need >= len(remaining):
                     for i in remaining:
                         groups[g].append(i)
-                        glo[g] = np.minimum(glo[g], los[i])
-                        ghi[g] = np.maximum(ghi[g], his[i])
+                        glo[g] = np.minimum(glo[g], los[i])  # noqa: ADR306 -- quadratic split, bounded by node capacity
+                        ghi[g] = np.maximum(ghi[g], his[i])  # noqa: ADR306 -- quadratic split, bounded by node capacity
                     remaining = []
                     break
             if not remaining:
@@ -275,8 +275,8 @@ class RTree(SpatialIndex):
         for s in range(0, len(order), cap):
             group = order[s : s + cap]
             leaf = _Node(self.ndim, leaf=True)
-            leaf.los = los[group].copy()
-            leaf.his = his[group].copy()
+            leaf.los = los[group].copy()  # noqa: ADR306 -- vectorized gather (group is an id array)
+            leaf.his = his[group].copy()  # noqa: ADR306 -- vectorized gather (group is an id array)
             leaf.ids = [int(i) for i in group]
             leaves.append(leaf)
         return leaves
@@ -308,8 +308,8 @@ class RTree(SpatialIndex):
         leaves = []
         for group in tile(np.asarray(ids), 0):
             leaf = _Node(self.ndim, leaf=True)
-            leaf.los = los[group].copy()
-            leaf.his = his[group].copy()
+            leaf.los = los[group].copy()  # noqa: ADR306 -- vectorized gather (group is an id array)
+            leaf.his = his[group].copy()  # noqa: ADR306 -- vectorized gather (group is an id array)
             leaf.ids = [int(i) for i in group]
             leaves.append(leaf)
         return leaves
@@ -411,7 +411,7 @@ class RTree(SpatialIndex):
             for i, child in enumerate(node.children):
                 clo, chi = child.mbr_arrays()
                 if not (
-                    np.allclose(node.los[i], clo) and np.allclose(node.his[i], chi)
+                    np.allclose(node.los[i], clo) and np.allclose(node.his[i], chi)  # noqa: ADR306 -- structural invariant checker, not a query path
                 ):
                     raise AssertionError("stale entry MBR for a child node")
                 walk(child, depth + 1, False)

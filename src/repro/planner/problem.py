@@ -62,6 +62,13 @@ class PlanningProblem:
     #: the problem was restricted to a range query); default identity.
     input_global_ids: Optional[np.ndarray] = None
     output_global_ids: Optional[np.ndarray] = None
+    #: Global ids of chunks that spatially intersect the query but were
+    #: dropped by value-synopsis pruning before planning, and the input
+    #: bytes those reads would have cost.  Informational: the planner
+    #: never sees pruned chunks, so plans and schedules are simply built
+    #: over the surviving inputs.
+    pruned_input_ids: Optional[np.ndarray] = None
+    pruned_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.n_procs < 1:
@@ -100,6 +107,15 @@ class PlanningProblem:
             self.output_global_ids = np.asarray(self.output_global_ids, dtype=np.int64)
             if self.output_global_ids.shape != (len(self.outputs),):
                 raise ValueError("output_global_ids must parallel the output chunks")
+        if self.pruned_input_ids is None:
+            self.pruned_input_ids = np.empty(0, dtype=np.int64)
+        else:
+            self.pruned_input_ids = np.asarray(self.pruned_input_ids, dtype=np.int64)
+            if self.pruned_input_ids.ndim != 1:
+                raise ValueError("pruned_input_ids must be a 1-d id array")
+        self.pruned_bytes = int(self.pruned_bytes)
+        if self.pruned_bytes < 0:
+            raise ValueError("pruned_bytes must be non-negative")
 
     # -- convenient views ------------------------------------------------
 
@@ -110,6 +126,11 @@ class PlanningProblem:
     @property
     def n_out(self) -> int:
         return len(self.outputs)
+
+    @property
+    def n_pruned(self) -> int:
+        """Input chunks dropped by value-synopsis pruning."""
+        return len(self.pruned_input_ids)
 
     @property
     def input_owner(self) -> np.ndarray:
@@ -131,9 +152,15 @@ class PlanningProblem:
 
     def describe(self) -> str:
         """One-line summary for logs and reports."""
+        pruned = (
+            f", pruned {self.n_pruned} ({self.pruned_bytes / 2**20:.1f} MB)"
+            if self.n_pruned
+            else ""
+        )
         return (
             f"{self.n_in} input chunks ({self.inputs.total_bytes / 2**20:.1f} MB) -> "
             f"{self.n_out} output chunks ({self.outputs.total_bytes / 2**20:.1f} MB, "
             f"acc {int(self.acc_nbytes.sum()) / 2**20:.1f} MB) on {self.n_procs} procs, "
             f"fan-in {self.graph.avg_fan_in:.1f}, fan-out {self.graph.avg_fan_out:.2f}"
+            f"{pruned}"
         )

@@ -106,6 +106,12 @@ class QueryResult:
     #: (1.0 for a clean run; ``1 - len(chunk_errors)/n_inputs`` when
     #: degraded)
     completeness: float = 1.0
+    #: input chunks dropped before planning by value-synopsis pruning
+    #: (they spatially intersect the query but provably contain no item
+    #: satisfying its ``where`` predicate) and the input bytes those
+    #: reads would have cost; 0 without a predicate or synopsis
+    chunks_pruned: int = 0
+    bytes_pruned: int = 0
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)
@@ -174,6 +180,7 @@ def execute_plan(
     fault_injector=None,
     recovery=None,
     prefetch: Union[bool, PrefetchPolicy, None] = None,
+    predicate=None,
 ) -> QueryResult:
     """Execute *plan* over real chunk payloads.
 
@@ -259,6 +266,14 @@ def execute_plan(
         (see :mod:`repro.store.prefetch`).  ``None``/``False`` (the
         default) reads synchronously.  Results are bit-for-bit
         identical either way, counters included.
+    predicate:
+        Optional :class:`~repro.dataset.predicate.ValuePredicate`
+        residual filter: items of retrieved chunks whose values fail
+        it are skipped after routing, on every backend.  This is the
+        exact counterpart of the planner's value-synopsis pruning
+        (reported in ``QueryResult.chunks_pruned`` / ``bytes_pruned``
+        from the plan), and what makes pruned plans bit-identical to
+        unpruned ones.
     """
     if backend not in ("sequential", "parallel"):
         raise ValueError(
@@ -293,6 +308,7 @@ def execute_plan(
             on_error=on_error,
             fault_injector=fault_injector,
             prefetch=prefetch,
+            predicate=predicate,
             **kwargs,
         )
     problem = plan.problem
@@ -334,6 +350,7 @@ def execute_plan(
         routing_cache=routing_cache,
         on_error=on_error,
         observer=detector,
+        predicate=predicate,
     )
     try:
         executor.run()
@@ -363,4 +380,6 @@ def execute_plan(
         cache_stats=cache_stats,
         chunk_errors=dict(sorted(executor.chunk_errors.items())),
         completeness=1.0 - len(executor.chunk_errors) / max(problem.n_in, 1),
+        chunks_pruned=problem.n_pruned,
+        bytes_pruned=problem.pruned_bytes,
     )

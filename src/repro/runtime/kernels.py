@@ -52,6 +52,7 @@ __all__ = [
     "RoutingCache",
     "TileSchedule",
     "coerce_values",
+    "filter_predicate",
     "group_read",
     "reference_segment_reduction",
     "route_chunk",
@@ -258,6 +259,35 @@ def route_chunk(
     if key is not None:
         cache.put(key, item_idx, cells)
     return item_idx, cells
+
+
+# ---------------------------------------------------------------------------
+# Residual value-predicate filtering
+# ---------------------------------------------------------------------------
+
+
+def filter_predicate(
+    chunk: Chunk,
+    item_idx: np.ndarray,
+    cells: np.ndarray,
+    predicate,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Drop routed items whose values fail the query's ``where``
+    predicate.
+
+    Applied *after* :func:`route_chunk` so :class:`RoutingCache`
+    entries stay predicate-independent (the same chunk routing serves
+    queries with different -- or no -- predicates).  This is the exact
+    residual filter matching the planner's synopsis pruning: pruning
+    only skips chunks this filter would empty entirely, which is what
+    keeps pruned and unpruned runs bit-identical.
+    """
+    if predicate is None or len(item_idx) == 0:
+        return item_idx, cells
+    keep = predicate.mask(chunk.values)[item_idx]
+    if keep.all():
+        return item_idx, cells
+    return item_idx[keep], cells[keep]
 
 
 # ---------------------------------------------------------------------------

@@ -98,6 +98,7 @@ class _WorkerConfig:
     inbox_timeout: float = 120.0
     injector: Optional[object] = None  # repro.faults.FaultInjector
     prefetch: object = None  # bool | PrefetchPolicy | None
+    predicate: object = None  # repro.dataset.predicate.ValuePredicate | None
 
 
 # ---------------------------------------------------------------------------
@@ -257,6 +258,7 @@ def _worker_body(
         prior=prior,
         routing_cache=routing_cache,
         on_error=cfg.on_error,
+        predicate=cfg.predicate,
     )
     try:
         executor.run()
@@ -320,6 +322,7 @@ def execute_parallel(
     fault_injector=None,
     recovery: Optional[RecoveryPolicy] = None,
     prefetch=None,
+    predicate=None,
 ):
     """Execute *plan* with the virtual processors as OS processes.
 
@@ -372,6 +375,8 @@ def execute_parallel(
             bytes_read=0,
             n_combines=0,
             n_aggregations=0,
+            chunks_pruned=problem.n_pruned,
+            bytes_pruned=problem.pruned_bytes,
         )
 
     try:
@@ -386,6 +391,7 @@ def execute_parallel(
         inbox_timeout=recovery.inbox_timeout,
         injector=fault_injector,
         prefetch=prefetch,
+        predicate=predicate,
     )
     groups: List[List[int]] = [[p] for p in range(problem.n_procs)]
     shm = shared_memory.SharedMemory(create=True, size=layout.arena_bytes)
@@ -553,4 +559,6 @@ def execute_parallel(
         cache_stats=cache_stats,
         chunk_errors=dict(sorted(chunk_errors.items())),
         completeness=1.0 - len(chunk_errors) / n_in,
+        chunks_pruned=problem.n_pruned,
+        bytes_pruned=problem.pruned_bytes,
     )

@@ -35,6 +35,12 @@ functional corpus asserts cross-backend equality):
   forwarded segments count where they are applied.
 - ``n_combines``: ghost accumulator merges performed in global-combine
   phases, counted at the owning (receiving) rank.
+- ``chunks_pruned`` / ``bytes_pruned``: input chunks the planner
+  dropped by value-synopsis pruning and the bytes those reads would
+  have cost.  Plan-level facts (``problem.n_pruned`` /
+  ``problem.pruned_bytes``): every backend executing the plan reports
+  the same numbers, and pruned chunks never appear in ``n_reads`` /
+  ``bytes_read`` because they were never scheduled.
 - ``phase_times``: wall-clock seconds per phase with the keys of
   :data:`PHASES`.  Each executor reports its own wall-clock; the
   parallel parent reduces per-host times with ``max`` (the critical
@@ -66,6 +72,7 @@ from repro.runtime.kernels import (
     RoutingCache,
     TileSchedule,
     coerce_values,
+    filter_predicate,
     grid_indexer,
     group_read,
     route_chunk,
@@ -416,6 +423,7 @@ class PhaseExecutor:
         routing_cache: Optional[RoutingCache] = None,
         on_error: str = "raise",
         observer=None,
+        predicate=None,
     ) -> None:
         self.plan = plan
         self.problem = plan.problem
@@ -431,6 +439,7 @@ class PhaseExecutor:
         self.routing_cache = routing_cache
         self.on_error = on_error
         self.observer = observer
+        self.predicate = predicate
 
         self._indexer = grid_indexer(grid)
         self._fwd_indptr, self._fwd_ids = self.problem.graph.forward_csr
@@ -529,6 +538,11 @@ class PhaseExecutor:
                     item_idx, cells = route_chunk(
                         chunk, self.mapping, self.grid, self.region,
                         cache=self.routing_cache, chunk_id=gid,
+                    )
+                    # Residual value filter *after* routing, so the
+                    # routing cache stays predicate-independent.
+                    item_idx, cells = filter_predicate(
+                        chunk, item_idx, cells, self.predicate
                     )
                     if len(cells):
                         values = coerce_values(chunk.values, spec.value_components)

@@ -62,6 +62,7 @@ def execute_serial(
     output_ids: Optional[np.ndarray] = None,
     region: Optional[Rect] = None,
     fused: bool = True,
+    predicate=None,
 ) -> Dict[int, np.ndarray]:
     """Run the Figure-1 loop over *chunks*; returns per-output-chunk
     final values keyed by output chunk id.
@@ -70,14 +71,22 @@ def execute_serial(
     chunks (the ones a range query selects); items mapping elsewhere
     are dropped, mirroring step 7's ``Map(ic) ∩ Ot``.  ``region``
     applies the item-level range filter (items of retrieved chunks
-    outside the box are skipped).
+    outside the box are skipped).  ``predicate`` (a
+    :class:`~repro.dataset.predicate.ValuePredicate`) additionally
+    skips items whose *values* fail the query's ``where`` clause --
+    the oracle semantics synopsis pruning must preserve.
 
     ``fused`` selects the grouped-scatter kernels from
     :mod:`repro.runtime.kernels` (the default); ``fused=False`` runs
     the original scalar per-segment loop, kept as the oracle the fused
     path -- and every parallel strategy -- is tested against.
     """
-    from repro.runtime.kernels import coerce_values, grid_indexer, group_read
+    from repro.runtime.kernels import (
+        coerce_values,
+        filter_predicate,
+        grid_indexer,
+        group_read,
+    )
 
     if output_ids is None:
         wanted = np.arange(grid.n_chunks, dtype=np.int64)
@@ -101,6 +110,7 @@ def execute_serial(
     # Reduction (steps 4-8).
     for chunk in chunks:
         item_idx, cells = map_chunk_to_cells(chunk, mapping, grid, region)
+        item_idx, cells = filter_predicate(chunk, item_idx, cells, predicate)
         if len(cells) == 0:
             continue
         if fused:

@@ -65,6 +65,11 @@ class SimResult:
     #: per-resource (start, end) busy intervals; populated only when
     #: the simulation ran with record_timeline=True
     timelines: Optional[Dict[str, List[tuple]]] = None
+    #: chunks the planner dropped via value-synopsis pruning; the
+    #: simulated schedule already excludes them, so the priced I/O and
+    #: communication reflect the pruned query
+    chunks_pruned: int = 0
+    bytes_pruned: int = 0
 
     @property
     def computation_time(self) -> float:
@@ -606,6 +611,8 @@ class _QuerySim:
             recv_bytes=self.recv_bytes.copy(),
             read_bytes=self.read_bytes.copy(),
             timelines=self._collect_timelines() if self._record_timeline else None,
+            chunks_pruned=self.problem.n_pruned,
+            bytes_pruned=self.problem.pruned_bytes,
         )
 
     def _collect_timelines(self) -> Dict[str, List[tuple]]:

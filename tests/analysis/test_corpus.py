@@ -68,11 +68,12 @@ class TestCommCorpus:
 class TestFunctionalCorpus:
     """Payload-carrying workloads executed on both backends.
 
-    The full 4-strategy x 9-workload sweep (36 plans, each run
-    sequentially with race detection *and* on the multiprocess
-    backend) is the CI job ``python -m repro.analysis.corpus
-    --functional``; here one strategy keeps tier-1 fast while still
-    exercising the whole pipeline end to end.
+    The full sweep -- 4 strategies x 9 workloads plus one
+    predicate-bearing (``where=``) pruned plan per workload, 45 plans,
+    each run sequentially with race detection *and* on the
+    multiprocess backend -- is the CI job ``python -m
+    repro.analysis.corpus --functional``; here one strategy keeps
+    tier-1 fast while still exercising the whole pipeline end to end.
     """
 
     def test_workloads_are_deterministic(self):
@@ -82,7 +83,8 @@ class TestFunctionalCorpus:
 
     def test_one_strategy_verifies_clean(self):
         n_plans, failures = verify_functional_corpus(strategies=("FRA",))
-        assert n_plans == 9
+        # 9 workloads plus one where= pruned plan per workload
+        assert n_plans == 18
         assert failures == [], "\n".join(failures)
 
 

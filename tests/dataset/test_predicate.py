@@ -1,0 +1,176 @@
+"""Tests for value predicates and per-chunk value synopses."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.chunk import Chunk, ChunkMeta
+from repro.dataset.predicate import ValuePredicate
+from repro.dataset.synopsis import ValueSynopsis
+from repro.util.geometry import Rect
+
+
+def make_chunk(cid, values, coords=None):
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    n = len(values)
+    if coords is None:
+        coords = np.tile([float(cid), 0.0], (n, 1))
+    meta = ChunkMeta(
+        chunk_id=cid,
+        mbr=Rect(tuple(coords.min(axis=0)), tuple(coords.max(axis=0))),
+        nbytes=int(values.nbytes + coords.nbytes),
+        n_items=n,
+    )
+    return Chunk(meta, coords, values)
+
+
+class TestValuePredicate:
+    def test_coerce_dict(self):
+        p = ValuePredicate.coerce({0: (1.0, 5.0), 2: (None, 3.0)})
+        assert p.bounds == ((0, 1.0, 5.0), (2, -np.inf, 3.0))
+
+    def test_coerce_none_and_passthrough(self):
+        assert ValuePredicate.coerce(None) is None
+        p = ValuePredicate.coerce({0: (0, 1)})
+        assert ValuePredicate.coerce(p) is p
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            ValuePredicate.coerce({0: (5.0, 1.0)})  # empty interval
+        with pytest.raises(ValueError):
+            ValuePredicate.coerce({-1: (0.0, 1.0)})  # negative component
+        with pytest.raises(ValueError):
+            ValuePredicate.coerce({0: (np.nan, 1.0)})
+        with pytest.raises(ValueError):
+            ValuePredicate.coerce({})
+
+    def test_mask_closed_interval(self):
+        p = ValuePredicate.coerce({0: (2.0, 4.0)})
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert p.mask(vals).tolist() == [False, True, True, True, False]
+
+    def test_mask_conjunction(self):
+        p = ValuePredicate.coerce({0: (0.0, 10.0), 1: (5.0, None)})
+        vals = np.array([[1.0, 9.0], [1.0, 1.0], [20.0, 9.0]])
+        assert p.mask(vals).tolist() == [True, False, False]
+
+    def test_mask_nan_never_qualifies(self):
+        p = ValuePredicate.coerce({0: (None, None)})
+        vals = np.array([1.0, np.nan, -1e30])
+        assert p.mask(vals).tolist() == [True, False, True]
+
+    def test_mask_component_beyond_width(self):
+        # Constraining a missing component is a loud user error.
+        p = ValuePredicate.coerce({3: (0.0, 1.0)})
+        with pytest.raises(ValueError):
+            p.mask(np.array([[1.0], [2.0]]))
+
+    def test_payload_round_trip(self):
+        p = ValuePredicate.coerce({1: (None, 4.5), 0: (2.0, None)})
+        q = ValuePredicate.from_payload(p.to_payload())
+        assert q == p
+        # JSON-safe: no infinities in the payload.
+        import json
+
+        json.dumps(p.to_payload())
+
+    def test_prunable_chunks(self):
+        chunks = [
+            make_chunk(0, [1.0, 2.0, 3.0]),     # overlaps [2.5, 10]
+            make_chunk(1, [10.0, 20.0]),        # overlaps
+            make_chunk(2, [-5.0, -1.0]),        # disjoint below
+            make_chunk(3, [50.0, 60.0]),        # disjoint above
+            make_chunk(4, [np.nan, np.nan]),    # all-null
+        ]
+        syn = ValueSynopsis.from_chunks(chunks)
+        p = ValuePredicate.coerce({0: (2.5, 30.0)})
+        assert p.prunable_chunks(syn).tolist() == [False, False, True, True, True]
+
+    def test_prunable_ignores_unconstrained_components(self):
+        chunks = [make_chunk(0, np.array([[1.0, 100.0], [2.0, 200.0]]))]
+        syn = ValueSynopsis.from_chunks(chunks)
+        assert not ValuePredicate.coerce({0: (0.0, 5.0)}).prunable_chunks(syn)[0]
+        assert ValuePredicate.coerce({1: (0.0, 5.0)}).prunable_chunks(syn)[0]
+
+    def test_prunable_component_beyond_synopsis_width(self):
+        # Unknown component: the synopsis can prove nothing -> keep.
+        chunks = [make_chunk(0, [1.0, 2.0])]
+        syn = ValueSynopsis.from_chunks(chunks)
+        p = ValuePredicate.coerce({5: (100.0, 200.0)})
+        assert p.prunable_chunks(syn).tolist() == [False]
+
+
+class TestValueSynopsis:
+    def test_from_chunks_extrema(self):
+        chunks = [make_chunk(0, [3.0, 1.0, 2.0]), make_chunk(1, [7.0])]
+        syn = ValueSynopsis.from_chunks(chunks)
+        assert len(syn) == 2
+        assert syn.vmin[:, 0].tolist() == [1.0, 7.0]
+        assert syn.vmax[:, 0].tolist() == [3.0, 7.0]
+        assert syn.counts.tolist() == [3, 1]
+        assert syn.nulls[:, 0].tolist() == [0, 0]
+
+    def test_nan_handling(self):
+        syn = ValueSynopsis.from_chunks(
+            [make_chunk(0, [np.nan, 2.0, np.nan]), make_chunk(1, [np.nan])]
+        )
+        assert syn.nulls[:, 0].tolist() == [2, 1]
+        assert syn.vmin[0, 0] == 2.0 and syn.vmax[0, 0] == 2.0
+        assert np.isnan(syn.vmin[1, 0]) and np.isnan(syn.vmax[1, 0])
+
+    def test_multi_component(self):
+        vals = np.array([[1.0, 10.0], [2.0, 20.0]])
+        syn = ValueSynopsis.from_chunks([make_chunk(0, vals)])
+        assert syn.n_components == 2
+        assert syn.vmin[0].tolist() == [1.0, 10.0]
+        assert syn.vmax[0].tolist() == [2.0, 20.0]
+
+    def test_subset_and_equality(self):
+        chunks = [make_chunk(i, [float(i)]) for i in range(5)]
+        syn = ValueSynopsis.from_chunks(chunks)
+        sub = syn.subset(np.array([1, 3]))
+        assert len(sub) == 2
+        assert sub.vmin[:, 0].tolist() == [1.0, 3.0]
+        assert sub == ValueSynopsis.from_chunks([chunks[1], chunks[3]])
+        assert sub != syn
+
+    def test_equality_with_nans(self):
+        a = ValueSynopsis.from_chunks([make_chunk(0, [np.nan])])
+        b = ValueSynopsis.from_chunks([make_chunk(0, [np.nan])])
+        assert a == b
+
+    def test_chunkset_threading(self, rng):
+        """load_dataset attaches a synopsis and placement keeps it."""
+        from repro.dataset.chunkset import ChunkSet
+
+        chunks = [make_chunk(i, rng.uniform(0, 9, size=4)) for i in range(6)]
+        cs = ChunkSet.from_metas([c.meta for c in chunks])
+        assert cs.synopsis is None
+        syn = ValueSynopsis.from_chunks(chunks)
+        cs = cs.with_synopsis(syn)
+        assert cs.synopsis == syn
+        placed = cs.with_placement(
+            np.zeros(6, dtype=np.int32), np.zeros(6, dtype=np.int32)
+        )
+        assert placed.synopsis == syn
+        assert placed.subset(np.array([2, 4])).synopsis == syn.subset(
+            np.array([2, 4])
+        )
+
+    def test_loader_builds_synopsis(self, rng):
+        from repro.dataset.partition import hilbert_partition
+        from repro.dataset.loader import load_dataset
+        from repro.space.attribute_space import AttributeSpace
+        from repro.store.chunk_store import MemoryChunkStore
+
+        space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+        coords = rng.uniform(0, 10, size=(100, 2))
+        values = rng.uniform(0, 50, size=100)
+        chunks = hilbert_partition(coords, values, 10)
+        loaded = load_dataset(
+            MemoryChunkStore(), "d", space, chunks, n_nodes=2, disks_per_node=1
+        )
+        syn = loaded.dataset.chunks.synopsis
+        assert syn is not None and len(syn) == len(chunks)
+        assert syn == ValueSynopsis.from_chunks(chunks)

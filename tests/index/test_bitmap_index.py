@@ -1,0 +1,119 @@
+"""Tests for the hierarchical bitmap index over chunk MBRs."""
+
+import numpy as np
+import pytest
+
+from repro.index.bitmap import HierarchicalBitmapIndex
+from repro.index.brute import BruteForceIndex
+from repro.util.geometry import Rect
+
+from helpers import random_rects
+
+
+class TestBitmapIndex:
+    def test_matches_brute_force(self, rng):
+        los, his = random_rects(rng, 500, 2)
+        bmp = HierarchicalBitmapIndex(los, his)
+        brute = BruteForceIndex(los, his)
+        for _ in range(40):
+            lo = rng.uniform(0, 90, size=2)
+            q = Rect(tuple(lo), tuple(lo + rng.uniform(0, 40, size=2)))
+            assert bmp.query(q).tolist() == brute.query(q).tolist()
+
+    @pytest.mark.parametrize("ndim", [1, 3])
+    def test_matches_brute_force_other_dims(self, rng, ndim):
+        los, his = random_rects(rng, 200, ndim)
+        bmp = HierarchicalBitmapIndex(los, his)
+        brute = BruteForceIndex(los, his)
+        for _ in range(15):
+            lo = rng.uniform(0, 80, size=ndim)
+            q = Rect(tuple(lo), tuple(lo + rng.uniform(0, 30, size=ndim)))
+            assert bmp.query(q).tolist() == brute.query(q).tolist()
+
+    @pytest.mark.parametrize("n_bins", [1, 3, 64, 200])
+    def test_bin_counts(self, rng, n_bins):
+        # Any bin budget (rounded up to a power of two) stays exact.
+        los, his = random_rects(rng, 150, 2)
+        bmp = HierarchicalBitmapIndex(los, his, n_bins=n_bins)
+        brute = BruteForceIndex(los, his)
+        for _ in range(10):
+            lo = rng.uniform(0, 80, size=2)
+            q = Rect(tuple(lo), tuple(lo + rng.uniform(0, 30, size=2)))
+            assert bmp.query(q).tolist() == brute.query(q).tolist()
+
+    def test_empty_population(self):
+        bmp = HierarchicalBitmapIndex(np.empty((0, 2)), np.empty((0, 2)))
+        assert bmp.n_entries == 0
+        assert bmp.query(Rect((0, 0), (1, 1))).tolist() == []
+
+    def test_query_outside_domain(self, rng):
+        los, his = random_rects(rng, 50, 2)
+        bmp = HierarchicalBitmapIndex(los, his)
+        assert bmp.query(Rect((1e6, 1e6), (2e6, 2e6))).tolist() == []
+
+    def test_query_clipped_to_domain(self, rng):
+        # A query overhanging the domain matches everything inside it.
+        los, his = random_rects(rng, 80, 2)
+        bmp = HierarchicalBitmapIndex(los, his)
+        brute = BruteForceIndex(los, his)
+        q = Rect((-1e5, -1e5), (1e5, 1e5))
+        assert bmp.query(q).tolist() == brute.query(q).tolist()
+
+    def test_degenerate_domain(self):
+        # All rects at the same point: zero-width domain, scale 0.
+        los = np.full((5, 2), 3.0)
+        bmp = HierarchicalBitmapIndex(los, los.copy())
+        assert bmp.query(Rect((3.0, 3.0), (3.0, 3.0))).tolist() == [0, 1, 2, 3, 4]
+        assert bmp.query(Rect((4.0, 4.0), (5.0, 5.0))).tolist() == []
+
+    def test_zero_width_rects(self):
+        los = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        bmp = HierarchicalBitmapIndex(los, los.copy())
+        assert bmp.query(Rect((2.0, 2.0), (2.0, 2.0))).tolist() == [1]
+
+    def test_boundary_touching(self):
+        los = np.array([[0.0, 0.0], [5.0, 0.0]])
+        his = np.array([[5.0, 5.0], [9.0, 5.0]])
+        bmp = HierarchicalBitmapIndex(los, his)
+        assert bmp.query(Rect((5.0, 0.0), (5.0, 5.0))).tolist() == [0, 1]
+
+    def test_results_sorted_int64(self, rng):
+        los, his = random_rects(rng, 300, 2)
+        ids = HierarchicalBitmapIndex(los, his).query(Rect((0, 0), (100, 100)))
+        assert ids.dtype == np.int64
+        assert np.all(np.diff(ids) > 0)
+
+    def test_more_rects_than_one_word(self, rng):
+        # Force multiple uint64 words per bin row.
+        los, his = random_rects(rng, 700, 2)
+        bmp = HierarchicalBitmapIndex(los, his, n_bins=16)
+        brute = BruteForceIndex(los, his)
+        for _ in range(10):
+            lo = rng.uniform(0, 90, size=2)
+            q = Rect(tuple(lo), tuple(lo + rng.uniform(0, 25, size=2)))
+            assert bmp.query(q).tolist() == brute.query(q).tolist()
+
+    def test_build_from_chunkset(self, rng):
+        from repro.dataset.chunkset import ChunkSet
+
+        los, his = random_rects(rng, 60, 2)
+        cs = ChunkSet(los, his, np.full(60, 10, dtype=np.int64))
+        idx = HierarchicalBitmapIndex.build(cs)
+        q = Rect((10, 10), (70, 70))
+        assert idx.query(q).tolist() == cs.intersecting(q).tolist()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            HierarchicalBitmapIndex(np.zeros((2, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            HierarchicalBitmapIndex(np.ones((2, 2)), np.zeros((2, 2)))
+
+    def test_bad_n_bins(self, rng):
+        los, his = random_rects(rng, 10, 2)
+        with pytest.raises(ValueError):
+            HierarchicalBitmapIndex(los, his, n_bins=0)
+
+    def test_query_dim_mismatch(self, rng):
+        los, his = random_rects(rng, 10, 2)
+        with pytest.raises(ValueError):
+            HierarchicalBitmapIndex(los, his).query(Rect((0,), (1,)))

@@ -6,10 +6,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.dataset.chunk import Chunk
+from repro.dataset.synopsis import ValueSynopsis
 from repro.store.format import (
     ChunkFormatError,
     CorruptChunkError,
     decode_chunk,
+    decode_synopsis,
     encode_chunk,
 )
 
@@ -82,8 +84,10 @@ class TestCorruption:
             decode_chunk(bytes(data))
 
     def test_truncated(self, rng):
+        # Truncation surfaces as a CRC failure (the CRC is verified
+        # before any body-derived length arithmetic is trusted).
         data = encode_chunk(make_chunk(rng))
-        with pytest.raises(ChunkFormatError, match="length|short"):
+        with pytest.raises(ChunkFormatError, match="length|short|CRC|corrupt"):
             decode_chunk(data[:-5])
 
     def test_too_short_for_header(self):
@@ -145,3 +149,82 @@ class TestCorruptionErrorTaxonomy:
         data[pos] ^= 0x01
         with pytest.raises(CorruptChunkError):
             decode_chunk(bytes(data))
+
+
+def as_version1(data: bytes) -> bytes:
+    """Rewrite a v2 encoding as the version-1 layout (no synopsis
+    block), recomputing the CRC -- a faithful old-format file."""
+    import zlib
+    from math import prod
+
+    from repro.store.format import _HEADER
+
+    fields = list(_HEADER.unpack_from(data))
+    _, _, ndim, _, _, _, _, dtype_len, rank, _ = fields
+    body = bytearray(data[_HEADER.size :])
+    trailing = np.frombuffer(
+        bytes(body), dtype="<i8", count=rank, offset=dtype_len
+    ).tolist()
+    k = prod(trailing) if trailing else 1
+    syn_start = dtype_len + 8 * rank + 16 * ndim
+    del body[syn_start : syn_start + 24 * k]
+    fields[1] = 1  # version
+    fields[9] = zlib.crc32(bytes(body))
+    return _HEADER.pack(*fields) + bytes(body)
+
+
+class TestSynopsisBlock:
+    """The v2 value-synopsis block and v1 backward compatibility."""
+
+    @pytest.mark.parametrize("comps", [0, 3])
+    def test_decode_synopsis_matches_values(self, rng, comps):
+        chunk = make_chunk(rng, comps=comps)
+        vmin, vmax, nulls, count = decode_synopsis(encode_chunk(chunk))
+        evmin, evmax, enulls, ecount = ValueSynopsis.summarize_values(chunk.values)
+        np.testing.assert_array_equal(vmin, evmin)
+        np.testing.assert_array_equal(vmax, evmax)
+        np.testing.assert_array_equal(nulls, enulls)
+        assert count == ecount
+
+    def test_decode_synopsis_with_nans(self, rng):
+        coords = rng.uniform(0, 10, size=(6, 2))
+        values = np.array([1.0, np.nan, 3.0, np.nan, np.nan, 2.0])
+        chunk = Chunk.from_items(1, coords, values)
+        vmin, vmax, nulls, count = decode_synopsis(encode_chunk(chunk))
+        assert (vmin[0], vmax[0], nulls[0], count) == (1.0, 3.0, 3, 6)
+
+    def test_decode_synopsis_int_values(self, rng):
+        chunk = make_chunk(rng, dtype=np.int32)
+        vmin, vmax, nulls, _ = decode_synopsis(encode_chunk(chunk))
+        assert vmin[0] == chunk.values.min()
+        assert vmax[0] == chunk.values.max()
+        assert nulls[0] == 0
+
+    def test_v1_chunk_still_decodes(self, rng):
+        chunk = make_chunk(rng, comps=2)
+        old = as_version1(encode_chunk(chunk))
+        back = decode_chunk(old)
+        np.testing.assert_array_equal(back.coords, chunk.coords)
+        np.testing.assert_array_equal(back.values, chunk.values)
+
+    def test_v1_synopsis_recomputed_from_values(self, rng):
+        chunk = make_chunk(rng, comps=2)
+        old = as_version1(encode_chunk(chunk))
+        vmin, vmax, nulls, count = decode_synopsis(old)
+        evmin, evmax, enulls, ecount = ValueSynopsis.summarize_values(chunk.values)
+        np.testing.assert_array_equal(vmin, evmin)
+        np.testing.assert_array_equal(vmax, evmax)
+        np.testing.assert_array_equal(nulls, enulls)
+        assert count == ecount
+
+    def test_decode_synopsis_detects_corruption(self, rng):
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[50] ^= 0xFF
+        with pytest.raises(CorruptChunkError):
+            decode_synopsis(bytes(data))
+
+    def test_decode_synopsis_bad_magic(self, rng):
+        data = bytearray(encode_chunk(make_chunk(rng)))
+        data[0:4] = b"NOPE"
+        with pytest.raises(ChunkFormatError, match="magic"):
+            decode_synopsis(bytes(data))
