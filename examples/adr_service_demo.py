@@ -2,12 +2,16 @@
 """Client/server demo: querying ADR over a socket.
 
 Recreates the paper's Figure 2 deployment: an ADR front-end process
-serving a loaded repository, and a sequential client (client A in the
-figure) submitting range queries over the socket interface as
-newline-delimited JSON.
+serving a loaded repository, first to a sequential client (client A
+in the figure) submitting range queries over the socket interface as
+newline-delimited JSON, then to several concurrent clients whose
+overlapping queries are batched and share chunk scans through the
+pinned payload cache (see docs/service.md).
 
 Run:  python examples/adr_service_demo.py
 """
+
+import threading
 
 import numpy as np
 
@@ -56,12 +60,48 @@ def main() -> None:
                     f"mean of means {vals.mean():.2f}"
                 )
 
-            # errors travel back as structured messages
+            # errors travel back as structured messages with a code
             bad = RangeQuery("nonexistent", Rect((0, 0), (1, 1)), mapping, grid)
             try:
                 client.query(bad)
             except RuntimeError as e:
                 print(f"expected rejection: {e}")
+
+        # ---- concurrent clients: overlapping queries share scans
+        regions = [
+            Rect((0, 0), (100, 100)),
+            Rect((0, 0), (70, 70)),
+            Rect((30, 30), (100, 100)),
+            Rect((0, 0), (100, 100)),
+        ]
+
+        def one_client(region: Rect) -> None:
+            with ADRClient(host, port) as c:
+                q = RangeQuery("sensors", region, mapping, grid,
+                               aggregation="mean", strategy="FRA")
+                result, info = c.query_with_info(q)
+                print(
+                    f"concurrent query {region.lo}-{region.hi}: "
+                    f"{result.n_reads} reads, "
+                    f"{result.shared_reads} served from the shared cache "
+                    f"(batch of {info['batch_size']})"
+                )
+
+        threads = [threading.Thread(target=one_client, args=(r,))
+                   for r in regions]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        with ADRClient(host, port) as client:
+            stats = client.stats()
+            print(
+                f"service stats: {stats['completed']} completed, "
+                f"{stats['batches']} batches, "
+                f"{stats['shared_reads']} shared reads, "
+                f"cache hit rate {stats['cache']['chunk_hit_rate']:.2f}"
+            )
 
     print("server stopped")
 

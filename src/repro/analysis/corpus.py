@@ -37,6 +37,16 @@ truth -- see :func:`verify_fault_corpus`; ``--faults --prefetch``
 replays the same matrix with read-ahead enabled, proving injected
 faults surface identically from the prefetch thread.
 
+``--service`` replays the functional corpus through the concurrent
+query service: per workload, four overlapping range queries (mixed
+strategies, one predicate-bearing) run concurrently through one
+:class:`~repro.frontend.queryservice.QueryService` with scan sharing
+enabled, and every result must be bit-identical to the same query
+executed alone on a fresh ADR instance -- values, counters, pruning
+and completeness included.  Only the documented ``shared_reads`` /
+``shared_bytes`` fields may differ, and at least one query in the
+corpus must actually be served from the shared payload cache.
+
 ``--comm`` model-checks the communication schedule of every corpus
 plan with :func:`repro.analysis.comm.check_plan_comm` (ADR6xx):
 deadlock-freedom, exact send/receive matching, combine completeness
@@ -67,6 +77,7 @@ __all__ = [
     "functional_workloads",
     "verify_functional_corpus",
     "verify_fault_corpus",
+    "verify_service_corpus",
     "main",
 ]
 
@@ -620,6 +631,122 @@ def verify_fault_corpus(
     return n_scenarios, failures
 
 
+def verify_service_corpus() -> Tuple[int, List[Tuple[str, str]]]:
+    """Replay the functional corpus through the concurrent service.
+
+    For each workload, four overlapping range queries (full region,
+    two overlapping sub-boxes, full region with a value predicate;
+    strategies rotating so every batch mixes tilings) are submitted
+    concurrently to a :class:`~repro.frontend.queryservice.QueryService`
+    with scan sharing enabled.  Each result must be bit-identical to
+    the same query executed alone on a *fresh* ADR instance -- output
+    ids and values, the :data:`_COUNTERS` contract, ``n_tiles``,
+    pruning counters, ``completeness`` and ``chunk_errors``.  The
+    documented ``shared_reads`` / ``shared_bytes`` fields are the only
+    ones allowed to differ; across the whole corpus at least one query
+    must actually have been served from the shared payload cache
+    (sharing must engage, not just not corrupt).
+
+    Returns ``(n_queries, failures)``.
+    """
+    from repro.frontend.adr import ADR
+    from repro.frontend.query import RangeQuery
+    from repro.frontend.queryservice import QueryService, ServicePolicy
+    from repro.machine.config import MachineConfig
+    from repro.util.geometry import Rect
+
+    failures: List[Tuple[str, str]] = []
+    n_queries = 0
+    total_shared_reads = 0
+    all_strategies = ("FRA", "SRA", "DA", "HYBRID")
+    for wi, (label, w) in enumerate(functional_workloads()):
+        mapping, grid, spec = w["mapping"], w["grid"], w["spec"]
+        problem = w["problem"]
+        space = mapping.input_space
+        lo = tuple(float(d.lo) for d in space.dims)
+        hi = tuple(float(d.hi) for d in space.dims)
+        span = [b - a for a, b in zip(lo, hi)]
+
+        def make_adr():
+            adr = ADR(
+                machine=MachineConfig(
+                    n_procs=problem.n_procs, memory_per_proc=MB
+                )
+            )
+            adr.load("corpus", space, w["chunks"])
+            return adr
+
+        def query(region, strategy, **kw):
+            return RangeQuery(
+                "corpus", region, mapping, grid,
+                aggregation=spec, strategy=strategy, **kw,
+            )
+
+        # Four overlapping queries: the sub-boxes overlap each other
+        # and the full region, so a batch always has chunks to share.
+        strat = [all_strategies[(wi + k) % len(all_strategies)] for k in range(4)]
+        queries = [
+            query(Rect(lo, hi), strat[0]),
+            query(
+                Rect(lo, tuple(a + 0.7 * s for a, s in zip(lo, span))), strat[1]
+            ),
+            query(
+                Rect(tuple(a + 0.3 * s for a, s in zip(lo, span)), hi), strat[2]
+            ),
+            query(Rect(lo, hi), strat[3], where=w["where"]),
+        ]
+        n_queries += len(queries)
+
+        # Isolated ground truth: each query alone on a fresh instance.
+        isolated = [make_adr().execute(q) for q in queries]
+
+        # Concurrent shared execution: one service, one batch window.
+        service = QueryService(
+            make_adr(),
+            ServicePolicy(max_inflight=1, batch_max=len(queries),
+                          batch_window=0.25),
+        )
+        try:
+            tickets = [service.submit(q) for q in queries]
+            shared = [t.result(timeout=300.0) for t in tickets]
+        finally:
+            service.close()
+
+        for qi, (solo, conc) in enumerate(zip(isolated, shared)):
+            tag = f"{label} / q{qi} {strat[qi]}"
+            total_shared_reads += conc.shared_reads
+            if conc.output_ids.tolist() != solo.output_ids.tolist():
+                failures.append((tag, "shared output ids != isolated"))
+                continue
+            for o, cv, sv in zip(conc.output_ids, conc.chunk_values,
+                                 solo.chunk_values):
+                if not np.array_equal(cv, sv, equal_nan=True):
+                    failures.append(
+                        (tag, f"output chunk {int(o)} not bitwise-equal "
+                              "to isolated execution")
+                    )
+            for counter in _COUNTERS + ("n_tiles", "chunks_pruned",
+                                        "bytes_pruned"):
+                if getattr(conc, counter) != getattr(solo, counter):
+                    failures.append(
+                        (tag, f"{counter}={getattr(conc, counter)} != "
+                              f"isolated {getattr(solo, counter)}")
+                    )
+            if conc.strategy != solo.strategy:
+                failures.append(
+                    (tag, f"strategy {conc.strategy} != {solo.strategy}")
+                )
+            if (conc.completeness != solo.completeness
+                    or conc.chunk_errors != solo.chunk_errors):
+                failures.append((tag, "degradation report differs"))
+    if total_shared_reads == 0:
+        failures.append(
+            ("service corpus", "no query was ever served from the shared "
+                               "payload cache; sharing never engaged")
+        )
+    return n_queries, failures
+
+
 def _render_findings(
     findings: Sequence[Tuple[str, Diagnostic]], fmt: str, mode: str, n_plans: int
 ) -> str:
@@ -657,7 +784,7 @@ def _render_findings(
 _USAGE = (
     "usage: python -m repro.analysis.corpus "
     "[--no-emulators] [--comm] [--functional] [--faults [--prefetch]] "
-    "[--format text|json|github] [--out FILE]"
+    "[--service] [--format text|json|github] [--out FILE]"
 )
 
 
@@ -672,7 +799,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     unknown = [
         a for a in argv
         if a not in ("--no-emulators", "--comm", "--functional", "--faults",
-                     "--prefetch")
+                     "--prefetch", "--service")
     ]
     if unknown:
         print(
@@ -712,6 +839,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             f"repro.analysis.corpus: {n_scenarios} fault scenarios replayed, "
             "all degraded/recovered results matched ground truth"
+        )
+        return 0
+    if "--service" in argv:
+        n_queries, failures = verify_service_corpus()
+        for label, message in failures:
+            print(f"{label}: {message}")
+        if failures:
+            print(
+                f"repro.analysis.corpus: {len(failures)} failure(s) over "
+                f"{n_queries} service-executed queries"
+            )
+            return 1
+        print(
+            f"repro.analysis.corpus: {n_queries} queries executed through the "
+            "concurrent query service with scan sharing, all bit-identical "
+            "to isolated execution"
         )
         return 0
     if "--functional" in argv:

@@ -11,6 +11,13 @@ execution behind one façade.
 from repro.frontend.query import RangeQuery
 from repro.frontend.adr import ADR
 from repro.frontend.protocol import query_to_dict, query_from_dict, result_to_dict, result_from_dict
+from repro.frontend.queryservice import (
+    QueryService,
+    QueryTicket,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServicePolicy,
+)
 from repro.frontend.service import ADRServer, ADRClient
 
 __all__ = [
@@ -18,6 +25,11 @@ __all__ = [
     "ADR",
     "ADRServer",
     "ADRClient",
+    "QueryService",
+    "QueryTicket",
+    "ServicePolicy",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     "query_to_dict",
     "query_from_dict",
     "result_to_dict",

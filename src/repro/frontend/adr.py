@@ -20,6 +20,7 @@ are all reachable separately for inspection (``build_problem``,
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Type, Union
 
@@ -45,7 +46,7 @@ from repro.runtime.engine import QueryResult, execute_plan
 from repro.runtime.kernels import RoutingCache
 from repro.sim.query_sim import SimResult, simulate_query
 from repro.space.attribute_space import AttributeSpace, AttributeSpaceRegistry
-from repro.store.cache import CachedChunkStore
+from repro.store.cache import CachedChunkStore, ScanRecorder
 from repro.store.chunk_store import ChunkStore, MemoryChunkStore
 from repro.store.prefetch import PrefetchPolicy
 from repro.store.retry import RetryPolicy, RetryingChunkStore
@@ -88,7 +89,11 @@ class ADR:
             self.store = CachedChunkStore(self.store, max_bytes=cache_bytes)
         # Per-dataset memo of chunk->cell routing, reused across
         # tiles and queries; dropped when the dataset is (re)loaded.
+        # The creation lock makes first-use from concurrent service
+        # workers race-free (the caches themselves are internally
+        # locked).
         self._routing_caches: Dict[str, RoutingCache] = {}
+        self._routing_lock = threading.Lock()
         self.declusterer = declusterer if declusterer is not None else HilbertDeclusterer()
         self.costs = costs
         self.spaces = AttributeSpaceRegistry()
@@ -135,9 +140,10 @@ class ADR:
 
     def routing_cache(self, name: str) -> RoutingCache:
         """The per-dataset routing cache (created on first use)."""
-        if name not in self._routing_caches:
-            self._routing_caches[name] = RoutingCache()
-        return self._routing_caches[name]
+        with self._routing_lock:
+            if name not in self._routing_caches:
+                self._routing_caches[name] = RoutingCache()
+            return self._routing_caches[name]
 
     def dataset(self, name: str) -> Dataset:
         return self.catalog.get(name)
@@ -267,10 +273,7 @@ class ADR:
         name = query.dataset
         region = self.dataset(name).space.validate_query(query.region)
 
-        def provider(chunk_id: int) -> Chunk:
-            return self.store.read_chunk(name, chunk_id)
-
-        store_base = self.store.stats() if isinstance(self.store, CachedChunkStore) else None
+        provider, recorder = self._recording_provider(name)
         result = execute_plan(
             plan, provider, query.mapping, query.grid, query.spec(),
             region=region, backend=backend,
@@ -279,19 +282,43 @@ class ADR:
             prefetch=self.prefetch if query.prefetch is None else query.prefetch,
             predicate=query.predicate(),
         )
-        if store_base is not None:
-            self._merge_store_stats(result, store_base)
+        if recorder is not None:
+            self._merge_store_stats(result, recorder)
         if store_as is not None:
             self._write_back(store_as, query, result)
         return result
 
-    def _merge_store_stats(self, result: QueryResult, base: Dict[str, int]) -> None:
-        """Fold this query's chunk-cache hit/miss deltas into the result."""
-        for key, v in self.store.stats().items():
-            if key.endswith("_bytes"):
-                result.cache_stats[key] = int(v)
-            else:
-                result.cache_stats[key] = int(v) - int(base.get(key, 0))
+    def _recording_provider(self, name: str):
+        """A chunk provider for *name*, plus the per-query
+        :class:`~repro.store.cache.ScanRecorder` attributing each read
+        to this query (``None`` when the store is uncached).  Exact
+        under concurrency, unlike a before/after delta of the cache's
+        global counters: the recorder is threaded through every read
+        this query issues, prefetch worker threads included."""
+        if isinstance(self.store, CachedChunkStore):
+            cached = self.store
+            recorder = ScanRecorder()
+
+            def provider(chunk_id: int) -> Chunk:
+                return cached.read_chunk(name, chunk_id, recorder=recorder)
+
+            return provider, recorder
+
+        def provider(chunk_id: int) -> Chunk:
+            return self.store.read_chunk(name, chunk_id)
+
+        return provider, None
+
+    def _merge_store_stats(self, result: QueryResult, recorder: ScanRecorder) -> None:
+        """Fold this query's exact payload-cache tallies into the
+        result: ``cache_stats`` hit/miss counts and the documented
+        shared-read counters (``shared_reads`` / ``shared_bytes``)."""
+        snap = recorder.snapshot()
+        result.cache_stats["chunk_hits"] = snap["hits"]
+        result.cache_stats["chunk_misses"] = snap["misses"]
+        result.cache_stats["chunk_bytes"] = int(self.store.nbytes)
+        result.shared_reads = snap["hits"]
+        result.shared_bytes = snap["hit_bytes"]
 
     def _write_back(self, name: str, query: RangeQuery, result: QueryResult) -> None:
         """Materialize a query result as a dataset in the output space."""
@@ -340,9 +367,7 @@ class ADR:
         name = query.dataset
         region = self.dataset(name).space.validate_query(query.region)
 
-        def provider(chunk_id: int) -> Chunk:
-            return self.store.read_chunk(name, chunk_id)
-
+        provider, recorder = self._recording_provider(name)
         result = execute_plan(
             plan, provider, query.mapping, query.grid, query.spec(),
             region=region, prior=prior,
@@ -351,6 +376,8 @@ class ADR:
             prefetch=self.prefetch if query.prefetch is None else query.prefetch,
             predicate=query.predicate(),
         )
+        if recorder is not None:
+            self._merge_store_stats(result, recorder)
         # write updated chunks back to their original locations
         missing = [int(o) for o in result.output_ids if int(o) not in pos_of]
         if missing:

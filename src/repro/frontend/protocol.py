@@ -35,14 +35,40 @@ __all__ = [
     "query_from_dict",
     "result_to_dict",
     "result_from_dict",
+    "error_to_dict",
     "ProtocolError",
+    "ERROR_CODES",
 ]
 
 PROTOCOL_VERSION = 1
 
+#: Machine-distinguishable failure classes on the wire.  ``bad_request``:
+#: the message or query is malformed / names unknown entities (do not
+#: retry unchanged); ``overloaded``: admission control rejected the
+#: query, the service is saturated (retry with back-off); ``internal``:
+#: anything else server-side.
+ERROR_CODES = ("bad_request", "overloaded", "internal")
+
 
 class ProtocolError(ValueError):
     """Malformed or unsupported protocol message."""
+
+
+def error_to_dict(code: str, error: Any) -> Dict[str, Any]:
+    """Encode a failure response: ``{"ok": false, "code": ..., "error": ...}``.
+
+    ``code`` is one of :data:`ERROR_CODES`; the free-text ``error``
+    field is kept for back-compat with pre-code clients (exceptions
+    render as ``"TypeName: message"``, matching the old format).
+    """
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}; expected one of {ERROR_CODES}")
+    text = (
+        f"{type(error).__name__}: {error}"
+        if isinstance(error, BaseException)
+        else str(error)
+    )
+    return {"ok": False, "code": code, "error": text}
 
 
 # -- pieces -----------------------------------------------------------
@@ -248,6 +274,12 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
     if result.chunks_pruned:
         payload["chunks_pruned"] = int(result.chunks_pruned)
         payload["bytes_pruned"] = int(result.bytes_pruned)
+    # Shared-read counters: present only when the payload cache served
+    # part of this query (cross-query scan sharing), so unshared
+    # results encode byte-identically to older payloads.
+    if result.shared_reads:
+        payload["shared_reads"] = int(result.shared_reads)
+        payload["shared_bytes"] = int(result.shared_bytes)
     # Degradation report: present only on degraded results, so clean
     # results encode byte-identically to pre-robustness payloads.
     if result.chunk_errors:
@@ -294,6 +326,8 @@ def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
             completeness=float(payload.get("completeness", 1.0)),
             chunks_pruned=int(payload.get("chunks_pruned", 0)),
             bytes_pruned=int(payload.get("bytes_pruned", 0)),
+            shared_reads=int(payload.get("shared_reads", 0)),
+            shared_bytes=int(payload.get("shared_bytes", 0)),
         )
     except (KeyError, TypeError, ValueError) as e:
         raise ProtocolError(f"bad result payload: {e}") from e

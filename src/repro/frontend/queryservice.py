@@ -1,0 +1,391 @@
+"""Concurrent multi-query front end with cross-query scan sharing.
+
+The paper's Figure-2 front-end process "interacts with clients" and
+relays range queries to the back end; its planning service explicitly
+handles *sets* of queries.  :class:`QueryService` grows that front end
+into a concurrent query zone (in the spirit of Nieto-Santisteban et
+al.'s parallel query zone for a large user base): many clients submit
+queries at once, admission control keeps the pending queue bounded and
+rejects loudly when it overflows, and a pool of worker threads drains
+the queue in *shared-scan batches*.
+
+Scheduling
+----------
+A free worker dequeues one pending query, then gathers up to
+``batch_max - 1`` more pending queries against the same dataset
+(waiting at most ``batch_window`` seconds for stragglers -- under
+load, batches form from the backlog without waiting).  The batch is
+planned per query (each query keeps its own strategy), ordered by the
+greedy shared-input-bytes chain of
+:func:`repro.planner.batch.order_for_sharing`, and executed in that
+order on the worker.  Batches over different datasets -- or over the
+same dataset once one worker's batch is full -- run concurrently on
+other workers.
+
+Functional scan sharing
+-----------------------
+Ordering is only half the sharing: the chunks two consecutive queries
+have in common must still be *in memory* when the successor asks for
+them.  Before executing, the worker pins the batch's
+consecutive-overlap chunk set in the ADR's payload cache
+(:meth:`repro.store.cache.CachedChunkStore.pin`), so the decoded
+payloads a query's reads produce survive until the batch completes no
+matter what else the cache evicts; overlapping queries aggregate out
+of the same decoded buffers instead of re-reading the disk farm.
+Results are bit-identical to isolated execution -- sharing changes
+where bytes come from, never what is computed -- and each result's
+``shared_reads`` / ``shared_bytes`` counters (the only fields allowed
+to differ) report how many retrievals the cache absorbed.
+
+Thread-safety contract: the service owns concurrency for *queries*
+(``execute``/``submit``).  Loading datasets or materializing results
+(``store_as``/``update``) while queries are in flight is not
+supported -- quiesce first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.frontend.adr import ADR
+from repro.frontend.query import RangeQuery
+from repro.planner.batch import BatchPlan, order_for_sharing
+from repro.planner.plan import QueryPlan
+from repro.runtime.engine import QueryResult
+from repro.store.cache import CachedChunkStore
+
+__all__ = [
+    "ServicePolicy",
+    "QueryService",
+    "QueryTicket",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+]
+
+
+class ServiceOverloadedError(RuntimeError):
+    """Admission control rejected the query: the pending queue is full.
+
+    Deliberately loud -- clients must see back-pressure, not silent
+    latency.  Over the wire protocol this travels as error code
+    ``"overloaded"``.
+    """
+
+
+class ServiceClosedError(RuntimeError):
+    """The service has been closed and accepts no new queries."""
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Admission-control and scheduling knobs of a :class:`QueryService`.
+
+    Attributes
+    ----------
+    max_queue:
+        Pending (admitted, not yet executing) queries the service
+        holds before :meth:`QueryService.submit` raises
+        :class:`ServiceOverloadedError`.
+    max_inflight:
+        Worker threads, i.e. batches executing concurrently.
+    batch_max:
+        Most queries fused into one shared-scan batch.
+    batch_window:
+        Seconds a worker holding a non-full batch waits for further
+        same-dataset queries before executing.  Zero disables waiting;
+        under sustained load batches fill from the backlog regardless.
+    share_scans:
+        ``False`` disables batching, reordering and cache pinning --
+        every query executes alone (the ablation baseline for
+        ``benchmarks/bench_service.py``).
+    """
+
+    max_queue: int = 64
+    max_inflight: int = 4
+    batch_max: int = 8
+    batch_window: float = 0.002
+    share_scans: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.batch_max < 1:
+            raise ValueError("batch_max must be >= 1")
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+
+
+class QueryTicket:
+    """Handle for one admitted query; resolves to a result or error."""
+
+    def __init__(self, query: RangeQuery) -> None:
+        self.query = query
+        self._done = threading.Event()
+        self._result: Optional[QueryResult] = None
+        self._error: Optional[BaseException] = None
+        #: scheduling diagnostics, filled when the query completes:
+        #: ``queue_wait_s``, ``batch_size``, ``batch_pos``,
+        #: ``shared_reads``, ``shared_bytes``
+        self.service_info: Dict[str, float] = {}
+        self.submitted_at = time.monotonic()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> QueryResult:
+        """Block until the query finishes; re-raises its error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query not finished within {timeout}s (still queued or executing)"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def _resolve(
+        self,
+        result: Optional[QueryResult],
+        error: Optional[BaseException],
+        info: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self._result = result
+        self._error = error
+        if info:
+            self.service_info.update(info)
+        self._done.set()
+
+
+#: Counter names exposed by :meth:`QueryService.stats` (all
+#: monotonically increasing since service start).
+SERVICE_COUNTERS = (
+    "submitted",
+    "rejected",
+    "completed",
+    "failed",
+    "batches",
+    "batched_queries",
+    "shared_reads",
+    "shared_bytes",
+)
+
+
+class QueryService:
+    """A concurrent query front end over one :class:`ADR` instance.
+
+    Use as a context manager; submission is non-blocking (a
+    :class:`QueryTicket` comes back immediately), ``execute`` is the
+    blocking convenience::
+
+        with QueryService(adr) as service:
+            tickets = [service.submit(q) for q in queries]
+            results = [t.result(timeout=60) for t in tickets]
+    """
+
+    def __init__(self, adr: ADR, policy: Optional[ServicePolicy] = None) -> None:
+        self.adr = adr
+        self.policy = policy if policy is not None else ServicePolicy()
+        self._cv = threading.Condition()
+        self._pending: Deque[QueryTicket] = deque()
+        self._inflight = 0
+        self._closed = False
+        self._counters: Dict[str, int] = {name: 0 for name in SERVICE_COUNTERS}
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"adr-query-worker-{i}", daemon=True
+            )
+            for i in range(self.policy.max_inflight)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # -- client surface ----------------------------------------------------
+
+    def submit(self, query: RangeQuery) -> QueryTicket:
+        """Admit *query* or raise.
+
+        Raises :class:`ServiceOverloadedError` when ``max_queue``
+        queries are already pending, :class:`ServiceClosedError` after
+        :meth:`close`.
+        """
+        ticket = QueryTicket(query)
+        with self._cv:
+            if self._closed:
+                raise ServiceClosedError("query service is closed")
+            if len(self._pending) >= self.policy.max_queue:
+                self._counters["rejected"] += 1
+                raise ServiceOverloadedError(
+                    f"pending queue full ({self.policy.max_queue} queries); "
+                    "retry with back-off"
+                )
+            self._pending.append(ticket)
+            self._counters["submitted"] += 1
+            self._cv.notify()
+        return ticket
+
+    def execute(
+        self, query: RangeQuery, timeout: Optional[float] = None
+    ) -> QueryResult:
+        """Submit and block for the result (errors re-raise here)."""
+        return self.submit(query).result(timeout)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-safe service counters: queue depth, in-flight queries,
+        batches formed, shared reads/bytes, payload-cache totals."""
+        with self._cv:
+            out: Dict[str, object] = {name: int(v) for name, v in self._counters.items()}
+            out["queue_depth"] = len(self._pending)
+            out["in_flight"] = self._inflight
+        out["policy"] = {
+            "max_queue": self.policy.max_queue,
+            "max_inflight": self.policy.max_inflight,
+            "batch_max": self.policy.batch_max,
+            "batch_window": self.policy.batch_window,
+            "share_scans": self.policy.share_scans,
+        }
+        store = self.adr.store
+        if isinstance(store, CachedChunkStore):
+            cache = {str(k): int(v) for k, v in store.stats().items()}
+            lookups = cache.get("chunk_hits", 0) + cache.get("chunk_misses", 0)
+            cache["chunk_hit_rate"] = (
+                cache.get("chunk_hits", 0) / lookups if lookups else 0.0
+            )
+            out["cache"] = cache
+        return out
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop admitting, drain the pending queue, join the workers."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        for t in self._workers:
+            t.join(timeout=timeout)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- scheduler ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            try:
+                self._run_batch(batch)
+            finally:
+                with self._cv:
+                    self._inflight -= len(batch)
+                    self._cv.notify_all()
+
+    def _next_batch(self) -> Optional[List[QueryTicket]]:
+        """Dequeue a same-dataset batch (or ``None`` on shutdown).
+
+        Marks the batch in flight before releasing the lock.
+        """
+        limit = self.policy.batch_max if self.policy.share_scans else 1
+        with self._cv:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cv.wait(timeout=0.1)
+            first = self._pending.popleft()
+            batch = [first]
+            deadline = time.monotonic() + self.policy.batch_window
+            while len(batch) < limit:
+                self._gather_locked(first.query.dataset, batch, limit)
+                if len(batch) >= limit or self._closed:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(timeout=remaining)
+            self._inflight += len(batch)
+        return batch
+
+    def _gather_locked(
+        self, dataset: str, batch: List[QueryTicket], limit: int
+    ) -> None:
+        """Move pending same-dataset tickets into *batch* (lock held)."""
+        keep: Deque[QueryTicket] = deque()
+        while self._pending and len(batch) < limit:
+            ticket = self._pending.popleft()
+            if ticket.query.dataset == dataset:
+                batch.append(ticket)
+            else:
+                keep.append(ticket)
+        while keep:
+            self._pending.appendleft(keep.pop())
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_batch(self, batch: List[QueryTicket]) -> None:
+        dequeued = time.monotonic()
+        planned: List[Tuple[QueryTicket, QueryPlan]] = []
+        for ticket in batch:
+            try:
+                planned.append((ticket, self.adr.plan(ticket.query)))
+            except Exception as e:  # planning errors resolve one ticket
+                self._finish(ticket, None, e)
+        if not planned:
+            return
+
+        share = self.policy.share_scans and len(planned) > 1
+        plans = [plan for _, plan in planned]
+        order = order_for_sharing(plans) if share else list(range(len(planned)))
+
+        dataset = planned[0][0].query.dataset
+        cache = self.adr.store if isinstance(self.adr.store, CachedChunkStore) else None
+        pinned: frozenset = frozenset()
+        if share and cache is not None:
+            pinned = BatchPlan(plans, list(order)).consecutive_shared_keys()
+            cache.pin(dataset, pinned)
+        try:
+            with self._cv:
+                self._counters["batches"] += 1
+                if len(planned) > 1:
+                    self._counters["batched_queries"] += len(planned)
+            for pos, idx in enumerate(order):
+                ticket, plan = planned[idx]
+                try:
+                    result = self.adr.execute(ticket.query, plan=plan)
+                except Exception as e:
+                    self._finish(ticket, None, e)
+                    continue
+                info = {
+                    "queue_wait_s": round(dequeued - ticket.submitted_at, 6),
+                    "batch_size": len(planned),
+                    "batch_pos": pos,
+                    "shared_reads": int(result.shared_reads),
+                    "shared_bytes": int(result.shared_bytes),
+                }
+                self._finish(ticket, result, None, info)
+        finally:
+            if pinned and cache is not None:
+                cache.unpin(dataset, pinned)
+
+    def _finish(
+        self,
+        ticket: QueryTicket,
+        result: Optional[QueryResult],
+        error: Optional[BaseException],
+        info: Optional[Dict[str, float]] = None,
+    ) -> None:
+        with self._cv:
+            if error is not None:
+                self._counters["failed"] += 1
+            else:
+                self._counters["completed"] += 1
+                assert result is not None
+                self._counters["shared_reads"] += int(result.shared_reads)
+                self._counters["shared_bytes"] += int(result.shared_bytes)
+        ticket._resolve(result, error, info)

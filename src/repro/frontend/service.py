@@ -2,20 +2,24 @@
 
 Figure 2 of the paper shows a standalone "ADR Front-end Process" that
 clients connect to ("the socket interface is used for sequential
-clients").  :class:`ADRServer` is that process: it wraps an
-:class:`~repro.frontend.adr.ADR` instance and serves newline-delimited
-JSON messages of the :mod:`repro.frontend.protocol` schema on a TCP
-port.  :class:`ADRClient` is the matching sequential client.
+clients").  :class:`ADRServer` is that process: a thin wire adapter
+serving newline-delimited JSON messages of the
+:mod:`repro.frontend.protocol` schema on a TCP port, with all query
+scheduling delegated to a
+:class:`~repro.frontend.queryservice.QueryService` -- concurrent
+connections are admitted, batched and executed with cross-query scan
+sharing (see ``docs/service.md``).  :class:`ADRClient` is the matching
+client; one client may be shared between threads (requests on one
+connection are serialized under a lock).
 
 Message envelope (one JSON object per line):
 
-- request: ``{"op": "query", "query": {...}}`` or ``{"op": "ping"}``
-- response: ``{"ok": true, "result": {...}}`` or
-  ``{"ok": false, "error": "..."}``
-
-The server is intentionally synchronous (one request at a time): the
-parallelism ADR cares about lives in the back end, not in the
-front-end socket loop.
+- request: ``{"op": "query", "query": {...}}``, ``{"op": "stats"}``
+  or ``{"op": "ping"}``
+- response: ``{"ok": true, "result": {...}}`` (query responses carry a
+  ``"service"`` object with queue/batch/sharing diagnostics) or
+  ``{"ok": false, "code": "bad_request"|"overloaded"|"internal",
+  "error": "..."}``
 """
 
 from __future__ import annotations
@@ -24,20 +28,33 @@ import json
 import socket
 import socketserver
 import threading
-from typing import Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.frontend.adr import ADR
 from repro.frontend.protocol import (
     ProtocolError,
+    error_to_dict,
     query_from_dict,
     query_to_dict,
     result_from_dict,
     result_to_dict,
 )
 from repro.frontend.query import RangeQuery
+from repro.frontend.queryservice import (
+    QueryService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServicePolicy,
+)
 from repro.runtime.engine import QueryResult
 
 __all__ = ["ADRServer", "ADRClient"]
+
+#: Exception classes whose wire error code is ``bad_request`` -- the
+#: query itself is at fault (malformed payload, unknown dataset/
+#: aggregation, region selecting nothing); retrying unchanged cannot
+#: succeed.
+_BAD_REQUEST_ERRORS = (ProtocolError, KeyError, ValueError)
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -47,15 +64,26 @@ class _Handler(socketserver.StreamRequestHandler):
             if not line:
                 continue
             try:
-                response = self.server.adr_dispatch(json.loads(line))
+                message = json.loads(line)
             except Exception as e:  # malformed JSON and friends
-                response = {"ok": False, "error": f"{type(e).__name__}: {e}"}
+                response = error_to_dict("bad_request", e)
+            else:
+                try:
+                    response = self.server.adr_dispatch(message)
+                except Exception as e:  # dispatch must never kill the connection
+                    response = error_to_dict("internal", e)
             self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
             self.wfile.flush()
 
 
 class ADRServer(socketserver.ThreadingTCPServer):
     """Serves one ADR instance on ``(host, port)``.
+
+    Each connection runs on its own handler thread; all of them submit
+    into one shared :class:`QueryService`, which owns admission
+    control, batching and scan sharing.  Pass ``policy`` to tune it, or
+    ``service`` to share an externally managed one (the server then
+    does not close it on exit).
 
     Use as a context manager (binds immediately, serves on a daemon
     thread)::
@@ -68,8 +96,19 @@ class ADRServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, adr: ADR, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        adr: ADR,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: Optional[ServicePolicy] = None,
+        service: Optional[QueryService] = None,
+    ) -> None:
         self.adr = adr
+        if service is not None and policy is not None:
+            raise ValueError("pass either policy or service, not both")
+        self._owns_service = service is None
+        self.service = service if service is not None else QueryService(adr, policy)
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), _Handler)
 
@@ -79,14 +118,33 @@ class ADRServer(socketserver.ThreadingTCPServer):
         op = message.get("op")
         if op == "ping":
             return {"ok": True, "result": "pong"}
+        if op == "stats":
+            return {"ok": True, "result": self.service.stats()}
         if op == "query":
-            try:
-                query = query_from_dict(message.get("query", {}))
-                result = self.adr.execute(query)
-                return {"ok": True, "result": result_to_dict(result)}
-            except (ProtocolError, KeyError, ValueError) as e:
-                return {"ok": False, "error": f"{type(e).__name__}: {e}"}
-        return {"ok": False, "error": f"unknown op {op!r}"}
+            return self._dispatch_query(message)
+        return error_to_dict("bad_request", f"unknown op {op!r}")
+
+    def _dispatch_query(self, message: dict) -> dict:
+        try:
+            query = query_from_dict(message.get("query", {}))
+        except _BAD_REQUEST_ERRORS as e:
+            return error_to_dict("bad_request", e)
+        try:
+            ticket = self.service.submit(query)
+        except ServiceOverloadedError as e:
+            return error_to_dict("overloaded", e)
+        except ServiceClosedError as e:
+            return error_to_dict("internal", e)
+        try:
+            result = ticket.result()
+        except _BAD_REQUEST_ERRORS as e:
+            return error_to_dict("bad_request", e)
+        except Exception as e:
+            return error_to_dict("internal", e)
+        response: Dict[str, Any] = {"ok": True, "result": result_to_dict(result)}
+        if ticket.service_info:
+            response["service"] = dict(ticket.service_info)
+        return response
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -104,19 +162,32 @@ class ADRServer(socketserver.ThreadingTCPServer):
         self.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        if self._owns_service:
+            self.service.close()
 
 
 class ADRClient:
-    """A sequential client: one socket, blocking request/response."""
+    """A protocol client: one socket, blocking request/response.
+
+    Thread-safe: the request/response exchange is serialized under a
+    lock, so one client instance may be shared by several threads
+    (each call still blocks for its own response; open one client per
+    thread for wire-level parallelism).
+    """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
+        # One request/response frame at a time: without this, two
+        # threads interleave writes and steal each other's reply lines.
+        self._lock = threading.Lock()
 
     def _call(self, message: dict) -> dict:
-        self._file.write((json.dumps(message) + "\n").encode("utf-8"))
-        self._file.flush()
-        raw = self._file.readline()
+        payload = (json.dumps(message) + "\n").encode("utf-8")
+        with self._lock:
+            self._file.write(payload)
+            self._file.flush()
+            raw = self._file.readline()
         if not raw:
             raise ConnectionError("server closed the connection")
         return json.loads(raw)
@@ -124,13 +195,33 @@ class ADRClient:
     def ping(self) -> bool:
         return self._call({"op": "ping"}).get("result") == "pong"
 
+    def stats(self) -> Dict[str, Any]:
+        """Service counters (queue depth, in-flight, batches, sharing,
+        cache hit rates) -- the ``{"op": "stats"}`` endpoint."""
+        response = self._call({"op": "stats"})
+        if not response.get("ok"):
+            raise RuntimeError(f"stats failed: {response.get('error')}")
+        return response["result"]
+
     def query(self, query: RangeQuery) -> QueryResult:
         """Submit a range query; raises ``RuntimeError`` on server-side
-        failure (the error text travels back)."""
+        failure (the error code and text travel back)."""
+        result, _ = self.query_with_info(query)
+        return result
+
+    def query_with_info(
+        self, query: RangeQuery
+    ) -> Tuple[QueryResult, Optional[Dict[str, Any]]]:
+        """Like :meth:`query`, also returning the response's
+        ``"service"`` diagnostics (queue wait, batch size/position,
+        shared reads) -- ``None`` from servers that don't send them."""
         response = self._call({"op": "query", "query": query_to_dict(query)})
         if not response.get("ok"):
-            raise RuntimeError(f"server rejected query: {response.get('error')}")
-        return result_from_dict(response["result"])
+            code = response.get("code", "internal")
+            raise RuntimeError(
+                f"server rejected query [{code}]: {response.get('error')}"
+            )
+        return result_from_dict(response["result"]), response.get("service")
 
     def close(self) -> None:
         try:

@@ -13,7 +13,12 @@ processing).
 :func:`plan_batch` plans each query individually (any strategy) and
 then *orders* the batch to maximize consecutive-query chunk overlap --
 a greedy chain on shared input bytes -- so the one-query reuse window
-captures as much of the overlap as possible.
+captures as much of the overlap as possible.  The ordering itself is
+:func:`order_for_sharing`, which also accepts pre-built plans: the
+concurrent front end (:mod:`repro.frontend.queryservice`) uses it to
+schedule *in-flight* queries for functional scan sharing through the
+payload cache, pinning the chunks named by
+:meth:`BatchPlan.consecutive_shared_keys` for the batch's lifetime.
 :func:`repro.sim.query_sim.simulate_query` accepts the resulting
 ``cached_inputs`` set per query, and :func:`simulate_batch` runs the
 whole ordered batch, reporting per-query times and the bytes the
@@ -32,7 +37,13 @@ from repro.planner.plan import QueryPlan
 from repro.planner.problem import PlanningProblem
 from repro.planner.strategies import plan_query
 
-__all__ = ["BatchPlan", "plan_batch", "simulate_batch", "BatchSimResult"]
+__all__ = [
+    "BatchPlan",
+    "plan_batch",
+    "order_for_sharing",
+    "simulate_batch",
+    "BatchSimResult",
+]
 
 
 @dataclass
@@ -75,6 +86,17 @@ class BatchPlan:
                 total += sizes[g]
         return total
 
+    def consecutive_shared_keys(self) -> FrozenSet[int]:
+        """Global input chunk ids shared by *consecutive* queries under
+        the chosen order -- the chunks a shared-scan executor should pin
+        in the payload cache so the successor query's reads are served
+        from memory rather than the disk farm."""
+        sets = self.query_chunk_sets()
+        shared: set = set()
+        for a, b in zip(self.order, self.order[1:]):
+            shared |= sets[a] & sets[b]
+        return frozenset(shared)
+
     def total_read_bytes(self) -> int:
         return sum(p.total_read_bytes for p in self.plans)
 
@@ -107,26 +129,22 @@ def _overlap_matrix(sets: Sequence[FrozenSet[int]], sizes: Dict[int, int]) -> np
     return m
 
 
-def plan_batch(
-    problems: Sequence[PlanningProblem],
-    strategy: str = "FRA",
-    reorder: bool = True,
-) -> BatchPlan:
-    """Plan a set of queries and order them for scan sharing.
+def order_for_sharing(plans: Sequence[QueryPlan]) -> List[int]:
+    """Execution order maximizing consecutive-query chunk overlap.
 
     The ordering is a greedy heaviest-edge chain over the pairwise
     shared-bytes matrix: start from the heaviest pair, then repeatedly
     append (or prepend) the query sharing the most bytes with the
-    chain's current tail (or head).
+    chain's current tail (or head).  Accepts plans built with *any*
+    mix of strategies -- the overlap is a property of the planning
+    problems' input chunk sets, not of the tiling -- so the concurrent
+    query service can schedule in-flight queries that each chose their
+    own strategy.  With two or fewer plans (or no overlap at all) the
+    submission order is returned unchanged.
     """
-    if not problems:
-        raise ValueError("plan_batch needs at least one query")
-    plans = [plan_query(p, strategy) for p in problems]
-    batch = BatchPlan(plans, list(range(len(plans))))
-    if not reorder or len(plans) <= 2:
-        if reorder and len(plans) == 2:
-            return batch  # any order is equivalent for two queries
-        return batch
+    batch = BatchPlan(list(plans), list(range(len(plans))))
+    if len(plans) <= 2:
+        return batch.order
 
     sets = batch.query_chunk_sets()
     sizes = batch._global_sizes()
@@ -135,7 +153,7 @@ def plan_batch(
     k = len(plans)
     i, j = np.unravel_index(np.argmax(m), m.shape)
     if m[i, j] == 0:
-        return batch  # nothing shared; keep submission order
+        return batch.order  # nothing shared; keep submission order
     chain = [int(i), int(j)]
     remaining = set(range(k)) - set(chain)
     while remaining:
@@ -151,7 +169,21 @@ def plan_batch(
         else:
             chain.insert(0, best)
         remaining.discard(best)
-    return BatchPlan(plans, chain)
+    return chain
+
+
+def plan_batch(
+    problems: Sequence[PlanningProblem],
+    strategy: str = "FRA",
+    reorder: bool = True,
+) -> BatchPlan:
+    """Plan a set of queries and order them for scan sharing (the
+    greedy chain of :func:`order_for_sharing`)."""
+    if not problems:
+        raise ValueError("plan_batch needs at least one query")
+    plans = [plan_query(p, strategy) for p in problems]
+    order = order_for_sharing(plans) if reorder else list(range(len(plans)))
+    return BatchPlan(plans, order)
 
 
 @dataclass

@@ -112,6 +112,15 @@ class QueryResult:
     #: reads would have cost; 0 without a predicate or synopsis
     chunks_pruned: int = 0
     bytes_pruned: int = 0
+    #: scheduled chunk retrievals served from the shared payload cache
+    #: during this query (and their decoded bytes) -- some earlier
+    #: query paid the disk read.  Filled by the ADR facade from its
+    #: per-query :class:`~repro.store.cache.ScanRecorder`.  These are
+    #: the *only* counters allowed to differ between a query executed
+    #: inside a shared-scan batch and the same query run alone: shared
+    #: execution changes where bytes come from, never what is computed.
+    shared_reads: int = 0
+    shared_bytes: int = 0
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)

@@ -35,6 +35,7 @@ and the baseline of ``benchmarks/bench_kernels.py``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
@@ -173,10 +174,17 @@ class RoutingCache:
     (item_idx, cells) arrays can be reused as long as the (chunk,
     region, mapping, grid) key matches.  Entries are immutable (the
     arrays are marked read-only) and evicted LRU by byte size.
+
+    Thread safety: the concurrent query service executes several
+    queries over the same dataset -- and therefore the same per-dataset
+    routing cache -- at once, so the LRU ordering, byte budget and
+    counters are guarded by one lock.  Entries are read-only arrays,
+    safe to share between the queries that hit them.
     """
 
     def __init__(self, max_bytes: int = 128 * 2**20) -> None:
         self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -184,24 +192,25 @@ class RoutingCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def nbytes(self) -> int:
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, item_idx: np.ndarray, cells: np.ndarray) -> None:
-        if key in self._entries:
-            return
         item_idx = item_idx.copy()
         cells = cells.copy()
         item_idx.setflags(write=False)
@@ -209,27 +218,32 @@ class RoutingCache:
         size = int(item_idx.nbytes + cells.nbytes)
         if size > self.max_bytes:
             return
-        while self._bytes + size > self.max_bytes and self._entries:
-            _, (old_idx, old_cells) = self._entries.popitem(last=False)
-            self._bytes -= int(old_idx.nbytes + old_cells.nbytes)
-            self.evictions += 1
-        self._entries[key] = (item_idx, cells)
-        self._bytes += size
+        with self._lock:
+            if key in self._entries:
+                return
+            while self._bytes + size > self.max_bytes and self._entries:
+                _, (old_idx, old_cells) = self._entries.popitem(last=False)
+                self._bytes -= int(old_idx.nbytes + old_cells.nbytes)
+                self.evictions += 1
+            self._entries[key] = (item_idx, cells)
+            self._bytes += size
 
     def invalidate_chunk_ids(self, chunk_ids) -> None:
         """Drop entries for specific chunk ids (dataset reloaded)."""
         wanted = set(int(c) for c in chunk_ids)
-        for key in [k for k in self._entries if k[0] in wanted]:
-            idx, cells = self._entries.pop(key)
-            self._bytes -= int(idx.nbytes + cells.nbytes)
+        with self._lock:
+            for key in [k for k in self._entries if k[0] in wanted]:
+                idx, cells = self._entries.pop(key)
+                self._bytes -= int(idx.nbytes + cells.nbytes)
 
     def stats(self) -> dict:
-        return {
-            "routing_hits": self.hits,
-            "routing_misses": self.misses,
-            "routing_evictions": self.evictions,
-            "routing_bytes": self._bytes,
-        }
+        with self._lock:
+            return {
+                "routing_hits": self.hits,
+                "routing_misses": self.misses,
+                "routing_evictions": self.evictions,
+                "routing_bytes": self._bytes,
+            }
 
 
 def route_chunk(

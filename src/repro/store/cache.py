@@ -33,13 +33,55 @@ from repro.dataset.chunk import Chunk
 from repro.store.chunk_store import ChunkStore
 from repro.util.units import MB
 
-__all__ = ["CachedChunkStore"]
+__all__ = ["CachedChunkStore", "ScanRecorder"]
 
 _Key = Tuple[str, int]
 
 
 def _chunk_bytes(chunk: Chunk) -> int:
     return int(chunk.coords.nbytes) + int(chunk.values.nbytes)
+
+
+class ScanRecorder:
+    """Per-query tally of payload-cache sharing.
+
+    The cache's ``hits``/``misses`` counters are instance-global: under
+    a concurrent query service many queries mutate them at once, so a
+    before/after delta cannot attribute a hit to a query.  A recorder
+    is the exact per-query view: the caller passes one to
+    :meth:`CachedChunkStore.read_chunk` for every read issued on behalf
+    of one query, and the cache tells the recorder whether that read
+    was served from memory (a *shared* read -- some earlier query paid
+    the disk retrieval) or went to the inner store.  Thread-safe, so
+    prefetch worker threads reading for the same query may share one.
+    """
+
+    __slots__ = ("_lock", "hits", "misses", "hit_bytes", "miss_bytes")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.hit_bytes = 0
+        self.miss_bytes = 0
+
+    def record(self, hit: bool, nbytes: int) -> None:
+        with self._lock:
+            if hit:
+                self.hits += 1
+                self.hit_bytes += int(nbytes)
+            else:
+                self.misses += 1
+                self.miss_bytes += int(nbytes)
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_bytes": self.hit_bytes,
+                "miss_bytes": self.miss_bytes,
+            }
 
 
 class CachedChunkStore(ChunkStore):
@@ -58,6 +100,7 @@ class CachedChunkStore(ChunkStore):
         self.max_bytes = int(max_bytes)
         self._lock = threading.RLock()
         self._entries: "OrderedDict[_Key, Chunk]" = OrderedDict()
+        self._pins: Dict[_Key, int] = {}
         self._bytes = 0
         self.hits = 0
         self.misses = 0
@@ -75,16 +118,58 @@ class CachedChunkStore(ChunkStore):
             return self._bytes
 
     def _insert_locked(self, key: _Key, chunk: Chunk) -> None:
-        """Insert under ``self._lock`` (evicting LRU entries to fit)."""
+        """Insert under ``self._lock`` (evicting LRU entries to fit).
+
+        Pinned keys are always inserted and never chosen as eviction
+        victims: a shared-scan batch that pinned its overlap set is
+        guaranteed the successor query finds the chunk in memory.  The
+        byte budget may therefore be exceeded transiently, bounded by
+        the pinned set's size (the query service unpins when the batch
+        completes).
+        """
         size = _chunk_bytes(chunk)
-        if size > self.max_bytes or key in self._entries:
+        pinned = key in self._pins
+        if key in self._entries or (size > self.max_bytes and not pinned):
             return
-        while self._bytes + size > self.max_bytes and self._entries:
-            _, old = self._entries.popitem(last=False)
-            self._bytes -= _chunk_bytes(old)
+        while self._bytes + size > self.max_bytes:
+            victim = next((k for k in self._entries if k not in self._pins), None)
+            if victim is None:
+                break  # everything resident is pinned
+            self._bytes -= _chunk_bytes(self._entries.pop(victim))
             self.evictions += 1
-        self._entries[key] = chunk
-        self._bytes += size
+        if self._bytes + size <= self.max_bytes or pinned:
+            self._entries[key] = chunk
+            self._bytes += size
+
+    # -- pinning ----------------------------------------------------------
+
+    def pin(self, dataset: str, chunk_ids) -> None:
+        """Protect ``(dataset, id)`` payloads from eviction until the
+        matching :meth:`unpin`.  Counted: concurrent batches pinning
+        the same chunk each hold an independent reference."""
+        with self._lock:
+            for cid in chunk_ids:
+                key = (dataset, int(cid))
+                self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, dataset: str, chunk_ids) -> None:
+        """Release pins taken by :meth:`pin` (unknown keys ignored).
+        Entries left over budget become ordinary LRU victims again."""
+        with self._lock:
+            for cid in chunk_ids:
+                key = (dataset, int(cid))
+                n = self._pins.get(key)
+                if n is None:
+                    continue
+                if n <= 1:
+                    del self._pins[key]
+                else:
+                    self._pins[key] = n - 1
+
+    @property
+    def pinned_count(self) -> int:
+        with self._lock:
+            return len(self._pins)
 
     def _lookup_locked(self, key: _Key) -> Optional[Chunk]:
         """Probe under ``self._lock``; counts the hit/miss."""
@@ -120,18 +205,28 @@ class CachedChunkStore(ChunkStore):
 
     # -- store interface ---------------------------------------------------
 
-    def read_chunk(self, dataset: str, chunk_id: int) -> Chunk:
+    def read_chunk(
+        self,
+        dataset: str,
+        chunk_id: int,
+        recorder: Optional[ScanRecorder] = None,
+    ) -> Chunk:
         key = (dataset, int(chunk_id))
         with self._lock:
             chunk = self._lookup_locked(key)
-        if chunk is None:
-            # The lock is dropped across the inner read: a raising read
-            # inserts nothing (failures are never cached, a later retry
-            # reaches the real store) and a slow disk stalls only the
-            # caller that missed.
-            chunk = self.inner.read_chunk(dataset, chunk_id)
-            with self._lock:
-                self._insert_locked(key, chunk)
+        if chunk is not None:
+            if recorder is not None:
+                recorder.record(True, _chunk_bytes(chunk))
+            return chunk
+        # The lock is dropped across the inner read: a raising read
+        # inserts nothing (failures are never cached, a later retry
+        # reaches the real store) and a slow disk stalls only the
+        # caller that missed.
+        chunk = self.inner.read_chunk(dataset, chunk_id)
+        with self._lock:
+            self._insert_locked(key, chunk)
+        if recorder is not None:
+            recorder.record(False, _chunk_bytes(chunk))
         return chunk
 
     def read_many(self, dataset: str, chunk_ids: List[int]) -> Iterator[Chunk]:

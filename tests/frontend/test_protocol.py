@@ -227,3 +227,60 @@ class TestResultRoundTrip:
         assert "phase_times" not in payload and "cache_stats" not in payload
         back = result_from_dict(payload)
         assert back.phase_times == {} and back.cache_stats == {}
+
+
+class TestSharedCountersOnTheWire:
+    def _result(self, **kw):
+        from repro.runtime.engine import QueryResult
+
+        return QueryResult(
+            strategy="FRA",
+            output_ids=np.array([0]),
+            chunk_values=[np.array([[2.0]])],
+            n_tiles=1, n_reads=4, bytes_read=40, n_combines=0,
+            n_aggregations=4, **kw,
+        )
+
+    def test_shared_counters_roundtrip(self):
+        res = self._result(shared_reads=3, shared_bytes=1536)
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+        assert back.shared_reads == 3
+        assert back.shared_bytes == 1536
+
+    def test_unshared_result_payload_has_no_shared_keys(self):
+        """Back-compat: isolated executions encode byte-identically to
+        pre-sharing payloads."""
+        payload = result_to_dict(self._result())
+        assert "shared_reads" not in payload
+        assert "shared_bytes" not in payload
+
+    def test_old_payload_decodes_with_zero_shared(self):
+        payload = json.loads(json.dumps(result_to_dict(self._result())))
+        back = result_from_dict(payload)
+        assert back.shared_reads == 0 and back.shared_bytes == 0
+
+
+class TestErrorEncoding:
+    def test_exception_renders_as_typename_message(self):
+        from repro.frontend.protocol import error_to_dict
+
+        payload = error_to_dict("bad_request", KeyError("absent"))
+        assert payload == {
+            "ok": False,
+            "code": "bad_request",
+            "error": "KeyError: 'absent'",
+        }
+
+    def test_plain_text_error(self):
+        from repro.frontend.protocol import error_to_dict
+
+        payload = error_to_dict("overloaded", "pending queue full")
+        assert payload["code"] == "overloaded"
+        assert payload["error"] == "pending queue full"
+
+    def test_unknown_code_rejected(self):
+        from repro.frontend.protocol import ERROR_CODES, error_to_dict
+
+        assert set(ERROR_CODES) == {"bad_request", "overloaded", "internal"}
+        with pytest.raises(ValueError, match="unknown error code"):
+            error_to_dict("teapot", "x")

@@ -1,0 +1,335 @@
+"""Tests for the concurrent query service (admission, batching,
+functional scan sharing, bit-identical results under concurrency)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.faults import FaultInjector, FaultPlan, FaultyChunkStore
+from repro.frontend.adr import ADR
+from repro.frontend.query import RangeQuery
+from repro.frontend.queryservice import (
+    QueryService,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServicePolicy,
+)
+from repro.machine.config import MachineConfig
+from repro.space.attribute_space import AttributeSpace
+from repro.store.chunk_store import ChunkStore, MemoryChunkStore
+from repro.space.mapping import GridMapping
+from repro.util.geometry import Rect
+from repro.util.units import MB
+
+SEED = 311  # deterministic dataset per module
+
+
+def build_adr(store=None, cache_bytes=64 * MB):
+    rng = np.random.default_rng(SEED)
+    adr = ADR(
+        machine=MachineConfig(n_procs=2, memory_per_proc=MB),
+        store=store,
+        cache_bytes=cache_bytes,
+    )
+    space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+    coords = rng.uniform(0, 10, size=(500, 2))
+    values = rng.integers(1, 40, size=500).astype(float)
+    adr.load("sensors", space, hilbert_partition(coords, values, 20))
+    return adr, space
+
+
+def make_query(space, region, strategy="FRA", **kw):
+    out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+    grid = OutputGrid(out_space, (6, 6), (3, 3))
+    mapping = GridMapping(space, out_space, (6, 6))
+    return RangeQuery(
+        "sensors", region, mapping, grid,
+        aggregation="sum", strategy=strategy, **kw,
+    )
+
+
+#: A mixed workload: heavy overlap (full/NE/inner), disjoint corners,
+#: a different strategy, and a value predicate.
+def workload(space):
+    return [
+        make_query(space, Rect((0, 0), (10, 10))),
+        make_query(space, Rect((4, 4), (10, 10))),
+        make_query(space, Rect((3, 3), (8, 8)), strategy="DA"),
+        make_query(space, Rect((0, 0), (4, 4))),
+        make_query(space, Rect((6, 0), (10, 4))),
+        make_query(space, Rect((1, 1), (9, 9)), where={0: (None, 20.0)}),
+    ]
+
+
+def assert_identical(shared, solo, label=""):
+    """Shared-batch result must be bit-identical to isolated execution
+    in everything except the documented shared-read / cache fields."""
+    assert shared.output_ids.tolist() == solo.output_ids.tolist(), label
+    for o, a, b in zip(shared.output_ids, shared.chunk_values, solo.chunk_values):
+        assert np.array_equal(a, b, equal_nan=True), f"{label} chunk {int(o)}"
+    for counter in ("strategy", "n_tiles", "n_reads", "bytes_read",
+                    "n_combines", "n_aggregations", "chunks_pruned",
+                    "bytes_pruned", "completeness"):
+        assert getattr(shared, counter) == getattr(solo, counter), (
+            f"{label} counter {counter}"
+        )
+    assert shared.chunk_errors == solo.chunk_errors, label
+
+
+class GateStore(ChunkStore):
+    """Store whose reads block until the gate opens (delegates rest)."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.gate = threading.Event()
+
+    def read_chunk(self, dataset, chunk_id):
+        assert self.gate.wait(timeout=30), "gate never opened"
+        return self.inner.read_chunk(dataset, chunk_id)
+
+    def write_chunk(self, dataset, chunk, node, disk):
+        self.inner.write_chunk(dataset, chunk, node, disk)
+
+    def delete_dataset(self, dataset):
+        self.inner.delete_dataset(dataset)
+
+    def placement(self, dataset, chunk_id):
+        return self.inner.placement(dataset, chunk_id)
+
+    def chunk_ids(self, dataset):
+        return self.inner.chunk_ids(dataset)
+
+
+class TestAdmissionControl:
+    def test_overload_rejects_loudly(self):
+        gate_inner = MemoryChunkStore()
+        gate = GateStore(gate_inner)
+        adr, space = build_adr(store=gate)
+        q = make_query(space, Rect((0, 0), (10, 10)))
+        policy = ServicePolicy(max_queue=2, max_inflight=1, batch_max=1)
+        with QueryService(adr, policy) as service:
+            blocked = service.submit(q)  # worker picks this up, blocks on read
+            deadline = time.monotonic() + 10
+            while service.stats()["in_flight"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            t1, t2 = service.submit(q), service.submit(q)  # fills the queue
+            with pytest.raises(ServiceOverloadedError, match="queue full"):
+                service.submit(q)
+            assert service.stats()["rejected"] == 1
+            gate.gate.set()
+            for t in (blocked, t1, t2):
+                assert t.result(timeout=30).n_reads > 0
+        assert service.stats()["completed"] == 3
+
+    def test_closed_service_rejects(self):
+        adr, space = build_adr()
+        service = QueryService(adr)
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.submit(make_query(space, Rect((0, 0), (10, 10))))
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            ServicePolicy(max_queue=0)
+        with pytest.raises(ValueError):
+            ServicePolicy(max_inflight=0)
+        with pytest.raises(ValueError):
+            ServicePolicy(batch_window=-1)
+
+
+class TestBatchingScheduler:
+    def _run_backlogged(self, queries, policy):
+        """Submit *queries* against a gated store so they all queue
+        behind one blocked warm-up query, then release the gate --
+        batch formation is deterministic (pure backlog, no windowing)."""
+        gate = GateStore(MemoryChunkStore())
+        adr, space = build_adr(store=gate)
+        tickets = []
+        with QueryService(adr, policy) as service:
+            warmup = service.submit(make_query(space, Rect((0, 0), (1.5, 1.5))))
+            deadline = time.monotonic() + 10
+            while service.stats()["in_flight"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            tickets = [service.submit(q) for q in queries]
+            gate.gate.set()
+            warmup.result(timeout=30)
+            results = [t.result(timeout=30) for t in tickets]
+        return tickets, results, service
+
+    def test_overlapping_queries_scheduled_adjacent(self):
+        _, space = build_adr()
+        queries = [
+            make_query(space, Rect((0, 0), (5, 5))),       # A
+            make_query(space, Rect((5.2, 5.2), (10, 10))),  # far from A
+            make_query(space, Rect((1, 1), (5.5, 5.5))),    # overlaps A heavily
+        ]
+        policy = ServicePolicy(max_inflight=1, batch_max=8, batch_window=0.5)
+        tickets, _, service = self._run_backlogged(queries, policy)
+        infos = [t.service_info for t in tickets]
+        assert all(i["batch_size"] == 3 for i in infos)
+        assert abs(infos[0]["batch_pos"] - infos[2]["batch_pos"]) == 1
+        assert service.stats()["batches"] >= 1
+
+    def test_batch_max_caps_batch_size(self):
+        _, space = build_adr()
+        queries = [make_query(space, Rect((0, 0), (10, 10))) for _ in range(5)]
+        policy = ServicePolicy(max_inflight=1, batch_max=2, batch_window=0.5)
+        tickets, _, _ = self._run_backlogged(queries, policy)
+        assert max(t.service_info["batch_size"] for t in tickets) <= 2
+
+    def test_share_scans_off_disables_batching(self):
+        _, space = build_adr()
+        queries = [make_query(space, Rect((0, 0), (10, 10))) for _ in range(3)]
+        policy = ServicePolicy(
+            max_inflight=1, batch_max=8, batch_window=0.5, share_scans=False
+        )
+        tickets, results, _ = self._run_backlogged(queries, policy)
+        assert all(t.service_info["batch_size"] == 1 for t in tickets)
+
+    def test_queue_wait_reported(self):
+        _, space = build_adr()
+        policy = ServicePolicy(max_inflight=1)
+        tickets, _, _ = self._run_backlogged(
+            [make_query(space, Rect((0, 0), (10, 10)))], policy
+        )
+        assert tickets[0].service_info["queue_wait_s"] >= 0.0
+
+
+class TestScanSharing:
+    def test_batched_duplicates_share_reads(self):
+        adr, space = build_adr()
+        q = make_query(space, Rect((0, 0), (10, 10)))
+        policy = ServicePolicy(max_inflight=1, batch_max=4, batch_window=0.5)
+        with QueryService(adr, policy) as service:
+            tickets = [service.submit(q) for _ in range(3)]
+            results = [t.result(timeout=30) for t in tickets]
+        # Identical queries in one batch: every successor read is shared.
+        shared = sorted(r.shared_reads for r in results)
+        assert shared[-1] == results[0].n_reads
+        assert sum(r.shared_reads for r in results) >= results[0].n_reads
+        stats = service.stats()
+        assert stats["shared_reads"] == sum(r.shared_reads for r in results)
+        assert stats["shared_bytes"] == sum(r.shared_bytes for r in results)
+
+    def test_pinning_shares_despite_tiny_cache(self):
+        """With a 1-byte budget the plain LRU caches nothing -- only
+        batch pinning can retain the overlap set, so shared reads prove
+        the pin/unpin path works."""
+        adr, space = build_adr(cache_bytes=1)
+        q = make_query(space, Rect((0, 0), (10, 10)))
+        policy = ServicePolicy(max_inflight=1, batch_max=2, batch_window=0.5)
+        with QueryService(adr, policy) as service:
+            tickets = [service.submit(q) for _ in range(2)]
+            results = [t.result(timeout=30) for t in tickets]
+        assert max(r.shared_reads for r in results) == results[0].n_reads
+        # pins released: the over-budget entries are evictable again
+        assert adr.store.pinned_count == 0
+
+    def test_results_bit_identical_to_isolated(self):
+        adr, space = build_adr()
+        queries = workload(space)
+        policy = ServicePolicy(max_inflight=3, batch_max=8, batch_window=0.05)
+        with QueryService(adr, policy) as service:
+            tickets = [service.submit(q) for q in queries]
+            shared_results = [t.result(timeout=60) for t in tickets]
+        solo_adr, _ = build_adr()  # fresh instance, cold cache
+        for i, (q, shared) in enumerate(zip(queries, shared_results)):
+            assert_identical(shared, solo_adr.execute(q), label=f"query {i}")
+
+    def test_degraded_results_bit_identical_to_isolated(self):
+        """on_error='degrade' under shared execution reports the same
+        chunk_errors and completeness as an isolated run."""
+
+        def faulty_store():
+            return FaultyChunkStore(
+                MemoryChunkStore(),
+                FaultInjector(FaultPlan.corrupt_chunk(3, dataset="sensors")),
+            )
+
+        adr, space = build_adr(store=faulty_store())
+        queries = [
+            make_query(space, Rect((0, 0), (10, 10)), on_error="degrade"),
+            make_query(space, Rect((0, 0), (6, 6)), on_error="degrade"),
+            make_query(space, Rect((2, 2), (10, 10)), on_error="degrade"),
+        ]
+        policy = ServicePolicy(max_inflight=2, batch_max=4, batch_window=0.05)
+        with QueryService(adr, policy) as service:
+            tickets = [service.submit(q) for q in queries]
+            shared_results = [t.result(timeout=60) for t in tickets]
+        solo_adr, _ = build_adr(store=faulty_store())
+        hit_fault = 0
+        for i, (q, shared) in enumerate(zip(queries, shared_results)):
+            solo = solo_adr.execute(q)
+            assert_identical(shared, solo, label=f"degraded query {i}")
+            hit_fault += bool(shared.chunk_errors)
+        assert hit_fault > 0  # the fault actually fired somewhere
+
+
+class TestErrors:
+    def test_bad_query_fails_its_ticket_only(self):
+        adr, space = build_adr()
+        good = make_query(space, Rect((0, 0), (10, 10)))
+        bad = make_query(space, Rect((0, 0), (10, 10)))
+        bad.dataset = "absent"
+        policy = ServicePolicy(max_inflight=1, batch_max=4, batch_window=0.2)
+        with QueryService(adr, policy) as service:
+            tg, tb = service.submit(good), service.submit(bad)
+            with pytest.raises(KeyError):
+                tb.result(timeout=30)
+            assert tg.result(timeout=30).n_reads > 0
+        stats = service.stats()
+        assert stats["failed"] == 1 and stats["completed"] == 1
+
+    def test_ticket_timeout(self):
+        gate = GateStore(MemoryChunkStore())
+        adr, space = build_adr(store=gate)
+        with QueryService(adr, ServicePolicy(max_inflight=1)) as service:
+            ticket = service.submit(make_query(space, Rect((0, 0), (10, 10))))
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.05)
+            gate.gate.set()
+            assert ticket.result(timeout=30).n_reads > 0
+
+
+class TestConcurrentHammer:
+    def test_many_threads_bit_identical(self):
+        """N threads hammering the service with overlapping and
+        disjoint queries: every result matches the same query run
+        alone on a fresh ADR."""
+        adr, space = build_adr()
+        queries = workload(space)
+        solo_adr, _ = build_adr()
+        expected = [solo_adr.execute(q) for q in queries]
+
+        policy = ServicePolicy(max_queue=256, max_inflight=4, batch_max=4)
+        failures = []
+        lock = threading.Lock()
+
+        def hammer(tid):
+            try:
+                for round_no in range(3):
+                    idx = (tid + round_no) % len(queries)
+                    result = adr_service.execute(queries[idx], timeout=120)
+                    assert_identical(
+                        result, expected[idx], label=f"t{tid} r{round_no} q{idx}"
+                    )
+            except BaseException as e:  # surface in the main thread
+                with lock:
+                    failures.append(e)
+
+        with QueryService(adr, policy) as adr_service:
+            threads = [
+                threading.Thread(target=hammer, args=(t,)) for t in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        assert not failures, failures[0]
+        assert adr_service.stats()["completed"] == 24

@@ -1,5 +1,9 @@
 """Tests for the socket front-end service."""
 
+import json
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -79,10 +83,204 @@ class TestService:
         with ADRClient(*server.address) as client:
             client._file.write(b"this is not json\n")
             client._file.flush()
-            import json
-
             raw = client._file.readline()
             response = json.loads(raw)
             assert not response["ok"]
             # connection still usable afterwards
             assert client.ping()
+
+
+class TestErrorCodes:
+    """Structured protocol errors: machine-distinguishable ``code``
+    next to the back-compat free-text ``error``."""
+
+    def test_bad_request_code_for_unknown_dataset(self, service):
+        adr, server, query = service
+        query.dataset = "absent"
+        with ADRClient(*server.address) as client:
+            response = client._call(
+                {"op": "query", "query": query_to_dict_helper(query)}
+            )
+            assert response["ok"] is False
+            assert response["code"] == "bad_request"
+            assert "absent" in response["error"]
+
+    def test_bad_request_code_for_malformed_payload(self, service):
+        adr, server, _ = service
+        with ADRClient(*server.address) as client:
+            response = client._call({"op": "query", "query": {"version": 99}})
+            assert response["code"] == "bad_request"
+
+    def test_bad_request_code_for_unknown_op(self, service):
+        adr, server, _ = service
+        with ADRClient(*server.address) as client:
+            response = client._call({"op": "teleport"})
+            assert response["code"] == "bad_request"
+
+    def test_malformed_json_gets_bad_request_code(self, service):
+        adr, server, _ = service
+        with ADRClient(*server.address) as client:
+            client._file.write(b"not json at all\n")
+            client._file.flush()
+            response = json.loads(client._file.readline())
+            assert response["code"] == "bad_request"
+
+    def test_client_error_message_carries_code(self, service):
+        adr, server, query = service
+        query.dataset = "absent"
+        with ADRClient(*server.address) as client:
+            with pytest.raises(RuntimeError, match=r"\[bad_request\]"):
+                client.query(query)
+
+    def test_overloaded_code_when_queue_full(self, rng):
+        """Admission-control rejections travel as ``overloaded``."""
+        from repro.frontend.queryservice import ServicePolicy
+        from repro.store.chunk_store import ChunkStore, MemoryChunkStore
+
+        class GateStore(ChunkStore):
+            def __init__(self, inner):
+                self.inner = inner
+                self.gate = threading.Event()
+
+            def read_chunk(self, dataset, chunk_id):
+                assert self.gate.wait(timeout=30)
+                return self.inner.read_chunk(dataset, chunk_id)
+
+            def write_chunk(self, dataset, chunk, node, disk):
+                self.inner.write_chunk(dataset, chunk, node, disk)
+
+            def delete_dataset(self, dataset):
+                self.inner.delete_dataset(dataset)
+
+            def placement(self, dataset, chunk_id):
+                return self.inner.placement(dataset, chunk_id)
+
+            def chunk_ids(self, dataset):
+                return self.inner.chunk_ids(dataset)
+
+        gate = GateStore(MemoryChunkStore())
+        adr = ADR(machine=MachineConfig(n_procs=2, memory_per_proc=MB), store=gate)
+        in_space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+        coords = rng.uniform(0, 10, size=(100, 2))
+        values = rng.integers(1, 20, size=100).astype(float)
+        adr.load("sensors", in_space, hilbert_partition(coords, values, 20))
+        out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+        grid = OutputGrid(out_space, (6, 6), (3, 3))
+        mapping = GridMapping(in_space, out_space, (6, 6))
+        query = RangeQuery("sensors", Rect((0, 0), (10, 10)), mapping, grid,
+                           aggregation="sum", strategy="FRA")
+        policy = ServicePolicy(max_queue=1, max_inflight=1, batch_max=1)
+        with ADRServer(adr, port=0, policy=policy) as server:
+            background = []
+
+            def blocked_query():
+                with ADRClient(*server.address) as c:
+                    background.append(c.query(query))
+
+            threads = [threading.Thread(target=blocked_query) for _ in range(2)]
+            deadline = time.monotonic() + 10
+            with ADRClient(*server.address) as probe:
+                def wait_for(condition):
+                    while True:
+                        stats = probe.stats()
+                        if condition(stats):
+                            return
+                        assert time.monotonic() < deadline, stats
+                        time.sleep(0.01)
+
+                # sequence the saturation: first query in flight
+                # (blocked on the gate), then the second one queued --
+                # submitting both at once would race the worker's
+                # dequeue and reject a background client instead of
+                # the probe.
+                threads[0].start()
+                wait_for(lambda s: s["in_flight"] >= 1)
+                threads[1].start()
+                wait_for(lambda s: s["queue_depth"] >= 1)
+                response = probe._call(
+                    {"op": "query", "query": query_to_dict_helper(query)}
+                )
+                assert response["ok"] is False
+                assert response["code"] == "overloaded"
+            server.service.adr.store.gate.set()
+            for t in threads:
+                t.join(timeout=30)
+            assert len(background) == 2
+
+
+def query_to_dict_helper(query):
+    from repro.frontend.protocol import query_to_dict
+
+    return query_to_dict(query)
+
+
+class TestStatsEndpoint:
+    def test_stats_roundtrip(self, service):
+        adr, server, query = service
+        with ADRClient(*server.address) as client:
+            before = client.stats()
+            assert before["queue_depth"] == 0
+            client.query(query)
+            after = client.stats()
+        assert after["completed"] == before["completed"] + 1
+        assert after["submitted"] == before["submitted"] + 1
+        for key in ("rejected", "failed", "batches", "batched_queries",
+                    "shared_reads", "shared_bytes", "in_flight", "policy",
+                    "cache"):
+            assert key in after
+        assert 0.0 <= after["cache"]["chunk_hit_rate"] <= 1.0
+
+    def test_stats_is_json_clean(self, service):
+        adr, server, query = service
+        with ADRClient(*server.address) as client:
+            client.query(query)
+            stats = client.stats()
+        json.dumps(stats)  # wire-safe by construction
+
+
+class TestQueryServiceInfo:
+    def test_response_carries_service_diagnostics(self, service):
+        adr, server, query = service
+        with ADRClient(*server.address) as client:
+            result, info = client.query_with_info(query)
+        assert result.n_reads > 0
+        assert info is not None
+        for key in ("queue_wait_s", "batch_size", "batch_pos",
+                    "shared_reads", "shared_bytes"):
+            assert key in info
+        assert info["batch_size"] >= 1
+
+
+class TestClientThreadSafety:
+    def test_shared_client_serializes_frames(self, service):
+        """Regression: one ADRClient shared by many threads must not
+        interleave request/response frames (the old unlocked client
+        corrupted the stream)."""
+        adr, server, query = service
+        expected = adr.execute(query)
+        failures = []
+        lock = threading.Lock()
+        with ADRClient(*server.address) as client:
+            def hammer(tid):
+                try:
+                    for i in range(5):
+                        if (tid + i) % 2:
+                            assert client.ping()
+                        else:
+                            result = client.query(query)
+                            assert result.output_ids.tolist() == \
+                                expected.output_ids.tolist()
+                            for a, b in zip(result.chunk_values,
+                                            expected.chunk_values):
+                                np.testing.assert_allclose(a, b, equal_nan=True)
+                except BaseException as e:
+                    with lock:
+                        failures.append(e)
+
+            threads = [threading.Thread(target=hammer, args=(t,))
+                       for t in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not failures, failures[0]

@@ -103,3 +103,97 @@ class TestSimulateBatch:
         assert warm.read_bytes.sum() == 0
         assert warm.total_time < cold.total_time
         assert warm.disk_busy.sum() < cold.disk_busy.sum()
+
+
+class TestOrderForSharing:
+    """The standalone ordering used by the concurrent query service to
+    schedule pre-built, possibly mixed-strategy plans."""
+
+    def _plans(self, rng, ranges, strategy="FRA"):
+        from repro.planner.strategies import plan_query
+
+        return [plan_query(sub_problem(rng, r), strategy) for r in ranges]
+
+    def test_returns_permutation(self, rng):
+        from repro.planner.batch import order_for_sharing
+
+        plans = self._plans(rng, [range(0, 20), range(10, 30), range(40, 60)])
+        order = order_for_sharing(plans)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_two_or_fewer_keep_submission_order(self, rng):
+        from repro.planner.batch import order_for_sharing
+
+        plans = self._plans(rng, [range(0, 20), range(0, 20)])
+        assert order_for_sharing(plans) == [0, 1]
+        assert order_for_sharing(plans[:1]) == [0]
+
+    def test_chains_overlap_across_mixed_strategies(self, rng):
+        """Overlap is a property of the input chunk sets, not the
+        tiling: FRA and SRA plans order the same."""
+        from repro.planner.batch import order_for_sharing
+        from repro.planner.strategies import plan_query
+
+        a = plan_query(sub_problem(rng, range(0, 20)), "FRA")
+        c = plan_query(sub_problem(rng, range(40, 60)), "SRA")
+        b = plan_query(sub_problem(rng, range(15, 35)), "SRA")
+        order = order_for_sharing([a, c, b])
+        pos = {q: i for i, q in enumerate(order)}
+        assert abs(pos[0] - pos[2]) == 1  # A and B adjacent
+
+    def test_no_overlap_keeps_submission_order(self, rng):
+        from repro.planner.batch import order_for_sharing
+
+        plans = self._plans(
+            rng, [range(0, 10), range(20, 30), range(40, 50)]
+        )
+        assert order_for_sharing(plans) == [0, 1, 2]
+
+    def test_matches_plan_batch_order(self, rng):
+        from repro.planner.batch import order_for_sharing
+
+        probs = [sub_problem(rng, range(0, 20)),
+                 sub_problem(rng, range(40, 60)),
+                 sub_problem(rng, range(15, 35))]
+        batch = plan_batch(probs)
+        from repro.planner.strategies import plan_query
+
+        plans = [plan_query(p, "FRA") for p in probs]
+        assert order_for_sharing(plans) == batch.order
+
+
+class TestConsecutiveSharedKeys:
+    """The pin set handed to the payload cache by the query service."""
+
+    def test_keys_are_the_consecutive_overlaps(self, rng):
+        probs = [sub_problem(rng, range(0, 20)),
+                 sub_problem(rng, range(15, 35))]
+        batch = plan_batch(probs)
+        assert batch.consecutive_shared_keys() == frozenset(range(15, 20))
+
+    def test_disjoint_batch_pins_nothing(self, rng):
+        probs = [sub_problem(rng, range(0, 10)),
+                 sub_problem(rng, range(20, 30))]
+        batch = plan_batch(probs)
+        assert batch.consecutive_shared_keys() == frozenset()
+
+    def test_only_adjacent_overlap_counts(self, rng):
+        """Overlap between non-consecutive queries is not in the pin
+        set -- the reuse window is one query deep."""
+        a = sub_problem(rng, range(0, 10))
+        b = sub_problem(rng, range(20, 30))
+        c = sub_problem(rng, range(0, 10))  # same chunks as A
+        batch = plan_batch([a, b, c], reorder=False)
+        assert batch.order == [0, 1, 2]
+        assert batch.consecutive_shared_keys() == frozenset()
+
+    def test_chain_unions_every_adjacent_pair(self, rng):
+        probs = [sub_problem(rng, range(0, 20)),
+                 sub_problem(rng, range(15, 35)),
+                 sub_problem(rng, range(30, 50))]
+        batch = BatchPlan(
+            [plan_fra(p) for p in probs], [0, 1, 2]
+        )
+        assert batch.consecutive_shared_keys() == (
+            frozenset(range(15, 20)) | frozenset(range(30, 35))
+        )

@@ -215,3 +215,119 @@ class TestFileStoreBatching:
         assert got == order  # caller order preserved, duplicate served twice
         # physical order: (node, disk, id) ascending, each id read once
         assert fetched == [2, 5, 0, 4, 1, 3]
+
+
+class TestPinning:
+    """Shared-scan pinning: pinned payloads survive eviction pressure
+    for the lifetime of a batch (the query service pins a batch's
+    consecutive-overlap set, then unpins when the batch completes)."""
+
+    def test_pinned_chunk_survives_eviction_pressure(self, filled):
+        _, chunks = filled
+        inner = MemoryChunkStore()
+        for c in chunks:
+            inner.write_chunk("ds", c, node=0, disk=0)
+        store = CachedChunkStore(inner, max_bytes=2 * chunk_bytes(chunks[0]))
+        store.pin("ds", [0])
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 1)
+        store.read_chunk("ds", 2)  # would evict LRU chunk 0 if unpinned
+        store.read_chunk("ds", 3)
+        hits_before = store.hits
+        store.read_chunk("ds", 0)
+        assert store.hits == hits_before + 1  # still resident
+        store.unpin("ds", [0])
+
+    def test_unpinned_chunk_becomes_ordinary_victim(self, filled):
+        _, chunks = filled
+        inner = MemoryChunkStore()
+        for c in chunks:
+            inner.write_chunk("ds", c, node=0, disk=0)
+        store = CachedChunkStore(inner, max_bytes=2 * chunk_bytes(chunks[0]))
+        store.pin("ds", [0])
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 1)
+        store.unpin("ds", [0])
+        assert store.pinned_count == 0
+        store.read_chunk("ds", 2)  # chunk 0 is LRU and evictable again
+        misses_before = store.misses
+        store.read_chunk("ds", 0)
+        assert store.misses == misses_before + 1
+
+    def test_pin_is_refcounted(self, filled):
+        store, _ = filled
+        store.pin("ds", [0, 1])
+        store.pin("ds", [0])  # second batch pins chunk 0 too
+        store.unpin("ds", [0, 1])
+        assert store.pinned_count == 1  # chunk 0 still held once
+        store.unpin("ds", [0])
+        assert store.pinned_count == 0
+
+    def test_unpin_unknown_key_is_ignored(self, filled):
+        store, _ = filled
+        store.unpin("ds", [99])
+        assert store.pinned_count == 0
+
+    def test_pinned_oversized_chunk_is_cached_anyway(self, filled):
+        """An over-budget pinned insert is a bounded, deliberate
+        overshoot: the batch that pinned it needs it resident."""
+        _, chunks = filled
+        inner = MemoryChunkStore()
+        inner.write_chunk("ds", chunks[0], 0, 0)
+        store = CachedChunkStore(inner, max_bytes=chunk_bytes(chunks[0]) - 1)
+        store.pin("ds", [0])
+        store.read_chunk("ds", 0)
+        assert len(store) == 1
+        assert store.nbytes > store.max_bytes
+        store.unpin("ds", [0])
+
+    def test_all_pinned_cache_stops_evicting(self, filled):
+        _, chunks = filled
+        inner = MemoryChunkStore()
+        for c in chunks:
+            inner.write_chunk("ds", c, node=0, disk=0)
+        store = CachedChunkStore(inner, max_bytes=2 * chunk_bytes(chunks[0]))
+        store.pin("ds", [0, 1, 2])
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 1)
+        store.read_chunk("ds", 2)  # over budget, nothing evictable
+        assert len(store) == 3
+        assert store.evictions == 0
+        store.unpin("ds", [0, 1, 2])
+
+
+class TestScanRecorder:
+    """Per-query attribution of cache traffic (exact even when many
+    queries share the cache concurrently, unlike global-counter deltas)."""
+
+    def test_records_miss_then_hit(self, filled):
+        from repro.store.cache import ScanRecorder
+
+        store, chunks = filled
+        recorder = ScanRecorder()
+        store.read_chunk("ds", 0, recorder=recorder)
+        store.read_chunk("ds", 0, recorder=recorder)
+        snap = recorder.snapshot()
+        size = chunk_bytes(chunks[0])
+        assert snap == {"hits": 1, "misses": 1,
+                        "hit_bytes": size, "miss_bytes": size}
+
+    def test_recorders_are_independent(self, filled):
+        from repro.store.cache import ScanRecorder
+
+        store, _ = filled
+        first, second = ScanRecorder(), ScanRecorder()
+        store.read_chunk("ds", 0, recorder=first)   # miss, warms cache
+        store.read_chunk("ds", 0, recorder=second)  # hit for second only
+        assert first.snapshot()["hits"] == 0
+        assert second.snapshot() == {
+            "hits": 1, "misses": 0,
+            "hit_bytes": second.snapshot()["hit_bytes"], "miss_bytes": 0,
+        }
+        assert second.snapshot()["hit_bytes"] > 0
+
+    def test_reads_without_recorder_still_count_globally(self, filled):
+        store, _ = filled
+        store.read_chunk("ds", 0)
+        store.read_chunk("ds", 0)
+        assert store.hits == 1 and store.misses == 1
