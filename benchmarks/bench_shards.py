@@ -1,0 +1,347 @@
+"""Sharded scatter/gather benchmark: machine-count scaling + degrade.
+
+Measures the paper's machine-scaling story (Figures 8/9) on the real
+deployment shape: N ``repro.shard.server`` **OS processes** (one per
+shard, each owning its Hilbert-assigned chunk shard behind a modelled
+per-read disk latency) fronted by a
+:class:`~repro.shard.router.ShardRouter` that scatters each query,
+gathers raw-accumulator partials over the wire, and finishes the FRA
+global combine.  Each query's chunk reads split across shards, so the
+read-bound wall time should drop roughly with the machine count --
+the same declustered-disk argument the paper makes, one level up.
+
+Two measurements:
+
+- **scaling** -- the query list executed through 1-, 2- and 4-shard
+  deployments (fresh processes and cold caches per round); reports
+  queries/sec and p50/p99 latency per shard count and the 4-vs-1
+  throughput ratio (``--min-ratio`` gates it in CI);
+- **degraded** -- the 4-shard deployment with one shard process
+  killed: p50/p99 latency and completeness of ``on_error='degrade'``
+  queries, showing a dead machine costs bounded retry time, not a
+  hung or failed workload.
+
+Before any timing counts, every query's routed result is checked
+against the same query on a single-process ADR over the full dataset
+(identical output ids and pruning, values to float tolerance --
+combine order across shards may differ, nothing else; the 1-shard
+deployment must match **bit for bit**, its merge being a pure
+re-encode).  Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_shards.py [--min-ratio 1.5]
+
+writes ``BENCH_shards.json``.  Fidelity follows
+``REPRO_BENCH_FIDELITY`` (``fast`` shrinks items, queries and rounds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.aggregation.functions import MeanAggregation  # noqa: E402
+from repro.aggregation.output_grid import OutputGrid  # noqa: E402
+from repro.dataset.partition import hilbert_partition  # noqa: E402
+from repro.frontend.adr import ADR  # noqa: E402
+from repro.frontend.protocol import ProtocolError  # noqa: E402
+from repro.frontend.query import RangeQuery  # noqa: E402
+from repro.machine.config import MachineConfig  # noqa: E402
+from repro.shard.router import (  # noqa: E402
+    RouterPolicy,
+    ShardEndpoint,
+    ShardRouter,
+)
+from repro.shard.topology import ShardTopology, shard_chunks  # noqa: E402
+from repro.space.attribute_space import AttributeSpace  # noqa: E402
+from repro.space.mapping import GridMapping  # noqa: E402
+from repro.store.retry import RetryPolicy  # noqa: E402
+from repro.util.geometry import Rect  # noqa: E402
+from repro.util.rng import make_rng  # noqa: E402
+from repro.util.units import MB  # noqa: E402
+
+FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "fast").lower()
+SEED = 20260807
+
+WORKLOADS = {
+    # n_items, items_per_chunk, grid_cells, chunk_cells, procs/shard,
+    # read latency (s), workload repeats, rounds
+    "fast": (3_000, 30, (12, 12), (3, 3), 2, 0.004, 1, 2),
+    "full": (9_000, 45, (16, 16), (4, 4), 2, 0.004, 2, 3),
+}
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: Read-heavy regions over the (0,0)-(10,10) input space: full scans
+#: and large boxes, so every query touches chunks on every shard.
+REGION_TEMPLATES = [
+    ((0, 0), (10, 10)),
+    ((0, 0), (8, 8)),
+    ((2, 2), (10, 10)),
+    ((0, 0), (10, 6)),
+    ((0, 4), (10, 10)),
+    ((1, 0), (9, 10)),
+    ((0, 1), (10, 9)),
+    ((0, 0), (10, 10)),
+]
+
+
+def build_workload():
+    (n_items, per_chunk, gcells, ccells, n_procs, delay, repeats,
+     rounds) = WORKLOADS["fast" if FIDELITY == "fast" else "full"]
+    rng = make_rng(SEED)
+    in_space = AttributeSpace.regular("in", ("x", "y"), (0, 0), (10, 10))
+    out_space = AttributeSpace.regular("out", ("u", "v"), (0, 0), (1, 1))
+    coords = rng.uniform(0, 10, size=(n_items, 2))
+    values = rng.integers(1, 100, size=(n_items, 1)).astype(float)
+    chunks = hilbert_partition(coords, values, per_chunk)
+    grid = OutputGrid(out_space, gcells, ccells)
+    mapping = GridMapping(in_space, out_space, gcells)
+    queries = [
+        RangeQuery("farm", Rect(lo, hi), mapping, grid,
+                   aggregation=MeanAggregation(1), strategy="FRA")
+        for _ in range(repeats)
+        for lo, hi in REGION_TEMPLATES
+    ]
+    return in_space, chunks, queries, n_procs, delay, rounds
+
+
+class ShardProcs:
+    """N shard-server OS processes, spawned from pickled payloads."""
+
+    def __init__(self, in_space, chunks, n_shards, n_procs, delay, tmpdir):
+        self.topology = ShardTopology.build("farm", in_space, chunks, n_shards)
+        self.procs = []
+        self.endpoints = []
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        for sid in range(n_shards):
+            payload = {
+                "dataset": "farm",
+                "space": in_space,
+                "chunks": shard_chunks(chunks, self.topology.assignment, sid),
+                "shard_id": sid,
+                "n_procs": n_procs,
+                "memory_per_proc": MB,
+                "read_delay_s": delay,
+                # No payload cache: every round pays the modelled disk
+                # latency, which is the quantity being scaled.
+                "cache_bytes": 0,
+            }
+            path = Path(tmpdir) / f"shard{sid}.pickle"
+            with open(path, "wb") as f:
+                pickle.dump(payload, f)
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.shard.server", "--load",
+                 str(path)],
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                env=env, text=True,
+            )
+            self.procs.append(proc)
+            port = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    raise RuntimeError(f"shard {sid} exited during startup")
+                if line.startswith("PORT "):
+                    port = int(line.split()[1])
+                if line.strip() == "READY":
+                    break
+            if port is None:
+                raise RuntimeError(f"shard {sid} never reported its port")
+            self.endpoints.append(ShardEndpoint(sid, ("127.0.0.1", port)))
+
+    def router(self, policy):
+        return ShardRouter(self.topology, self.endpoints, policy=policy)
+
+    def kill(self, sid):
+        self.procs[sid].kill()
+        self.procs[sid].wait(timeout=30)
+
+    def close(self):
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.procs:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def make_solo(in_space, chunks, n_procs):
+    adr = ADR(machine=MachineConfig(n_procs=n_procs, memory_per_proc=MB))
+    adr.load("farm", in_space, chunks)
+    return adr
+
+
+def verify_routed_matches_solo(router, n_shards, queries, solo_results):
+    """Correctness gate: routed results match the single-process ADR
+    (ids and pruning exactly, values to float tolerance; the 1-shard
+    deployment bit for bit -- its merge only re-encodes)."""
+    for qi, (query, solo) in enumerate(zip(queries, solo_results)):
+        routed = router.execute(query)
+        tag = f"shards={n_shards} query {qi}"
+        if routed.shard_errors or routed.completeness != 1.0:
+            raise AssertionError(f"{tag}: healthy deployment degraded")
+        if routed.output_ids.tolist() != solo.output_ids.tolist():
+            raise AssertionError(f"{tag}: output ids diverged")
+        if routed.chunks_pruned != solo.chunks_pruned:
+            raise AssertionError(f"{tag}: pruning diverged")
+        for o, rv, sv in zip(routed.output_ids, routed.chunk_values,
+                             solo.chunk_values):
+            exact = np.array_equal(rv, sv, equal_nan=True)
+            if n_shards == 1 and not exact:
+                raise AssertionError(
+                    f"{tag}: single-shard chunk {int(o)} not bit-identical"
+                )
+            if not exact and not np.allclose(rv, sv, equal_nan=True):
+                raise AssertionError(f"{tag}: chunk {int(o)} diverged")
+
+
+def drive_round(router, queries):
+    latencies = []
+    t0 = time.perf_counter()
+    for query in queries:
+        q0 = time.perf_counter()
+        router.execute(query)
+        latencies.append(time.perf_counter() - q0)
+    return time.perf_counter() - t0, latencies
+
+
+def summarize(wall, latencies, n_queries):
+    lat_ms = np.asarray(latencies) * 1e3
+    return {
+        "seconds": wall,
+        "queries_per_second": n_queries / wall,
+        "p50_latency_ms": float(np.percentile(lat_ms, 50)),
+        "p99_latency_ms": float(np.percentile(lat_ms, 99)),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-ratio", type=float, default=None,
+        help="exit 1 unless 4-shard/1-shard throughput meets this factor",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_shards.json"),
+        help="output JSON path (default: repo-root BENCH_shards.json)",
+    )
+    args = parser.parse_args(argv)
+
+    in_space, chunks, queries, n_procs, delay, rounds = build_workload()
+    solo_results = [
+        make_solo(in_space, chunks, n_procs).execute(q) for q in queries
+    ]
+
+    policy = RouterPolicy(
+        shard_deadline_s=120.0, connect_timeout_s=10.0,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.05,
+                          retry_on=(OSError, ProtocolError)),
+    )
+    report = {
+        "bench": "shards",
+        "fidelity": "fast" if FIDELITY == "fast" else "full",
+        "n_chunks": len(chunks),
+        "n_queries": len(queries),
+        "read_latency_seconds": delay,
+        "rounds": rounds,
+        "shard_counts": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_shards_") as tmpdir:
+        for n_shards in SHARD_COUNTS:
+            best_wall = float("inf")
+            all_latencies = []
+            for rnd in range(rounds):
+                with ShardProcs(in_space, chunks, n_shards, n_procs, delay,
+                                tmpdir) as procs:
+                    router = procs.router(policy)
+                    if rnd == 0:
+                        verify_routed_matches_solo(
+                            router, n_shards, queries, solo_results
+                        )
+                    wall, latencies = drive_round(router, queries)
+                best_wall = min(best_wall, wall)
+                all_latencies.extend(latencies)
+            r = summarize(best_wall, all_latencies, len(queries))
+            report["shard_counts"][str(n_shards)] = r
+            print(
+                f"shards={n_shards}: {r['queries_per_second']:.1f} q/s "
+                f"(wall {r['seconds']:.3f}s), p50 {r['p50_latency_ms']:.1f} ms, "
+                f"p99 {r['p99_latency_ms']:.1f} ms"
+            )
+
+        # Degraded mode: the widest deployment with one machine dead.
+        n_shards = SHARD_COUNTS[-1]
+        degrade_policy = RouterPolicy(
+            shard_deadline_s=10.0, connect_timeout_s=2.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.05,
+                              retry_on=(OSError, ProtocolError)),
+        )
+        degraded_queries = [
+            RangeQuery(q.dataset, q.region, q.mapping, q.grid,
+                       aggregation=q.aggregation, strategy=q.strategy,
+                       on_error="degrade")
+            for q in queries
+        ]
+        with ShardProcs(in_space, chunks, n_shards, n_procs, delay,
+                        tmpdir) as procs:
+            procs.kill(0)
+            router = procs.router(degrade_policy)
+            wall, latencies = drive_round(router, degraded_queries)
+            results = [router.execute(q) for q in degraded_queries[:1]]
+        r = summarize(wall, latencies, len(degraded_queries))
+        r["completeness"] = float(results[0].completeness)
+        r["dead_shards"] = 1
+        report["degraded"] = r
+        print(
+            f"degraded (1 of {n_shards} shards dead): "
+            f"p50 {r['p50_latency_ms']:.1f} ms, "
+            f"p99 {r['p99_latency_ms']:.1f} ms, "
+            f"completeness {r['completeness']:.3f}"
+        )
+
+    ratio = (
+        report["shard_counts"][str(SHARD_COUNTS[-1])]["queries_per_second"]
+        / report["shard_counts"]["1"]["queries_per_second"]
+    )
+    report["throughput_ratio_4v1"] = ratio
+    print(f"throughput ratio ({SHARD_COUNTS[-1]} shards / 1 shard): "
+          f"{ratio:.2f}x")
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        print(f"FAIL: throughput ratio {ratio:.2f}x below {args.min_ratio}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,14 @@ ADR401    bare ``except:`` anywhere, or an exception handler that
           ``src/repro/frontend/``, ``src/repro/faults/``) -- degraded
           execution must *record* every absorbed failure
           (``chunk_errors``), never discard it
+ADR402    untimed socket use inside the wire-protocol paths
+          (``src/repro/frontend/``, ``src/repro/shard/``,
+          ``src/repro/faults/``): a ``socket.socket()`` created
+          without a ``settimeout`` call in the same function,
+          ``create_connection`` without a timeout argument, or an
+          explicit ``settimeout(None)`` -- a blocking socket in the
+          scatter/gather path turns any dead peer into a hung query;
+          every wire operation must carry a deadline
 ADR501    phase-sequencing accumulator call (``allocate`` /
           ``aggregate_grouped`` / ``scatter_groups`` /
           ``combine_from`` / ``initialize_into`` /
@@ -88,7 +96,7 @@ __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
 LINT_CODES = (
     "ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR306", "ADR401",
-    "ADR501",
+    "ADR402", "ADR501",
 )
 
 #: Directory whose modules are the execution hot path (ADR305).
@@ -104,11 +112,20 @@ _INDEX_HOT_PATH = ("repro/index/",)
 #: and the fault-injection machinery itself.
 _FAULT_CRITICAL_PATHS = (
     "repro/runtime/", "repro/store/", "repro/frontend/", "repro/faults/",
+    "repro/shard/",
 )
 
 #: Directories holding threaded / multiprocess code: the ADR7xx
 #: dataflow rules of :mod:`repro.analysis.effects` apply here.
-_CONCURRENCY_PATHS = ("repro/runtime/", "repro/store/", "repro/frontend/")
+_CONCURRENCY_PATHS = (
+    "repro/runtime/", "repro/store/", "repro/frontend/", "repro/shard/",
+)
+
+#: Directories speaking the wire protocol (ADR402): every socket
+#: there must carry an explicit timeout or deadline -- a blocking
+#: socket in the scatter/gather path turns any dead peer into a hung
+#: query instead of a recorded ``shard_errors`` entry.
+_WIRE_SCOPE_PATHS = ("repro/frontend/", "repro/shard/", "repro/faults/")
 
 #: The module under the ADR705 guarded-cache lock discipline.
 _GUARDED_CACHE_MODULES = ("store/cache.py", "store\\cache.py")
@@ -251,6 +268,7 @@ class _Visitor(ast.NodeVisitor):
         self, path: str, out: DiagnosticCollector, rng_exempt: bool,
         runtime_hot_path: bool = False, fault_critical: bool = False,
         phase_scope: bool = False, index_hot_path: bool = False,
+        wire_scope: bool = False,
     ) -> None:
         self.path = path
         self.out = out
@@ -259,9 +277,87 @@ class _Visitor(ast.NodeVisitor):
         self.fault_critical = fault_critical
         self.phase_scope = phase_scope
         self.index_hot_path = index_hot_path
+        self.wire_scope = wire_scope
+        #: ADR402 per-function frames: sockets created vs. timed.
+        self._socket_frames: List[dict] = []
 
     def _loc(self, node: ast.AST) -> str:
         return f"{self.path}:{node.lineno}:{node.col_offset}"
+
+    # -- ADR402: untimed sockets in wire-protocol code ---------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_wire_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_wire_function(node)
+
+    def _visit_wire_function(self, node: ast.AST) -> None:
+        if not self.wire_scope:
+            self.generic_visit(node)
+            return
+        frame = {"created": [], "timed": set()}
+        self._socket_frames.append(frame)
+        self.generic_visit(node)
+        self._socket_frames.pop()
+        for name, creation in frame["created"]:
+            if name not in frame["timed"]:
+                self.out.emit(
+                    "ADR402",
+                    Severity.ERROR,
+                    self._loc(creation),
+                    f"socket '{name}' created without settimeout() in the "
+                    "same function; a blocking socket in the wire path "
+                    "turns a dead peer into a hung query -- set an "
+                    "explicit timeout",
+                )
+
+    def _check_wire_call(self, node: ast.Call) -> None:
+        fn = node.func
+        attr = fn.attr if isinstance(fn, ast.Attribute) else None
+        if attr == "create_connection":
+            timed = len(node.args) >= 2 or any(
+                kw.arg == "timeout" for kw in node.keywords
+            )
+            if not timed:
+                self.out.emit(
+                    "ADR402",
+                    Severity.ERROR,
+                    self._loc(node),
+                    "create_connection() without a timeout blocks "
+                    "indefinitely on an unreachable peer; pass "
+                    "timeout= (derive it from the request deadline)",
+                )
+        elif attr == "settimeout":
+            if (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            ):
+                self.out.emit(
+                    "ADR402",
+                    Severity.ERROR,
+                    self._loc(node),
+                    "settimeout(None) makes the socket blocking forever; "
+                    "wire-path sockets must keep an explicit timeout",
+                )
+            elif self._socket_frames:
+                target = _dotted(fn.value)
+                if target is not None:
+                    self._socket_frames[-1]["timed"].add(target)
+
+    def _note_wire_assignment(self, node: ast.Assign) -> None:
+        if not isinstance(node.value, ast.Call):
+            return
+        dotted = _dotted(node.value.func)
+        if dotted is None or dotted.split(".")[-2:] != ["socket", "socket"]:
+            return
+        if not self._socket_frames:
+            return
+        for t in node.targets:
+            target = _dotted(t)
+            if target is not None:
+                self._socket_frames[-1]["created"].append((target, node))
 
     # -- ADR301: unseeded randomness --------------------------------------
 
@@ -310,6 +406,8 @@ class _Visitor(ast.NodeVisitor):
                 "PhaseExecutor -- drive it instead of re-implementing it "
                 "(the serial oracle may opt out with noqa)",
             )
+        if self.wire_scope:
+            self._check_wire_call(node)
         self.generic_visit(node)
 
     # -- ADR302: float equality on accumulator values ----------------------
@@ -349,6 +447,8 @@ class _Visitor(ast.NodeVisitor):
     def visit_Assign(self, node: ast.Assign) -> None:
         for t in node.targets:
             self._check_mutation_target(t, node)
+        if self.wire_scope:
+            self._note_wire_assignment(node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -494,6 +594,7 @@ def lint_source(
     runtime_hot_path: bool = False, fault_critical: bool = False,
     phase_scope: bool = False, concurrency_scope: bool = False,
     guarded_cache: bool = False, index_hot_path: bool = False,
+    wire_scope: bool = False,
 ) -> List[Diagnostic]:
     """Lint one module's source text (the testable core).
 
@@ -510,7 +611,7 @@ def lint_source(
         return out.diagnostics
     _Visitor(
         path, out, rng_exempt, runtime_hot_path, fault_critical, phase_scope,
-        index_hot_path,
+        index_hot_path, wire_scope,
     ).visit(tree)
     if check_all and not any(
         isinstance(n, ast.Assign)
@@ -558,6 +659,7 @@ def lint_file(path: Path) -> List[Diagnostic]:
         concurrency_scope=any(m in posix for m in _CONCURRENCY_PATHS),
         guarded_cache=any(posix.endswith(e) for e in _GUARDED_CACHE_MODULES),
         index_hot_path=any(m in posix for m in _INDEX_HOT_PATH),
+        wire_scope=any(m in posix for m in _WIRE_SCOPE_PATHS),
     )
 
 

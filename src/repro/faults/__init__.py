@@ -12,7 +12,10 @@ real failure paths rather than hand-mocked exceptions.
 - :class:`FaultInjector` -- interprets a plan at the injection points;
 - :class:`FaultyChunkStore` -- wraps any chunk store with read faults;
 - :class:`InjectedFault` -- the ``OSError`` raised for injected I/O
-  failures.
+  failures;
+- :class:`WireFaultPlan` / :class:`WireFaultSpec` /
+  :class:`ChaosProxy` -- wire-level faults (refused connections, torn
+  and corrupted frames, slow peers) for the sharded deployment.
 
 See ``docs/robustness.md`` for the fault model and recovery contracts.
 """
@@ -20,6 +23,12 @@ See ``docs/robustness.md`` for the fault model and recovery contracts.
 from repro.faults.injector import FaultInjector, InjectedFault
 from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
 from repro.faults.store import FaultyChunkStore
+from repro.faults.wire import (
+    WIRE_FAULT_KINDS,
+    ChaosProxy,
+    WireFaultPlan,
+    WireFaultSpec,
+)
 
 __all__ = [
     "FAULT_KINDS",
@@ -28,4 +37,8 @@ __all__ = [
     "FaultInjector",
     "InjectedFault",
     "FaultyChunkStore",
+    "WIRE_FAULT_KINDS",
+    "WireFaultSpec",
+    "WireFaultPlan",
+    "ChaosProxy",
 ]

@@ -18,13 +18,14 @@ from repro.frontend.queryservice import (
     ServiceOverloadedError,
     ServicePolicy,
 )
-from repro.frontend.service import ADRServer, ADRClient
+from repro.frontend.service import ADRServer, ADRClient, RemoteQueryError
 
 __all__ = [
     "RangeQuery",
     "ADR",
     "ADRServer",
     "ADRClient",
+    "RemoteQueryError",
     "QueryService",
     "QueryTicket",
     "ServicePolicy",

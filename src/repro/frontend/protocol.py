@@ -16,7 +16,9 @@ needing them register them server-side and reference them by name.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+import json
+import struct
+from typing import Any, BinaryIO, Dict, Optional
 
 import numpy as np
 
@@ -37,7 +39,11 @@ __all__ = [
     "result_from_dict",
     "error_to_dict",
     "ProtocolError",
+    "DeadlineExceededError",
     "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "write_frame",
+    "read_frame",
 ]
 
 PROTOCOL_VERSION = 1
@@ -45,21 +51,106 @@ PROTOCOL_VERSION = 1
 #: Machine-distinguishable failure classes on the wire.  ``bad_request``:
 #: the message or query is malformed / names unknown entities (do not
 #: retry unchanged); ``overloaded``: admission control rejected the
-#: query, the service is saturated (retry with back-off); ``internal``:
-#: anything else server-side.
-ERROR_CODES = ("bad_request", "overloaded", "internal")
+#: query, the service is saturated (retry with back-off, honoring the
+#: ``details.retry_after_s`` hint when present); ``shard_unavailable``:
+#: the serving process is draining or a shard router found the shard
+#: dead (retry elsewhere / degrade); ``deadline_exceeded``: the caller's
+#: deadline expired before a response arrived; ``internal``: anything
+#: else server-side.
+ERROR_CODES = (
+    "bad_request", "overloaded", "internal", "shard_unavailable",
+    "deadline_exceeded",
+)
 
 
 class ProtocolError(ValueError):
     """Malformed or unsupported protocol message."""
 
 
-def error_to_dict(code: str, error: Any) -> Dict[str, Any]:
+class DeadlineExceededError(TimeoutError):
+    """A per-request deadline expired before the response arrived.
+
+    Subclasses ``TimeoutError`` (hence ``OSError``): retry policies
+    treat an expired request like any transient I/O failure, and shard
+    routers bound every retry loop with the remaining global deadline.
+    """
+
+
+# -- framing ----------------------------------------------------------
+#
+# Requests and responses travel as length-prefixed frames: a 4-byte
+# big-endian payload length followed by that many bytes of UTF-8 JSON.
+# Framing makes torn connections *loud* -- a short read is a
+# ProtocolError naming the missing bytes, never a hang or a bare
+# struct.error.  Servers keep reading newline-delimited JSON from
+# legacy clients: a first byte of ``{`` (impossible in a framed header
+# under MAX_FRAME_BYTES) selects line mode per message.
+
+_FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's declared payload length.  A header
+#: announcing more than this is corrupt (or hostile) and must fail
+#: loudly before anything tries to allocate or await the bytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def write_frame(wfile: BinaryIO, message: Dict[str, Any]) -> None:
+    """Encode *message* and write one length-prefixed frame."""
+    data = json.dumps(message).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload of {len(data)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    wfile.write(_FRAME_HEADER.pack(len(data)) + data)
+    wfile.flush()
+
+
+def read_frame(rfile: BinaryIO, prefix: bytes = b"") -> Optional[Dict[str, Any]]:
+    """Read one length-prefixed frame; ``None`` on clean EOF.
+
+    *prefix* holds header bytes the caller already consumed (the
+    server's one-byte legacy-protocol sniff).  Raises
+    :class:`ProtocolError` on a truncated header, an oversized declared
+    length, a torn payload, or a payload that is not valid JSON.
+    """
+    header = prefix + rfile.read(_FRAME_HEADER.size - len(prefix))
+    if not header:
+        return None
+    if len(header) < _FRAME_HEADER.size:
+        raise ProtocolError(
+            f"truncated frame header: got {len(header)} of "
+            f"{_FRAME_HEADER.size} bytes"
+        )
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES}); stream is corrupt"
+        )
+    payload = rfile.read(length)
+    if len(payload) < length:
+        raise ProtocolError(
+            f"torn frame: got {len(payload)} of {length} payload bytes"
+        )
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as e:
+        raise ProtocolError(f"bad frame payload: {e}") from e
+
+
+def error_to_dict(
+    code: str, error: Any, details: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
     """Encode a failure response: ``{"ok": false, "code": ..., "error": ...}``.
 
     ``code`` is one of :data:`ERROR_CODES`; the free-text ``error``
     field is kept for back-compat with pre-code clients (exceptions
     render as ``"TypeName: message"``, matching the old format).
+    *details* adds a machine-readable ``"details"`` object (e.g. the
+    overload responses' ``queue_depth`` / ``retry_after_s`` back-off
+    hint); when omitted, an exception's own ``wire_details`` attribute
+    (if any) is used.
     """
     if code not in ERROR_CODES:
         raise ValueError(f"unknown error code {code!r}; expected one of {ERROR_CODES}")
@@ -68,7 +159,12 @@ def error_to_dict(code: str, error: Any) -> Dict[str, Any]:
         if isinstance(error, BaseException)
         else str(error)
     )
-    return {"ok": False, "code": code, "error": text}
+    payload: Dict[str, Any] = {"ok": False, "code": code, "error": text}
+    if details is None:
+        details = getattr(error, "wire_details", None)
+    if details:
+        payload["details"] = {str(k): v for k, v in details.items()}
+    return payload
 
 
 # -- pieces -----------------------------------------------------------
@@ -177,7 +273,15 @@ def query_to_dict(query: RangeQuery) -> Dict[str, Any]:
         "grid": _grid_to_dict(query.grid),
         "aggregation": agg_name,
         "strategy": query.strategy,
-        "value_components": query.value_components,
+        # The spec instance is authoritative when present: a query
+        # built with ``aggregation=MinAggregation(2)`` leaves the
+        # ``value_components`` *field* at its default, and encoding
+        # the field would silently rebuild a 1-component spec remotely.
+        "value_components": (
+            query.aggregation.value_components
+            if isinstance(query.aggregation, AggregationSpec)
+            else query.value_components
+        ),
     }
     # Emitted only when non-default, so default-path payloads are
     # byte-identical to pre-robustness servers.
@@ -287,6 +391,12 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
             str(k): str(v) for k, v in result.chunk_errors.items()
         }
         payload["completeness"] = float(result.completeness)
+    # Shard-level degradation (scatter/gather deployments only).
+    if result.shard_errors:
+        payload["shard_errors"] = {
+            str(k): str(v) for k, v in result.shard_errors.items()
+        }
+        payload["completeness"] = float(result.completeness)
     return payload
 
 
@@ -322,6 +432,10 @@ def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
             chunk_errors={
                 int(k): str(v)
                 for k, v in payload.get("chunk_errors", {}).items()
+            },
+            shard_errors={
+                int(k): str(v)
+                for k, v in payload.get("shard_errors", {}).items()
             },
             completeness=float(payload.get("completeness", 1.0)),
             chunks_pruned=int(payload.get("chunks_pruned", 0)),

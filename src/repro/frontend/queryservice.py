@@ -72,8 +72,28 @@ class ServiceOverloadedError(RuntimeError):
 
     Deliberately loud -- clients must see back-pressure, not silent
     latency.  Over the wire protocol this travels as error code
-    ``"overloaded"``.
+    ``"overloaded"`` with a ``details`` object carrying
+    :attr:`queue_depth` and the :attr:`retry_after_s` back-off hint, so
+    shard routers and clients can space their retries instead of
+    hammering a saturated service.
     """
+
+    def __init__(
+        self, message: str, queue_depth: int = 0, retry_after_s: float = 0.05
+    ) -> None:
+        super().__init__(message)
+        #: pending queries at rejection time (== ``max_queue``).
+        self.queue_depth = queue_depth
+        #: suggested client back-off before retrying, seconds.
+        self.retry_after_s = retry_after_s
+
+    @property
+    def wire_details(self) -> Dict[str, object]:
+        """Machine-readable fields for ``protocol.error_to_dict``."""
+        return {
+            "queue_depth": int(self.queue_depth),
+            "retry_after_s": float(self.retry_after_s),
+        }
 
 
 class ServiceClosedError(RuntimeError):
@@ -220,9 +240,21 @@ class QueryService:
                 raise ServiceClosedError("query service is closed")
             if len(self._pending) >= self.policy.max_queue:
                 self._counters["rejected"] += 1
+                depth = len(self._pending)
+                # Deterministic back-off hint: one batch window scaled by
+                # how far over capacity the backlog sits relative to the
+                # worker pool.  Heuristic, not a guarantee -- but stable
+                # for a given policy, so tests and routers can rely on it.
+                hint = round(
+                    max(0.01, self.policy.batch_window)
+                    * (1.0 + depth / self.policy.max_inflight),
+                    4,
+                )
                 raise ServiceOverloadedError(
                     f"pending queue full ({self.policy.max_queue} queries); "
-                    "retry with back-off"
+                    "retry with back-off",
+                    queue_depth=depth,
+                    retry_after_s=hint,
                 )
             self._pending.append(ticket)
             self._counters["submitted"] += 1
@@ -339,17 +371,20 @@ class QueryService:
         if not planned:
             return
 
-        share = self.policy.share_scans and len(planned) > 1
-        plans = [plan for _, plan in planned]
-        order = order_for_sharing(plans) if share else list(range(len(planned)))
-
+        # Everything past planning runs under one umbrella handler: a
+        # scheduler-level failure (ordering, shared-key computation, a
+        # pin that raises) must resolve *every* still-pending ticket --
+        # an unresolved ticket is a client hung in ``result()`` forever.
         dataset = planned[0][0].query.dataset
         cache = self.adr.store if isinstance(self.adr.store, CachedChunkStore) else None
         pinned: frozenset = frozenset()
-        if share and cache is not None:
-            pinned = BatchPlan(plans, list(order)).consecutive_shared_keys()
-            cache.pin(dataset, pinned)
         try:
+            share = self.policy.share_scans and len(planned) > 1
+            plans = [plan for _, plan in planned]
+            order = order_for_sharing(plans) if share else list(range(len(planned)))
+            if share and cache is not None:
+                pinned = BatchPlan(plans, list(order)).consecutive_shared_keys()
+                cache.pin(dataset, pinned)
             with self._cv:
                 self._counters["batches"] += 1
                 if len(planned) > 1:
@@ -369,7 +404,13 @@ class QueryService:
                     "shared_bytes": int(result.shared_bytes),
                 }
                 self._finish(ticket, result, None, info)
+        except Exception as e:
+            for ticket, _ in planned:
+                if not ticket.done():
+                    self._finish(ticket, None, e)
         finally:
+            # Balanced even when ``pin`` itself raised partway: ``unpin``
+            # ignores keys that were never pinned.
             if pinned and cache is not None:
                 cache.unpin(dataset, pinned)
 

@@ -3,7 +3,7 @@
 Figure 2 of the paper shows a standalone "ADR Front-end Process" that
 clients connect to ("the socket interface is used for sequential
 clients").  :class:`ADRServer` is that process: a thin wire adapter
-serving newline-delimited JSON messages of the
+serving length-prefixed JSON frames of the
 :mod:`repro.frontend.protocol` schema on a TCP port, with all query
 scheduling delegated to a
 :class:`~repro.frontend.queryservice.QueryService` -- concurrent
@@ -12,14 +12,23 @@ sharing (see ``docs/service.md``).  :class:`ADRClient` is the matching
 client; one client may be shared between threads (requests on one
 connection are serialized under a lock).
 
-Message envelope (one JSON object per line):
+Message envelope (one frame per message; see ``protocol.write_frame``):
 
-- request: ``{"op": "query", "query": {...}}``, ``{"op": "stats"}``
-  or ``{"op": "ping"}``
+- request: ``{"op": "query", "query": {...}}``, ``{"op": "stats"}``,
+  ``{"op": "health"}``, ``{"op": "drain"}`` or ``{"op": "ping"}``
 - response: ``{"ok": true, "result": {...}}`` (query responses carry a
   ``"service"`` object with queue/batch/sharing diagnostics) or
-  ``{"ok": false, "code": "bad_request"|"overloaded"|"internal",
-  "error": "..."}``
+  ``{"ok": false, "code": "bad_request"|"overloaded"|"internal"|
+  "shard_unavailable"|"deadline_exceeded", "error": "...",
+  "details": {...}}``
+
+Legacy clients speaking newline-delimited JSON keep working: a frame
+header under ``MAX_FRAME_BYTES`` (64 MiB) starts with a byte ``<=
+0x04``, so any larger first byte -- every printable ASCII character,
+in particular ``{`` -- selects line mode for that one message and the
+server answers in kind.  Framing errors on a framed stream close the
+connection (byte offsets are unrecoverable); malformed line-mode JSON
+answers ``bad_request`` and keeps the connection open.
 """
 
 from __future__ import annotations
@@ -27,17 +36,23 @@ from __future__ import annotations
 import json
 import socket
 import socketserver
+import sys
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.frontend.adr import ADR
 from repro.frontend.protocol import (
+    MAX_FRAME_BYTES,
+    DeadlineExceededError,
     ProtocolError,
     error_to_dict,
     query_from_dict,
     query_to_dict,
+    read_frame,
     result_from_dict,
     result_to_dict,
+    write_frame,
 )
 from repro.frontend.query import RangeQuery
 from repro.frontend.queryservice import (
@@ -48,7 +63,7 @@ from repro.frontend.queryservice import (
 )
 from repro.runtime.engine import QueryResult
 
-__all__ = ["ADRServer", "ADRClient"]
+__all__ = ["ADRServer", "ADRClient", "RemoteQueryError"]
 
 #: Exception classes whose wire error code is ``bad_request`` -- the
 #: query itself is at fault (malformed payload, unknown dataset/
@@ -56,22 +71,72 @@ __all__ = ["ADRServer", "ADRClient"]
 #: succeed.
 _BAD_REQUEST_ERRORS = (ProtocolError, KeyError, ValueError)
 
+#: Largest first byte of a valid framed header: frames are capped at
+#: ``MAX_FRAME_BYTES``, so a bigger first byte cannot open a frame and
+#: must be the start of a legacy newline-delimited JSON message.
+_MAX_HEADER_FIRST_BYTE = MAX_FRAME_BYTES >> 24
+
+
+class RemoteQueryError(RuntimeError):
+    """A server-side failure relayed over the wire.
+
+    Subclasses :class:`RuntimeError` for back-compat with pre-code
+    clients; new callers dispatch on :attr:`code` (one of
+    ``protocol.ERROR_CODES``) and read machine-readable fields --
+    e.g. the overload responses' ``retry_after_s`` -- from
+    :attr:`details`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "internal",
+        details: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.details: Dict[str, Any] = dict(details or {})
+
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
+        while True:
+            first = self.rfile.read(1)
+            if not first:
+                return
+            if first in (b"\r", b"\n"):
+                continue
+            if first[0] > _MAX_HEADER_FIRST_BYTE:
+                # Legacy newline-delimited JSON message.
+                raw = first + self.rfile.readline()
+                try:
+                    message = json.loads(raw)
+                except Exception as e:  # malformed JSON and friends
+                    self._respond(error_to_dict("bad_request", e), framed=False)
+                    continue
+                self._respond(self._dispatch_safe(message), framed=False)
                 continue
             try:
-                message = json.loads(line)
-            except Exception as e:  # malformed JSON and friends
-                response = error_to_dict("bad_request", e)
-            else:
-                try:
-                    response = self.server.adr_dispatch(message)
-                except Exception as e:  # dispatch must never kill the connection
-                    response = error_to_dict("internal", e)
+                message = read_frame(self.rfile, prefix=first)
+            except ProtocolError as e:
+                # Framing desync: the stream's byte offsets are
+                # unrecoverable, so answer once and close loudly.
+                self._respond(error_to_dict("bad_request", e), framed=True)
+                return
+            if message is None:
+                return
+            self._respond(self._dispatch_safe(message), framed=True)
+
+    def _dispatch_safe(self, message: dict) -> dict:
+        try:
+            return self.server.adr_dispatch(message)
+        except Exception as e:  # dispatch must never kill the connection
+            return error_to_dict("internal", e)
+
+    def _respond(self, response: dict, framed: bool) -> None:
+        if framed:
+            write_frame(self.wfile, response)
+        else:
             self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
             self.wfile.flush()
 
@@ -84,6 +149,13 @@ class ADRServer(socketserver.ThreadingTCPServer):
     control, batching and scan sharing.  Pass ``policy`` to tune it, or
     ``service`` to share an externally managed one (the server then
     does not close it on exit).
+
+    Liveness and lifecycle ops: ``{"op": "health"}`` reports
+    serving/draining status plus queue depth, and ``{"op": "drain"}``
+    flips the server into draining mode -- already-admitted queries
+    finish, new ``query`` ops answer ``shard_unavailable``, and
+    ``ping``/``stats``/``health`` keep working so probes can watch the
+    drain complete.
 
     Use as a context manager (binds immediately, serves on a daemon
     thread)::
@@ -110,6 +182,7 @@ class ADRServer(socketserver.ThreadingTCPServer):
         self._owns_service = service is None
         self.service = service if service is not None else QueryService(adr, policy)
         self._thread: Optional[threading.Thread] = None
+        self._draining = threading.Event()
         super().__init__((host, port), _Handler)
 
     # -- request dispatch ------------------------------------------------
@@ -120,7 +193,17 @@ class ADRServer(socketserver.ThreadingTCPServer):
             return {"ok": True, "result": "pong"}
         if op == "stats":
             return {"ok": True, "result": self.service.stats()}
+        if op == "health":
+            return {"ok": True, "result": self.health()}
+        if op == "drain":
+            self.drain()
+            return {"ok": True, "result": self.health()}
         if op == "query":
+            if self._draining.is_set():
+                return error_to_dict(
+                    "shard_unavailable",
+                    "server is draining and admits no new queries",
+                )
             return self._dispatch_query(message)
         return error_to_dict("bad_request", f"unknown op {op!r}")
 
@@ -146,7 +229,31 @@ class ADRServer(socketserver.ThreadingTCPServer):
             response["service"] = dict(ticket.service_info)
         return response
 
+    # -- liveness / drain -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness snapshot: serving status and load, cheap to poll."""
+        stats = self.service.stats()
+        return {
+            "status": "draining" if self._draining.is_set() else "serving",
+            "queue_depth": int(stats["queue_depth"]),
+            "in_flight": int(stats["in_flight"]),
+        }
+
+    def drain(self) -> None:
+        """Stop admitting queries; in-flight work runs to completion."""
+        self._draining.set()
+
     # -- lifecycle ------------------------------------------------------------
+
+    def handle_error(self, request, client_address) -> None:
+        exc = sys.exc_info()[1]
+        if isinstance(exc, OSError):
+            # The peer (or a chaos proxy) vanished mid-exchange; routine
+            # in a fault-tolerant deployment and the client already sees
+            # its own error -- nothing useful to print here.
+            return
+        super().handle_error(request, client_address)
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -173,54 +280,130 @@ class ADRClient:
     lock, so one client instance may be shared by several threads
     (each call still blocks for its own response; open one client per
     thread for wire-level parallelism).
+
+    Every request method takes an optional ``deadline`` (seconds for
+    the whole exchange); when it expires the call raises
+    :class:`~repro.frontend.protocol.DeadlineExceededError` and the
+    client is marked broken -- a half-finished exchange leaves the
+    stream desynchronized, so later calls raise ``ConnectionError``
+    and the caller must open a fresh client.  Without a deadline the
+    connect-time ``timeout`` bounds each socket operation, so no call
+    ever hangs forever.
     """
 
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._timeout = timeout
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         # One request/response frame at a time: without this, two
-        # threads interleave writes and steal each other's reply lines.
+        # threads interleave writes and steal each other's reply frames.
         self._lock = threading.Lock()
+        self._broken = False
 
-    def _call(self, message: dict) -> dict:
-        payload = (json.dumps(message) + "\n").encode("utf-8")
+    def _call(self, message: dict, deadline: Optional[float] = None) -> dict:
+        budget = deadline if deadline is not None else self._timeout
+        deadline_at = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
+
+        def remaining() -> float:
+            if deadline_at is None:
+                return self._timeout
+            left = deadline_at - time.monotonic()
+            if left <= 0:
+                raise DeadlineExceededError(
+                    f"deadline of {deadline}s expired before the response arrived"
+                )
+            return left
+
         with self._lock:
-            self._file.write(payload)
-            self._file.flush()
-            raw = self._file.readline()
-        if not raw:
-            raise ConnectionError("server closed the connection")
-        return json.loads(raw)
+            if self._broken:
+                raise ConnectionError(
+                    "client connection is broken after an earlier protocol or "
+                    "deadline failure; open a new ADRClient"
+                )
+            try:
+                self._sock.settimeout(remaining())
+                write_frame(self._file, message)
+                self._sock.settimeout(remaining())
+                response = read_frame(self._file)
+            except DeadlineExceededError:
+                self._broken = True
+                raise
+            except ProtocolError:
+                # Short/torn recv or garbage bytes: the response stream
+                # is desynchronized beyond repair.
+                self._broken = True
+                raise
+            except socket.timeout as e:
+                self._broken = True
+                raise DeadlineExceededError(
+                    f"request timed out after {budget}s waiting on the socket"
+                ) from e
+            except OSError:
+                self._broken = True
+                raise
+            if response is None:
+                self._broken = True
+                raise ConnectionError("server closed the connection")
+        return response
 
-    def ping(self) -> bool:
-        return self._call({"op": "ping"}).get("result") == "pong"
+    @staticmethod
+    def _checked(response: dict, rejected_what: str) -> dict:
+        if not response.get("ok"):
+            code = response.get("code", "internal")
+            raise RemoteQueryError(
+                f"server rejected {rejected_what} [{code}]: {response.get('error')}",
+                code=code,
+                details=response.get("details"),
+            )
+        return response
 
-    def stats(self) -> Dict[str, Any]:
+    def ping(self, deadline: Optional[float] = None) -> bool:
+        return self._call({"op": "ping"}, deadline).get("result") == "pong"
+
+    def stats(self, deadline: Optional[float] = None) -> Dict[str, Any]:
         """Service counters (queue depth, in-flight, batches, sharing,
         cache hit rates) -- the ``{"op": "stats"}`` endpoint."""
-        response = self._call({"op": "stats"})
+        response = self._call({"op": "stats"}, deadline)
         if not response.get("ok"):
-            raise RuntimeError(f"stats failed: {response.get('error')}")
+            raise RemoteQueryError(
+                f"stats failed: {response.get('error')}",
+                code=response.get("code", "internal"),
+                details=response.get("details"),
+            )
         return response["result"]
 
-    def query(self, query: RangeQuery) -> QueryResult:
-        """Submit a range query; raises ``RuntimeError`` on server-side
-        failure (the error code and text travel back)."""
-        result, _ = self.query_with_info(query)
+    def health(self, deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Liveness probe -- ``{"status": "serving"|"draining", ...}``."""
+        return self._checked(self._call({"op": "health"}, deadline), "health")[
+            "result"
+        ]
+
+    def drain(self, deadline: Optional[float] = None) -> Dict[str, Any]:
+        """Ask the server to stop admitting queries; returns its health."""
+        return self._checked(self._call({"op": "drain"}, deadline), "drain")[
+            "result"
+        ]
+
+    def query(
+        self, query: RangeQuery, deadline: Optional[float] = None
+    ) -> QueryResult:
+        """Submit a range query; raises :class:`RemoteQueryError` on
+        server-side failure (the error code and text travel back)."""
+        result, _ = self.query_with_info(query, deadline)
         return result
 
     def query_with_info(
-        self, query: RangeQuery
+        self, query: RangeQuery, deadline: Optional[float] = None
     ) -> Tuple[QueryResult, Optional[Dict[str, Any]]]:
         """Like :meth:`query`, also returning the response's
         ``"service"`` diagnostics (queue wait, batch size/position,
         shared reads) -- ``None`` from servers that don't send them."""
-        response = self._call({"op": "query", "query": query_to_dict(query)})
-        if not response.get("ok"):
-            code = response.get("code", "internal")
-            raise RuntimeError(
-                f"server rejected query [{code}]: {response.get('error')}"
-            )
+        response = self._call(
+            {"op": "query", "query": query_to_dict(query)}, deadline
+        )
+        self._checked(response, "query")
         return result_from_dict(response["result"]), response.get("service")
 
     def close(self) -> None:

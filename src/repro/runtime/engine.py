@@ -121,6 +121,14 @@ class QueryResult:
     #: execution changes where bytes come from, never what is computed.
     shared_reads: int = 0
     shared_bytes: int = 0
+    #: sharded deployments only: shard id -> error description for every
+    #: shard whose sub-plan could not be fetched (dead, timed out, torn
+    #: connection).  Filled by :class:`repro.shard.router.ShardRouter`
+    #: under ``on_error='degrade'``; the failed shard's planned input
+    #: chunks additionally appear in ``chunk_errors`` (dataset-global
+    #: ids) and ``completeness`` accounts for them.  Always empty on
+    #: single-process results.
+    shard_errors: Dict[int, str] = field(default_factory=dict)
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)

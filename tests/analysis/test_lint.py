@@ -414,3 +414,89 @@ class TestCliFormats:
     def test_unknown_format_is_usage_error(self, tmp_path, capsys):
         assert main([str(tmp_path), "--format", "yaml"]) == 2
         assert "usage" in capsys.readouterr().err.lower()
+
+
+class TestWireTimeouts:
+    """ADR402: no socket in a wire path without an explicit timeout."""
+
+    NAKED_SOCKET = """
+    import socket
+
+    def serve():
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        return listener
+    """
+
+    TIMED_SOCKET = """
+    import socket
+
+    def serve():
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.settimeout(0.2)
+        listener.bind(("127.0.0.1", 0))
+        return listener
+    """
+
+    def test_socket_without_settimeout_flagged(self):
+        assert codes(self.NAKED_SOCKET, wire_scope=True) == {"ADR402"}
+
+    def test_socket_with_settimeout_clean(self):
+        assert codes(self.TIMED_SOCKET, wire_scope=True) == set()
+
+    def test_not_flagged_outside_wire_scope(self):
+        assert codes(self.NAKED_SOCKET) == set()
+
+    def test_create_connection_without_timeout_flagged(self):
+        src = """
+        import socket
+
+        def dial(address):
+            return socket.create_connection(address)
+        """
+        assert codes(src, wire_scope=True) == {"ADR402"}
+
+    def test_create_connection_with_timeout_clean(self):
+        for call in (
+            "socket.create_connection(address, timeout=5.0)",
+            "socket.create_connection(address, 5.0)",
+        ):
+            src = f"""
+            import socket
+
+            def dial(address):
+                return {call}
+            """
+            assert codes(src, wire_scope=True) == set()
+
+    def test_settimeout_none_flagged(self):
+        src = """
+        def forever(sock):
+            sock.settimeout(None)
+            return sock.recv(4)
+        """
+        assert codes(src, wire_scope=True) == {"ADR402"}
+
+    def test_noqa_opt_out(self):
+        src = """
+        import socket
+
+        def serve():
+            listener = socket.socket()  # noqa: ADR402 -- closed by owner
+            return listener
+        """
+        assert codes(src, wire_scope=True) == set()
+
+    def test_wire_scope_resolved_from_file_location(self, tmp_path):
+        import textwrap
+
+        for part in ("frontend", "shard", "faults"):
+            wire = tmp_path / "repro" / part / "mod.py"
+            wire.parent.mkdir(parents=True, exist_ok=True)
+            wire.write_text(textwrap.dedent(self.NAKED_SOCKET))
+            assert {d.code for d in lint_paths([str(wire)])} == {"ADR402"}
+        elsewhere = tmp_path / "repro" / "planner" / "mod.py"
+        elsewhere.parent.mkdir(parents=True, exist_ok=True)
+        elsewhere.write_text(textwrap.dedent(self.NAKED_SOCKET))
+        assert {d.code for d in lint_paths([str(elsewhere)])} == set()

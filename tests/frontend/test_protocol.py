@@ -281,6 +281,159 @@ class TestErrorEncoding:
     def test_unknown_code_rejected(self):
         from repro.frontend.protocol import ERROR_CODES, error_to_dict
 
-        assert set(ERROR_CODES) == {"bad_request", "overloaded", "internal"}
+        assert set(ERROR_CODES) == {
+            "bad_request", "overloaded", "internal",
+            "shard_unavailable", "deadline_exceeded",
+        }
         with pytest.raises(ValueError, match="unknown error code"):
             error_to_dict("teapot", "x")
+
+
+class TestFraming:
+    """Edge cases of the length-prefixed frame codec: every corruption
+    mode must surface as a loud ProtocolError, never a hang, a short
+    result, or a bare struct/json error."""
+
+    def roundtrip(self, message):
+        import io
+
+        from repro.frontend.protocol import read_frame, write_frame
+
+        buf = io.BytesIO()
+        write_frame(buf, message)
+        buf.seek(0)
+        return read_frame(buf)
+
+    def test_roundtrip(self):
+        message = {"op": "query", "nested": {"xs": [1, 2.5, None, "s"]}}
+        assert self.roundtrip(message) == message
+
+    def test_clean_eof_is_none(self):
+        import io
+
+        from repro.frontend.protocol import read_frame
+
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_truncated_header(self):
+        import io
+
+        from repro.frontend.protocol import read_frame
+
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_oversized_declared_length(self):
+        import io
+        import struct
+
+        from repro.frontend.protocol import MAX_FRAME_BYTES, read_frame
+
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME_BYTES"):
+            read_frame(io.BytesIO(header))
+
+    def test_torn_payload(self):
+        import io
+        import struct
+
+        from repro.frontend.protocol import read_frame
+
+        data = struct.pack(">I", 10) + b"{}"
+        with pytest.raises(ProtocolError, match="torn frame: got 2 of 10"):
+            read_frame(io.BytesIO(data))
+
+    def test_non_json_payload(self):
+        import io
+        import struct
+
+        from repro.frontend.protocol import read_frame
+
+        data = struct.pack(">I", 3) + b"\xff\xfe\xfd"
+        with pytest.raises(ProtocolError, match="bad frame payload"):
+            read_frame(io.BytesIO(data))
+
+    def test_prefix_bytes_count_toward_header(self):
+        """The server's one-byte legacy sniff hands its byte back via
+        ``prefix``; the frame must decode exactly as if unread."""
+        import io
+
+        from repro.frontend.protocol import read_frame, write_frame
+
+        buf = io.BytesIO()
+        write_frame(buf, {"op": "ping"})
+        raw = buf.getvalue()
+        assert read_frame(io.BytesIO(raw[1:]), prefix=raw[:1]) == {"op": "ping"}
+
+    def test_oversized_outgoing_payload_refused(self):
+        import io
+
+        from repro.frontend.protocol import MAX_FRAME_BYTES, write_frame
+
+        big = {"blob": "x" * (MAX_FRAME_BYTES + 1)}
+        with pytest.raises(ProtocolError, match="exceeds MAX_FRAME_BYTES"):
+            write_frame(io.BytesIO(), big)
+
+
+class TestRobustnessErrorCodes:
+    """Round-trips for the shard-era error codes and their details."""
+
+    def test_shard_unavailable_roundtrip(self):
+        from repro.frontend.protocol import error_to_dict
+
+        payload = error_to_dict(
+            "shard_unavailable",
+            "server is draining and admits no new queries",
+        )
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["code"] == "shard_unavailable"
+        assert "details" not in payload
+
+    def test_deadline_exceeded_roundtrip(self):
+        from repro.frontend.protocol import DeadlineExceededError, error_to_dict
+
+        e = DeadlineExceededError("deadline of 1.5s expired")
+        payload = error_to_dict("deadline_exceeded", e)
+        assert payload["error"] == (
+            "DeadlineExceededError: deadline of 1.5s expired"
+        )
+        # DeadlineExceededError is a TimeoutError, hence an OSError:
+        # retry policies treat it like any transient I/O failure.
+        assert isinstance(e, TimeoutError) and isinstance(e, OSError)
+
+    def test_explicit_details_travel(self):
+        from repro.frontend.protocol import error_to_dict
+
+        payload = error_to_dict(
+            "overloaded", "queue full",
+            details={"queue_depth": 7, "retry_after_s": 0.25},
+        )
+        assert payload["details"] == {"queue_depth": 7, "retry_after_s": 0.25}
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_wire_details_attribute_used_when_present(self):
+        from repro.frontend.protocol import error_to_dict
+        from repro.frontend.queryservice import ServiceOverloadedError
+
+        e = ServiceOverloadedError(
+            "pending queue full", queue_depth=5, retry_after_s=0.1
+        )
+        payload = error_to_dict("overloaded", e)
+        assert payload["details"] == {"queue_depth": 5, "retry_after_s": 0.1}
+
+
+class TestValueComponentsOnTheWire:
+    def test_spec_instance_components_survive_roundtrip(self):
+        """A query built with a multi-component spec instance leaves
+        the ``value_components`` *field* at its default; the encoder
+        must ship the spec's component count, not the field's."""
+        from repro.aggregation.functions import MinAggregation
+
+        q = make_query()
+        from dataclasses import replace
+
+        q = replace(q, aggregation=MinAggregation(2), value_components=1)
+        back = query_from_dict(query_to_dict(q))
+        assert back.aggregation == "min"
+        assert back.value_components == 2
+        assert back.spec().value_components == 2

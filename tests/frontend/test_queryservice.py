@@ -333,3 +333,73 @@ class TestConcurrentHammer:
                 t.join(timeout=120)
         assert not failures, failures[0]
         assert adr_service.stats()["completed"] == 24
+
+
+class TestOverloadDetails:
+    def test_rejection_carries_backoff_hint(self):
+        gate = GateStore(MemoryChunkStore())
+        adr, space = build_adr(store=gate)
+        q = make_query(space, Rect((0, 0), (10, 10)))
+        policy = ServicePolicy(max_queue=1, max_inflight=1, batch_max=1)
+        with QueryService(adr, policy) as service:
+            blocked = service.submit(q)
+            deadline = time.monotonic() + 10
+            while service.stats()["in_flight"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            service.submit(q)  # fills the queue
+            with pytest.raises(ServiceOverloadedError) as exc:
+                service.submit(q)
+            gate.gate.set()
+            blocked.result(timeout=30)
+        e = exc.value
+        assert e.queue_depth == 1
+        assert e.retry_after_s > 0
+        # The wire encoding ships both as machine-readable details.
+        assert e.wire_details == {
+            "queue_depth": 1,
+            "retry_after_s": e.retry_after_s,
+        }
+
+    def test_hint_grows_with_backlog(self):
+        a = ServiceOverloadedError("full", queue_depth=1, retry_after_s=0.1)
+        b = ServiceOverloadedError("full", queue_depth=9, retry_after_s=0.5)
+        assert b.wire_details["retry_after_s"] > a.wire_details["retry_after_s"]
+
+
+class TestSchedulerFailure:
+    def test_batch_scheduler_error_resolves_every_ticket(self, monkeypatch):
+        """A failure *between* planning and execution (ordering, shared
+        keys, pinning) must fail every ticket in the batch -- an
+        unresolved ticket is a client hung in result() forever -- and
+        leave the service serving."""
+        gate = GateStore(MemoryChunkStore())
+        adr, space = build_adr(store=gate)
+        q = make_query(space, Rect((0, 0), (10, 10)))
+        policy = ServicePolicy(
+            max_queue=8, max_inflight=1, batch_max=4, batch_window=0.05
+        )
+        monkeypatch.setattr(
+            "repro.frontend.queryservice.order_for_sharing",
+            lambda plans: (_ for _ in ()).throw(RuntimeError("scheduler broke")),
+        )
+        with QueryService(adr, policy) as service:
+            blocked = service.submit(q)  # solo batch: never ordered
+            deadline = time.monotonic() + 10
+            while service.stats()["in_flight"] < 1:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            t1, t2 = service.submit(q), service.submit(q)
+            gate.gate.set()
+            assert blocked.result(timeout=30).n_reads > 0
+            for t in (t1, t2):
+                with pytest.raises(RuntimeError, match="scheduler broke"):
+                    t.result(timeout=30)
+            # The worker survived: in-flight drained, new queries run.
+            stats = service.stats()
+            assert stats["failed"] == 2
+            follow_up = service.submit(q)
+            assert follow_up.result(timeout=30).n_reads > 0
+        stats = service.stats()
+        assert stats["in_flight"] == 0
+        assert stats["queue_depth"] == 0

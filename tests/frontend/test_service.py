@@ -284,3 +284,81 @@ class TestClientThreadSafety:
             for t in threads:
                 t.join(timeout=60)
         assert not failures, failures[0]
+
+
+class TestClientDeadlines:
+    @pytest.fixture
+    def black_hole(self):
+        """A listener that accepts connections and never answers."""
+        import socket
+
+        sink = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sink.bind(("127.0.0.1", 0))
+        sink.listen(4)
+        yield sink.getsockname()
+        sink.close()
+
+    def test_deadline_bounds_a_stalled_exchange(self, black_hole):
+        from repro.frontend.protocol import DeadlineExceededError
+
+        client = ADRClient(*black_hole, timeout=30.0)
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            client.ping(deadline=0.3)
+        assert time.monotonic() - start < 5.0
+        client.close()
+
+    def test_expired_client_is_broken_until_reopened(self, black_hole):
+        from repro.frontend.protocol import DeadlineExceededError
+
+        client = ADRClient(*black_hole, timeout=30.0)
+        with pytest.raises(DeadlineExceededError):
+            client.ping(deadline=0.2)
+        # The stream is desynchronized; reuse must fail loudly rather
+        # than read the stalled exchange's eventual response bytes.
+        with pytest.raises(ConnectionError, match="open a new ADRClient"):
+            client.ping()
+        client.close()
+
+    def test_deadline_does_not_fire_on_fast_exchanges(self, service):
+        adr, server, query = service
+        with ADRClient(*server.address) as client:
+            assert client.ping(deadline=10.0)
+            result = client.query(query, deadline=30.0)
+            assert result.n_reads > 0
+
+
+class TestInterleavedOps:
+    def test_mixed_op_sequence_on_one_connection(self, service):
+        """Every op type interleaved on a single connection: each
+        response must match its request (no frame misattribution)."""
+        adr, server, query = service
+        expected = adr.execute(query)
+        with ADRClient(*server.address) as client:
+            assert client.ping()
+            r1 = client.query(query)
+            stats = client.stats()
+            health = client.health()
+            r2 = client.query(query)
+        assert health["status"] == "serving"
+        assert stats["completed"] >= 1
+        for r in (r1, r2):
+            assert r.output_ids.tolist() == expected.output_ids.tolist()
+            for a, b in zip(r.chunk_values, expected.chunk_values):
+                np.testing.assert_allclose(a, b, equal_nan=True)
+
+
+class TestDrainOverTheWire:
+    def test_drain_rejects_queries_keeps_probes(self, service):
+        from repro.frontend.service import RemoteQueryError
+
+        adr, server, query = service
+        with ADRClient(*server.address) as client:
+            health = client.drain()
+            assert health["status"] == "draining"
+            # Probes keep working so operators can watch the drain.
+            assert client.ping()
+            assert client.health()["status"] == "draining"
+            with pytest.raises(RemoteQueryError) as exc:
+                client.query(query)
+            assert exc.value.code == "shard_unavailable"

@@ -1,0 +1,123 @@
+"""Tests for the Hilbert chunk-to-shard assignment and topology."""
+
+import numpy as np
+import pytest
+
+from helpers import make_functional_setup
+from repro.dataset.chunkset import ChunkSet
+from repro.shard.topology import (
+    ShardAssignment,
+    ShardTopology,
+    assign_shards,
+    shard_chunks,
+)
+from repro.util.geometry import Rect
+
+
+def chunkset_of(chunks):
+    return ChunkSet.from_metas([c.meta for c in chunks])
+
+
+class TestShardAssignment:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardAssignment(0, np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError, match="1-d"):
+            ShardAssignment(2, np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="in \\[0, n_shards\\)"):
+            ShardAssignment(2, np.array([0, 1, 2]))
+        with pytest.raises(ValueError, match="in \\[0, n_shards\\)"):
+            ShardAssignment(2, np.array([0, -1]))
+
+    def test_global_ids_are_ascending_and_partition(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        assignment = assign_shards(chunkset_of(chunks), 3)
+        seen = []
+        for sid in range(3):
+            gids = assignment.global_ids(sid)
+            assert np.all(np.diff(gids) > 0)
+            assert np.all(assignment.shard_of[gids] == sid)
+            seen.extend(gids.tolist())
+        assert sorted(seen) == list(range(len(chunks)))
+
+    def test_global_ids_rejects_unknown_shard(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        assignment = assign_shards(chunkset_of(chunks), 2)
+        with pytest.raises(ValueError, match="shard id"):
+            assignment.global_ids(2)
+
+    def test_counts_balanced(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        for n_shards in (1, 2, 3, 5):
+            counts = assign_shards(chunkset_of(chunks), n_shards).counts()
+            assert counts.sum() == len(chunks)
+            # Round-robin dealing: shard loads differ by at most one.
+            assert counts.max() - counts.min() <= 1
+
+
+class TestAssignShards:
+    def test_round_robin_over_hilbert_order(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        cs = chunkset_of(chunks)
+        assignment = assign_shards(cs, 4, bits=16)
+        order = cs.hilbert_order(16)
+        # The k-th chunk along the curve lands on shard k % n_shards.
+        np.testing.assert_array_equal(
+            assignment.shard_of[order], np.arange(len(cs)) % 4
+        )
+
+    def test_deterministic(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        cs = chunkset_of(chunks)
+        a = assign_shards(cs, 3)
+        b = assign_shards(cs, 3)
+        np.testing.assert_array_equal(a.shard_of, b.shard_of)
+
+    def test_adjacent_chunks_spread_across_shards(self, rng):
+        """The declustering point: consecutive chunks on the curve --
+        the ones a range query co-retrieves -- are never co-located."""
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        cs = chunkset_of(chunks)
+        assignment = assign_shards(cs, 4)
+        along_curve = assignment.shard_of[cs.hilbert_order(16)]
+        assert np.all(along_curve[1:] != along_curve[:-1])
+
+    def test_rejects_bad_shard_count(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        with pytest.raises(ValueError, match="n_shards"):
+            assign_shards(chunkset_of(chunks), 0)
+
+
+class TestShardChunks:
+    def test_local_ids_dense_payloads_preserved(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        assignment = assign_shards(chunkset_of(chunks), 3)
+        for sid in range(3):
+            local = shard_chunks(chunks, assignment, sid)
+            gids = assignment.global_ids(sid)
+            assert [c.meta.chunk_id for c in local] == list(range(len(gids)))
+            for lc, gid in zip(local, gids):
+                src = chunks[int(gid)]
+                np.testing.assert_array_equal(lc.coords, src.coords)
+                np.testing.assert_array_equal(lc.values, src.values)
+
+    def test_length_mismatch_rejected(self, rng):
+        _, _, chunks, _, _ = make_functional_setup(rng)
+        assignment = assign_shards(chunkset_of(chunks), 2)
+        with pytest.raises(ValueError, match="assignment over"):
+            shard_chunks(chunks[:-1], assignment, 0)
+
+
+class TestShardTopology:
+    def test_build_carries_index_and_synopsis(self, rng):
+        in_space, _, chunks, _, _ = make_functional_setup(rng)
+        topo = ShardTopology.build("d", in_space, chunks, n_shards=3)
+        assert topo.n_shards == 3
+        assert topo.dataset == "d"
+        assert len(topo.chunks) == len(chunks)
+        # The router prunes with the same per-chunk value synopses a
+        # single-process planner uses.
+        assert topo.chunks.synopsis is not None
+        # The spatial index answers the scatter's chunk selection.
+        full = topo.index.query(Rect((0, 0), (10, 10)))
+        assert sorted(int(i) for i in full) == list(range(len(chunks)))
