@@ -1,0 +1,191 @@
+"""Auto-selection benchmark: the full telemetry -> calibration -> choice loop.
+
+Section 6 of the paper asks for "simple but reasonably accurate cost
+models to guide and automate the selection of an appropriate strategy".
+This bench closes that loop over the paper's experiment grid
+(application x scaling x processors) and gates two claims:
+
+1. **Rank agreement** -- a cost model calibrated *only* from simulated
+   telemetry (per-phase times harvested into
+   :class:`~repro.planner.telemetry.MeasuredRun` records, machine
+   constants fitted by :func:`~repro.planner.calibrate.calibrate`)
+   ranks the strategies the same way measured execution does on at
+   least 90% of the *decisive* grid points (points where the best and
+   worst strategy differ by more than 15% -- where the choice
+   matters).  Agreement means the model's pick measures within 5% of
+   the best strategy: when two strategies tie (e.g. FRA vs SRA within
+   a fraction of a percent while DA is 2x worse), picking either is a
+   correct ranking, not an error.
+2. **Auto never loses badly** -- on *every* grid point, executing the
+   calibrated model's pick costs at most 1.10x the best fixed
+   strategy's measured time.
+
+Run standalone (not under pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_auto_strategy.py \
+        [--min-rank-agreement 0.9] [--max-auto-regression 1.1]
+
+writes ``BENCH_costmodel.json`` with per-point detail, per-application
+fit diagnostics and both gate metrics.  Fidelity follows
+``REPRO_BENCH_FIDELITY`` (``fast`` shrinks populations and the
+processor axis, as for the figure benches).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.grid import (  # noqa: E402
+    APPS,
+    SCALINGS,
+    STRATEGIES,
+    ExperimentGrid,
+)
+
+FIDELITY = os.environ.get("REPRO_BENCH_FIDELITY", "full").lower()
+SEED = 20260707
+
+#: A grid point is *decisive* when the strategy spread exceeds this
+#: fraction of the slowest strategy; below it the strategies tie and
+#: rank agreement is noise, not signal.
+DECISIVE_SPREAD = 0.15
+
+#: On a decisive point the pick still counts as rank agreement when its
+#: measured time is within this fraction of the best strategy's --
+#: near-identical top contenders are a tie, not a ranking error.
+RANK_TIE_TOLERANCE = 0.05
+
+
+def run_grid(grid: ExperimentGrid) -> dict:
+    points = []
+    rank_hits = 0
+    rank_total = 0
+    worst_ratio = 0.0
+    apps = {}
+    for app in APPS:
+        model = grid.calibrated_model(app)
+        d = model.diagnostics
+        apps[app] = {
+            "n_runs": d.n_runs,
+            "n_equations": d.n_equations,
+            "r2": d.r2,
+            "phase_rel_err": dict(d.phase_rel_err),
+            "constants": {k: float(v) for k, v in model.constants.items()},
+        }
+        print(f"{app}: {d.summary()}")
+        for scaling in SCALINGS:
+            for p in grid.procs:
+                sims = {
+                    s: grid.cell(app, scaling, p, s).total_time
+                    for s in STRATEGIES
+                }
+                choice = grid.auto_choice(app, scaling, p)
+                best = min(sims, key=sims.get)
+                worst = max(sims.values())
+                spread = worst - min(sims.values())
+                decisive = bool(spread > DECISIVE_SPREAD * worst)
+                ratio = sims[choice.selected] / sims[best]
+                worst_ratio = max(worst_ratio, ratio)
+                if decisive:
+                    rank_total += 1
+                    rank_hits += ratio <= 1.0 + RANK_TIE_TOLERANCE
+                points.append(
+                    {
+                        "app": app,
+                        "scaling": scaling,
+                        "n_procs": p,
+                        "measured_seconds": {
+                            s: float(t) for s, t in sims.items()
+                        },
+                        "estimated_seconds": choice.ranking_dict(),
+                        "auto_pick": choice.selected,
+                        "measured_best": best,
+                        "auto_over_best": float(ratio),
+                        "decisive": decisive,
+                    }
+                )
+    agreement = rank_hits / rank_total if rank_total else 1.0
+    return {
+        "bench": "costmodel",
+        "fidelity": "fast" if FIDELITY == "fast" else "full",
+        "procs": list(grid.procs),
+        "strategies": list(STRATEGIES),
+        "decisive_spread": DECISIVE_SPREAD,
+        "rank_tie_tolerance": RANK_TIE_TOLERANCE,
+        "calibration": apps,
+        "rank_agreement": agreement,
+        "decisive_points": rank_total,
+        "rank_hits": rank_hits,
+        "max_auto_regression": float(worst_ratio),
+        "n_grid_points": len(points),
+        "points": points,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-rank-agreement", type=float, default=None,
+        help="exit 1 unless the calibrated model agrees with measured "
+             "ranking on at least this fraction of decisive grid points",
+    )
+    parser.add_argument(
+        "--max-auto-regression", type=float, default=None,
+        help="exit 1 if auto's measured time exceeds the best fixed "
+             "strategy by more than this factor on any grid point",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_costmodel.json"
+        ),
+        help="output JSON path (default: repo-root BENCH_costmodel.json)",
+    )
+    args = parser.parse_args(argv)
+
+    grid = ExperimentGrid(
+        fidelity="fast" if FIDELITY == "fast" else "full", seed=SEED
+    )
+    report = run_grid(grid)
+    print(
+        f"rank agreement: {report['rank_hits']}/{report['decisive_points']} "
+        f"decisive points ({report['rank_agreement'] * 100:.0f}%); "
+        f"max auto/best regression {report['max_auto_regression']:.3f}x "
+        f"over {report['n_grid_points']} grid points"
+    )
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if (
+        args.min_rank_agreement is not None
+        and report["rank_agreement"] < args.min_rank_agreement
+    ):
+        print(
+            f"FAIL: rank agreement {report['rank_agreement']:.2f} below "
+            f"{args.min_rank_agreement}"
+        )
+        failed = True
+    if (
+        args.max_auto_regression is not None
+        and report["max_auto_regression"] > args.max_auto_regression
+    ):
+        print(
+            f"FAIL: auto regression {report['max_auto_regression']:.3f}x "
+            f"above {args.max_auto_regression}x"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ problem = _GRID.problem
 plan = _GRID.plan
 cell = _GRID.cell
 cell_stats = _GRID.cell_stats
+calibrated_model = _GRID.calibrated_model
 series = _GRID.series
 
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Auto strategy selection, end to end: telemetry -> calibration -> auto.
+
+Section 6 of the paper asks for "simple but reasonably accurate cost
+models to guide and automate the selection of an appropriate
+strategy".  This demo closes that loop against a live ADR instance:
+
+1. run a small query workload through :class:`QueryService` with a
+   :class:`TelemetryLog` attached, harvesting per-phase times and plan
+   features from every cleanly completed query;
+2. fit the machine constants from that log with
+   :func:`repro.planner.calibrate.calibrate` (the command-line
+   equivalent is ``python -m repro.planner.calibrate --log
+   telemetry.jsonl --out model.json``);
+3. hand the fitted :class:`CalibratedCostModel` to a fresh ADR
+   instance and submit a query with ``strategy='auto'`` -- the planner
+   prices FRA/SRA/DA with the *measured* constants and runs the
+   cheapest.
+
+Run:  python examples/adr_auto_strategy_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import ADR, RangeQuery, Rect, ibm_sp
+from repro.aggregation.output_grid import OutputGrid
+from repro.dataset.partition import hilbert_partition
+from repro.frontend.queryservice import QueryService
+from repro.planner.calibrate import CalibrationError, calibrate
+from repro.planner.telemetry import TelemetryLog
+from repro.space.attribute_space import AttributeSpace
+from repro.space.mapping import GridMapping
+
+
+def build_adr(cost_model=None):
+    adr = ADR(machine=ibm_sp(4), cost_model=cost_model)
+    rng = np.random.default_rng(7)
+    field = AttributeSpace.regular("field", ("x", "y"), (0, 0), (100, 100))
+    coords = rng.uniform(0, 100, size=(8000, 2))
+    values = np.hypot(coords[:, 0] - 50, coords[:, 1] - 50)
+    chunks = hilbert_partition(coords, values, items_per_chunk=40)
+    adr.load("radar", field, chunks)
+
+    image = AttributeSpace.regular("image", ("u", "v"), (0, 0), (1, 1))
+    grid = OutputGrid(image, grid_shape=(24, 24), chunk_shape=(6, 6))
+    mapping = GridMapping(field, image, grid_shape=(24, 24))
+    return adr, mapping, grid
+
+
+def query(mapping, grid, region, strategy):
+    return RangeQuery(
+        dataset="radar", region=region, mapping=mapping, grid=grid,
+        aggregation="mean", strategy=strategy,
+    )
+
+
+def main() -> None:
+    log_path = Path(tempfile.mkdtemp(prefix="adr-telemetry-")) / "telemetry.jsonl"
+    log = TelemetryLog(log_path)
+
+    # 1. Harvest telemetry from a mixed workload: several regions,
+    #    every fixed strategy, so the fit sees heterogeneous equations.
+    adr, mapping, grid = build_adr()
+    regions = [
+        Rect((0, 0), (100, 100)),
+        Rect((10, 10), (60, 60)),
+        Rect((40, 25), (95, 90)),
+        Rect((5, 55), (50, 98)),
+    ]
+    with QueryService(adr, telemetry=log) as service:
+        tickets = [
+            service.submit(query(mapping, grid, region, strategy))
+            for region in regions
+            for strategy in ("FRA", "SRA", "DA")
+        ]
+        for t in tickets:
+            t.result(timeout=120)
+    print(f"recorded {len(log)} measured runs -> {log_path}")
+
+    # 2. Fit the machine constants from the log.  `calibrate` raises a
+    #    loud CalibrationError instead of guessing when the log is too
+    #    small or degenerate.
+    try:
+        model = calibrate(log.load())
+    except CalibrationError as exc:
+        raise SystemExit(f"calibration failed: {exc}")
+    print(model.summary())
+
+    # 3. A fresh instance planning with the *measured* constants: the
+    #    query says 'auto', the calibrated model picks the strategy.
+    adr2, mapping, grid = build_adr(cost_model=model)
+    q = query(mapping, grid, Rect((15, 15), (85, 85)), "auto")
+    plan, choice = adr2.plan_with_choice(q)
+    print(f"\nauto resolved to {choice.selected}")
+    print(choice.table())
+
+    result = adr2.execute(q)
+    print(f"\nexecuted {result.selected_strategy}: "
+          f"{len(result.output_ids)} output chunks, "
+          f"{result.n_reads} chunk reads")
+
+
+if __name__ == "__main__":
+    main()

@@ -85,6 +85,7 @@ import numpy as np
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.verifier import verify_plan
+from repro.planner.select import ALL_STRATEGIES, FRA, HYBRID
 from repro.util.rng import make_rng
 from repro.util.units import KB, MB
 
@@ -164,7 +165,7 @@ def corpus_problems(include_emulators: bool = True) -> Iterator[Tuple[str, objec
 
 
 def verify_corpus(
-    include_emulators: bool = True, strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID")
+    include_emulators: bool = True, strategies: Sequence[str] = ALL_STRATEGIES
 ) -> List[Tuple[str, Diagnostic]]:
     """Plan + verify the whole corpus; return (plan label, diagnostic) pairs."""
     from repro.planner.strategies import plan_query
@@ -180,7 +181,7 @@ def verify_corpus(
 
 def verify_comm_corpus(
     include_emulators: bool = True,
-    strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+    strategies: Sequence[str] = ALL_STRATEGIES,
 ) -> Tuple[int, List[Tuple[str, Diagnostic]]]:
     """Model-check the communication schedule of every corpus plan.
 
@@ -299,7 +300,7 @@ _COUNTERS = ("n_reads", "bytes_read", "n_aggregations", "n_combines")
 
 
 def verify_functional_corpus(
-    strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+    strategies: Sequence[str] = ALL_STRATEGIES,
 ) -> Tuple[int, List[Tuple[str, str]]]:
     """Execute the functional corpus; return ``(n_plans, failures)``.
 
@@ -311,11 +312,22 @@ def verify_functional_corpus(
     variant's ``phase_times`` must carry exactly the
     :data:`repro.runtime.phases.PHASES` key set (the cross-backend
     contract).
+
+    Additionally, every workload runs once with ``strategy='auto'``:
+    the cost model's pick must execute **bit-identically** to planning
+    the chosen strategy explicitly, across the same four
+    {sequential, parallel} x {prefetch off, on} variants -- automatic
+    selection adds a choice, never semantics.
     """
     from repro.dataset.graph import ChunkGraph
     from repro.dataset.predicate import ValuePredicate
     from repro.dataset.synopsis import ValueSynopsis
+    from repro.frontend.adr import DEFAULT_COSTS
+    from repro.machine.presets import ibm_sp
+    from repro.planner.costmodel import CostModel
+    from repro.planner.hybrid import plan_hybrid
     from repro.planner.problem import PlanningProblem
+    from repro.planner.select import choose_strategy
     from repro.planner.strategies import plan_query
     from repro.runtime.engine import execute_plan
     from repro.runtime.phases import PHASES
@@ -380,6 +392,56 @@ def verify_functional_corpus(
                 if sorted(res.phase_times) != sorted(PHASES):
                     failures.append(
                         (tag, f"{name} phase_times keys {sorted(res.phase_times)}")
+                    )
+
+        # -- strategy='auto': selection never changes the answer --------
+        # The cost model's pick must execute bit-identically to planning
+        # the chosen strategy explicitly, across all four variants.
+        n_plans += 1
+        model = CostModel(ibm_sp(w["problem"].n_procs), DEFAULT_COSTS)
+        choice = choose_strategy(w["problem"], model)
+        tag = f"{label} / AUTO->{choice.selected}"
+        explicit = (
+            plan_hybrid(w["problem"], machine=model.machine, costs=model.costs)
+            if choice.selected == HYBRID
+            else plan_query(w["problem"], choice.selected)
+        )
+        exp_seq = execute_plan(explicit, lambda i: chunks[i], mapping, grid, spec)
+        auto_runs = {
+            "auto sequential": execute_plan(
+                choice.plan, lambda i: chunks[i], mapping, grid, spec,
+                detect_races=True,
+            ),
+            "auto parallel": execute_plan(
+                choice.plan, lambda i: chunks[i], mapping, grid, spec,
+                backend="parallel",
+            ),
+            "auto sequential+prefetch": execute_plan(
+                choice.plan, lambda i: chunks[i], mapping, grid, spec,
+                prefetch=True,
+            ),
+            "auto parallel+prefetch": execute_plan(
+                choice.plan, lambda i: chunks[i], mapping, grid, spec,
+                backend="parallel", prefetch=True,
+            ),
+        }
+        for name, res in auto_runs.items():
+            if res.output_ids.tolist() != exp_seq.output_ids.tolist():
+                failures.append((tag, f"{name} output ids != explicit plan"))
+                continue
+            for o, av, ev in zip(res.output_ids, res.chunk_values,
+                                 exp_seq.chunk_values):
+                if not np.array_equal(av, ev, equal_nan=True):
+                    failures.append(
+                        (tag, f"{name} output chunk {int(o)} not "
+                              f"bitwise-equal to the explicit "
+                              f"{choice.selected} plan")
+                    )
+            for counter in _COUNTERS:
+                if getattr(res, counter) != getattr(exp_seq, counter):
+                    failures.append(
+                        (tag, f"{name} {counter}={getattr(res, counter)} != "
+                              f"explicit {getattr(exp_seq, counter)}")
                     )
 
         # -- predicate-bearing plan: pruned == unpruned, bit for bit ----
@@ -485,7 +547,7 @@ def verify_functional_corpus(
 
 
 def verify_fault_corpus(
-    strategies: Sequence[str] = ("FRA", "SRA", "DA", "HYBRID"),
+    strategies: Sequence[str] = ALL_STRATEGIES,
     prefetch: bool = False,
 ) -> Tuple[int, List[Tuple[str, str]]]:
     """Replay the functional corpus under the fault matrix.
@@ -678,7 +740,7 @@ def verify_service_corpus() -> Tuple[int, List[Tuple[str, str]]]:
     failures: List[Tuple[str, str]] = []
     n_queries = 0
     total_shared_reads = 0
-    all_strategies = ("FRA", "SRA", "DA", "HYBRID")
+    all_strategies = ALL_STRATEGIES
     for wi, (label, w) in enumerate(functional_workloads()):
         mapping, grid, spec = w["mapping"], w["grid"], w["spec"]
         problem = w["problem"]
@@ -851,7 +913,7 @@ def verify_shard_corpus() -> Tuple[int, List[Tuple[str, str]]]:
 
     failures: List[Tuple[str, str]] = []
     n_plans = 0
-    all_strategies = ("FRA", "SRA", "DA", "HYBRID")
+    all_strategies = ALL_STRATEGIES
     for wi, (label, w) in enumerate(functional_workloads()):
         mapping, grid, spec = w["mapping"], w["grid"], w["spec"]
         space = mapping.input_space
@@ -978,7 +1040,7 @@ def verify_chaos_corpus() -> Tuple[int, List[Tuple[str, str]]]:
         space = mapping.input_space
         lo = tuple(float(d.lo) for d in space.dims)
         hi = tuple(float(d.hi) for d in space.dims)
-        strategy = ("FRA", "HYBRID")[wi == 3]
+        strategy = (FRA, HYBRID)[wi == 3]
         qd = RangeQuery("corpus", Rect(lo, hi), mapping, grid,
                         aggregation=spec, strategy=strategy,
                         on_error="degrade")

@@ -63,6 +63,12 @@ ADR501    phase-sequencing accumulator call (``allocate`` /
           (:class:`repro.runtime.phases.PhaseExecutor`); backends
           drive it, they do not re-implement it (the serial Figure-1
           oracle opts out with ``noqa``)
+ADR502    hard-coded strategy string literal (``"FRA"`` / ``"SRA"`` /
+          ``"DA"`` / ``"HYBRID"`` / ``"AUTO"``) in library code
+          outside ``src/repro/planner/`` -- strategy names are defined
+          once in :mod:`repro.planner.select`; import the constants
+          (``FRA``, ``AUTO``, ``FIXED_STRATEGIES``, ...) so automatic
+          selection stays a single choke point (docstrings exempt)
 ========  ==========================================================
 
 Files under the concurrency-critical paths (``src/repro/runtime/``,
@@ -96,7 +102,7 @@ __all__ = ["lint_paths", "lint_file", "lint_source", "main", "LINT_CODES"]
 
 LINT_CODES = (
     "ADR301", "ADR302", "ADR303", "ADR304", "ADR305", "ADR306", "ADR401",
-    "ADR402", "ADR501",
+    "ADR402", "ADR501", "ADR502",
 )
 
 #: Directory whose modules are the execution hot path (ADR305).
@@ -132,6 +138,15 @@ _GUARDED_CACHE_MODULES = ("store/cache.py", "store\\cache.py")
 
 #: The one module allowed to sequence the four phases (ADR501).
 _PHASE_LOOP_HOME = ("runtime/phases.py", "runtime\\phases.py")
+
+#: Library code under these roots must import strategy names from
+#: :mod:`repro.planner.select` instead of hard-coding the strings
+#: (ADR502); the planner itself is where the names are defined.
+_STRATEGY_SCOPE_PATHS = ("repro/",)
+_STRATEGY_NAME_HOME = ("repro/planner/",)
+
+#: The canonical strategy names (ADR502 flags these exact strings).
+_STRATEGY_LITERALS = frozenset({"FRA", "SRA", "DA", "HYBRID", "AUTO"})  # noqa: ADR502 -- the rule's own pattern table
 
 #: Accumulator-lifecycle methods whose call sites *are* the phase
 #: loop: allocating/initializing accumulators, applying reduction
@@ -263,12 +278,31 @@ def _calls_aggregate_directly(loop: ast.AST) -> Optional[ast.Call]:
     return None
 
 
+def _docstring_node_ids(tree: ast.AST) -> Set[int]:
+    """``id()`` of every docstring Constant (ADR502 exempts them)."""
+    out: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.add(id(body[0].value))
+    return out
+
+
 class _Visitor(ast.NodeVisitor):
     def __init__(
         self, path: str, out: DiagnosticCollector, rng_exempt: bool,
         runtime_hot_path: bool = False, fault_critical: bool = False,
         phase_scope: bool = False, index_hot_path: bool = False,
-        wire_scope: bool = False,
+        wire_scope: bool = False, strategy_scope: bool = False,
+        docstring_ids: Optional[Set[int]] = None,
     ) -> None:
         self.path = path
         self.out = out
@@ -278,6 +312,8 @@ class _Visitor(ast.NodeVisitor):
         self.phase_scope = phase_scope
         self.index_hot_path = index_hot_path
         self.wire_scope = wire_scope
+        self.strategy_scope = strategy_scope
+        self.docstring_ids = docstring_ids if docstring_ids is not None else set()
         #: ADR402 per-function frames: sockets created vs. timed.
         self._socket_frames: List[dict] = []
 
@@ -547,6 +583,26 @@ class _Visitor(ast.NodeVisitor):
         self._check_index_loop(node)
         self.generic_visit(node)
 
+    # -- ADR502: strategy literals outside the planner ---------------------
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            self.strategy_scope
+            and isinstance(node.value, str)
+            and node.value in _STRATEGY_LITERALS
+            and id(node) not in self.docstring_ids
+        ):
+            self.out.emit(
+                "ADR502",
+                Severity.ERROR,
+                self._loc(node),
+                f"hard-coded strategy literal {node.value!r} outside "
+                "repro/planner/; import the name from repro.planner.select "
+                "(FRA/SRA/DA/HYBRID/AUTO, FIXED_STRATEGIES, ALL_STRATEGIES) "
+                "so strategy selection keeps a single choke point",
+            )
+        self.generic_visit(node)
+
     # -- ADR401: swallowed exceptions in fault-critical code ---------------
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
@@ -594,7 +650,7 @@ def lint_source(
     runtime_hot_path: bool = False, fault_critical: bool = False,
     phase_scope: bool = False, concurrency_scope: bool = False,
     guarded_cache: bool = False, index_hot_path: bool = False,
-    wire_scope: bool = False,
+    wire_scope: bool = False, strategy_scope: bool = False,
 ) -> List[Diagnostic]:
     """Lint one module's source text (the testable core).
 
@@ -611,7 +667,8 @@ def lint_source(
         return out.diagnostics
     _Visitor(
         path, out, rng_exempt, runtime_hot_path, fault_critical, phase_scope,
-        index_hot_path, wire_scope,
+        index_hot_path, wire_scope, strategy_scope,
+        docstring_ids=_docstring_node_ids(tree) if strategy_scope else None,
     ).visit(tree)
     if check_all and not any(
         isinstance(n, ast.Assign)
@@ -660,6 +717,10 @@ def lint_file(path: Path) -> List[Diagnostic]:
         guarded_cache=any(posix.endswith(e) for e in _GUARDED_CACHE_MODULES),
         index_hot_path=any(m in posix for m in _INDEX_HOT_PATH),
         wire_scope=any(m in posix for m in _WIRE_SCOPE_PATHS),
+        strategy_scope=(
+            any(m in posix for m in _STRATEGY_SCOPE_PATHS)
+            and not any(m in posix for m in _STRATEGY_NAME_HOME)
+        ),
     )
 
 

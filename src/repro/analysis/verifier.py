@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, List
 import numpy as np
 
 from repro.analysis.diagnostics import Diagnostic, DiagnosticCollector, Severity
+from repro.planner.select import FIXED_STRATEGIES, FRA, SRA
 
 if TYPE_CHECKING:  # avoid a hard import cycle with repro.planner
     from repro.planner.plan import QueryPlan
@@ -236,18 +237,18 @@ def _check_ghost_transfers(plan: "QueryPlan", out: DiagnosticCollector) -> None:
 def _check_strategy_contracts(plan: "QueryPlan", out: DiagnosticCollector) -> None:
     p = plan.problem
     strategy = plan.strategy.upper()
-    if strategy not in ("FRA", "SRA", "DA"):
+    if strategy not in FIXED_STRATEGIES:
         return
 
     all_procs = np.arange(p.n_procs, dtype=np.int64)
-    if strategy == "SRA":
+    if strategy == SRA:
         from repro.planner.strategies import _so_lists  # lazy: import cycle
 
         so_indptr, so_ids = _so_lists(p)
     for o in range(p.n_out):
         holders = np.sort(plan.holders_of(o))
         owner = int(p.output_owner[o])
-        if strategy == "FRA":
+        if strategy == FRA:
             if len(holders) != p.n_procs or not np.array_equal(holders, all_procs):
                 out.error(
                     "ADR120",
@@ -256,7 +257,7 @@ def _check_strategy_contracts(plan: "QueryPlan", out: DiagnosticCollector) -> No
                     f"processor; output chunk {o} is held only by "
                     f"{holders.tolist()}",
                 )
-        elif strategy == "SRA":
+        elif strategy == SRA:
             so = so_ids[so_indptr[o] : so_indptr[o + 1]]
             want = np.unique(np.append(so, owner))
             if not np.array_equal(holders, want):
@@ -278,7 +279,7 @@ def _check_strategy_contracts(plan: "QueryPlan", out: DiagnosticCollector) -> No
 
     edge_in, edge_out = plan.edge_arrays
     if len(edge_in):
-        if strategy in ("FRA", "SRA"):
+        if strategy in (FRA, SRA):
             want = p.input_owner[edge_in].astype(np.int64)
             side = "input chunk owner"
         else:

@@ -32,9 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "what",
-        choices=["table1", "fig8", "fig9", "phases", "all"],
+        choices=["table1", "fig8", "fig9", "phases", "auto", "all"],
         help="which paper artifact to regenerate (phases: per-phase "
-        "time breakdown behind the fig8 totals)",
+        "time breakdown behind the fig8 totals; auto: calibrated "
+        "cost-model strategy selection vs the simulated grid)",
     )
     parser.add_argument("--app", choices=list(APPS), help="restrict to one application")
     parser.add_argument(
@@ -84,6 +85,11 @@ def main(argv: list[str] | None = None) -> int:
         for scaling in scalings:
             for app in apps:
                 print(grid.phase_table(app, scaling, procs))
+                print()
+    if args.what in ("auto", "all"):
+        for scaling in scalings:
+            for app in apps:
+                print(grid.auto_table(app, scaling))
                 print()
     if args.what in ("fig9", "all"):
         metrics = [args.metric] if args.metric else ["comm", "comp"]

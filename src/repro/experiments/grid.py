@@ -13,16 +13,19 @@ from typing import Callable, Dict, List, Tuple
 
 from repro.emulator import SATEmulator, VMEmulator, WCSEmulator
 from repro.machine.presets import ibm_sp
+from repro.planner.calibrate import CalibratedCostModel, calibrate
 from repro.planner.plan import QueryPlan
+from repro.planner.select import DA, FRA, SRA, choose_strategy
 from repro.planner.stats import PlanStats, plan_stats
 from repro.planner.strategies import plan_query
+from repro.planner.telemetry import MeasuredRun
 from repro.sim.query_sim import SimResult, simulate_query
 
 __all__ = ["APPS", "SCALINGS", "STRATEGIES", "METRICS", "ExperimentGrid"]
 
 APPS: Tuple[str, ...] = ("SAT", "WCS", "VM")
 SCALINGS: Tuple[str, ...] = ("fixed", "scaled")
-STRATEGIES: Tuple[str, ...] = ("FRA", "DA", "SRA")
+STRATEGIES: Tuple[str, ...] = (FRA, DA, SRA)
 
 MB = 2**20
 
@@ -68,6 +71,7 @@ class ExperimentGrid:
         self.plan = lru_cache(maxsize=None)(self._plan)
         self.cell = lru_cache(maxsize=None)(self._cell)
         self.cell_stats = lru_cache(maxsize=None)(self._cell_stats)
+        self.calibrated_model = lru_cache(maxsize=None)(self._calibrated_model)
 
     # -- cached layers ---------------------------------------------------
 
@@ -98,6 +102,71 @@ class ExperimentGrid:
     def _cell_stats(self, app: str, scaling: str, n_procs: int, strategy: str) -> PlanStats:
         scale = self.scale_for(scaling, n_procs)
         return plan_stats(self.plan(app, scale, n_procs, strategy))
+
+    # -- calibrated mode ---------------------------------------------------
+
+    def measured_runs(self, app: str) -> List[MeasuredRun]:
+        """Simulated telemetry for one application across the grid: one
+        :class:`~repro.planner.telemetry.MeasuredRun` per (scaling,
+        processor count, strategy) cell, times from the discrete-event
+        simulator."""
+        runs: List[MeasuredRun] = []
+        for scaling in SCALINGS:
+            for p in self.procs:
+                scale = self.scale_for(scaling, p)
+                for s in STRATEGIES:
+                    runs.append(
+                        MeasuredRun.from_sim(
+                            self.plan(app, scale, p, s),
+                            self.cell(app, scaling, p, s),
+                        )
+                    )
+        return runs
+
+    def _calibrated_model(self, app: str) -> CalibratedCostModel:
+        """Machine constants fitted from this grid's simulated runs.
+
+        One model per application -- the per-element compute costs
+        differ across SAT/WCS/VM, so their fitted constants do too
+        (exactly the per-app cost tables the closed-form model takes as
+        input, but recovered from observed times instead of entered by
+        hand)."""
+        return calibrate(self.measured_runs(app))
+
+    def auto_choice(self, app: str, scaling: str, n_procs: int):
+        """The calibrated model's strategy pick for one grid point."""
+        scale = self.scale_for(scaling, n_procs)
+        return choose_strategy(
+            self.problem(app, scale, n_procs),
+            self.calibrated_model(app),
+            candidates=STRATEGIES,
+        )
+
+    def auto_table(self, app: str, scaling: str) -> str:
+        """Calibrated auto-selection vs measured (simulated) execution."""
+        model = self.calibrated_model(app)
+        lines = [
+            f"== strategy='auto' (calibrated) -- {app}, {scaling} input "
+            f"({'fast' if self.fast else 'paper-size'} fidelity) ==",
+            "  " + model.diagnostics.summary(),
+        ]
+        header = (
+            "procs | " + " | ".join(f"{s:>8}" for s in STRATEGIES)
+            + " | auto pick | measured best | auto/best"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for p in self.procs:
+            sims = {s: self.cell(app, scaling, p, s).total_time for s in STRATEGIES}
+            pick = self.auto_choice(app, scaling, p).selected
+            best = min(sims, key=sims.get)
+            ratio = sims[pick] / sims[best]
+            lines.append(
+                f"{p:5d} | "
+                + " | ".join(f"{sims[s]:8.2f}" for s in STRATEGIES)
+                + f" | {pick:>9} | {best:>13} | {ratio:8.3f}"
+            )
+        return "\n".join(lines)
 
     # -- views ------------------------------------------------------------
 

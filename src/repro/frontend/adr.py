@@ -37,9 +37,10 @@ from repro.frontend.query import RangeQuery
 from repro.index.base import SpatialIndex
 from repro.index.rtree import RTree
 from repro.machine.config import ComputeCosts, MachineConfig
-from repro.planner.costmodel import select_strategy
+from repro.planner.costmodel import CostModel
 from repro.planner.plan import QueryPlan
 from repro.planner.problem import PlanningProblem
+from repro.planner.select import StrategyChoice, choose_strategy, is_auto
 from repro.planner.strategies import plan_query
 from repro.planner.validate import validate_plan
 from repro.runtime.engine import QueryResult, execute_plan
@@ -71,6 +72,7 @@ class ADR:
         cache_bytes: int = 64 * MB,
         retry: Optional[RetryPolicy] = None,
         prefetch: Union[bool, PrefetchPolicy, None] = None,
+        cost_model=None,
     ) -> None:
         self.machine = machine
         #: instance-wide read-ahead default; a query's ``prefetch``
@@ -96,6 +98,13 @@ class ADR:
         self._routing_lock = threading.Lock()
         self.declusterer = declusterer if declusterer is not None else HilbertDeclusterer()
         self.costs = costs
+        #: prices candidate plans behind ``strategy='auto'``; any object
+        #: with ``estimate(plan) -> CostEstimate`` -- the closed-form
+        #: default, or a measurement-fitted
+        #: :class:`~repro.planner.calibrate.CalibratedCostModel`
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(machine, costs)
+        )
         self.spaces = AttributeSpaceRegistry()
         self.catalog = DatasetCatalog()
         self._indices: Dict[str, SpatialIndex] = {}
@@ -226,15 +235,28 @@ class ADR:
         """Plan the query; ``strategy="AUTO"`` lets the cost model pick."""
         return self._plan_for(self.build_problem(query), query.strategy)
 
-    def _plan_for(self, problem: PlanningProblem, strategy: str) -> QueryPlan:
-        if strategy.upper() == "AUTO":
-            plan, _ = select_strategy(
-                problem, self.machine, self.costs, ["FRA", "SRA", "DA"]
-            )
-        else:
-            plan = plan_query(problem, strategy)
+    def plan_with_choice(
+        self, query: RangeQuery
+    ) -> Tuple[QueryPlan, Optional[StrategyChoice]]:
+        """Plan the query and, when ``strategy='auto'`` resolved it,
+        also return the :class:`~repro.planner.select.StrategyChoice`
+        (selected strategy + full cost ranking) so callers can audit
+        and surface the decision.  ``None`` for explicit strategies."""
+        return self._choose(self.build_problem(query), query.strategy)
+
+    def _choose(
+        self, problem: PlanningProblem, strategy: str
+    ) -> Tuple[QueryPlan, Optional[StrategyChoice]]:
+        if is_auto(strategy):
+            choice = choose_strategy(problem, self.cost_model)
+            validate_plan(choice.plan)
+            return choice.plan, choice
+        plan = plan_query(problem, strategy)
         validate_plan(plan)
-        return plan
+        return plan, None
+
+    def _plan_for(self, problem: PlanningProblem, strategy: str) -> QueryPlan:
+        return self._choose(problem, strategy)[0]
 
     # ------------------------------------------------------------------
     # Execution
@@ -268,8 +290,9 @@ class ADR:
         ``QueryResult.chunk_errors`` / ``completeness`` (see
         ``docs/robustness.md``).
         """
+        choice: Optional[StrategyChoice] = None
         if plan is None:
-            plan = self.plan(query)
+            plan, choice = self.plan_with_choice(query)
         name = query.dataset
         region = self.dataset(name).space.validate_query(query.region)
 
@@ -284,6 +307,9 @@ class ADR:
         )
         if recorder is not None:
             self._merge_store_stats(result, recorder)
+        if choice is not None:
+            result.selected_strategy = choice.selected
+            result.strategy_ranking = choice.ranking_dict()
         if store_as is not None:
             self._write_back(store_as, query, result)
         return result
@@ -394,11 +420,19 @@ class ADR:
             )
         return result
 
-    def plan_batch(self, queries: Sequence[RangeQuery], strategy: str = "FRA"):
+    def plan_batch(
+        self, queries: Sequence[RangeQuery], strategy: Optional[str] = None
+    ):
         """Plan a set of queries together (paper Section 2.1: the
         planning service processes *sets* of queries), ordering them so
         consecutive queries share as many input chunk retrievals as
-        possible.  Returns a :class:`repro.planner.batch.BatchPlan`."""
+        possible.  Returns a :class:`repro.planner.batch.BatchPlan`.
+
+        By default every query is planned with its *own* strategy
+        (``RangeQuery`` defaults to ``AUTO``, so the cost model picks
+        per query); passing *strategy* forces one strategy batch-wide.
+        """
+        from repro.planner.batch import BatchPlan, order_for_sharing
         from repro.planner.batch import plan_batch as _plan_batch
 
         if not queries:
@@ -409,10 +443,16 @@ class ADR:
                 f"batch queries must target one dataset, got {sorted(datasets)}"
             )
         problems = [self.build_problem(q) for q in queries]
-        return _plan_batch(problems, strategy)
+        if strategy is not None and not is_auto(strategy):
+            return _plan_batch(problems, strategy)
+        plans = [
+            self._choose(p, q.strategy if strategy is None else strategy)[0]
+            for p, q in zip(problems, queries)
+        ]
+        return BatchPlan(plans, order_for_sharing(plans))
 
     def execute_batch(
-        self, queries: Sequence[RangeQuery], strategy: str = "FRA",
+        self, queries: Sequence[RangeQuery], strategy: Optional[str] = None,
         backend: str = "sequential",
     ) -> list:
         """Functionally execute a batch in its shared-scan order;

@@ -26,6 +26,7 @@ from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
 from repro.dataset.predicate import ValuePredicate
 from repro.frontend.query import RangeQuery
+from repro.planner.select import AUTO
 from repro.runtime.engine import QueryResult
 from repro.space.attribute_space import AttributeSpace
 from repro.space.mapping import GridMapping
@@ -338,7 +339,7 @@ def query_from_dict(payload: Dict[str, Any]) -> RangeQuery:
         mapping=_mapping_from_dict(payload["mapping"]),
         grid=_grid_from_dict(payload["grid"]),
         aggregation=payload["aggregation"],
-        strategy=payload.get("strategy", "AUTO"),
+        strategy=payload.get("strategy", AUTO),
         value_components=int(payload.get("value_components", 1)),
         on_error=payload.get("on_error", "raise"),
         prefetch=_prefetch_from_payload(payload.get("prefetch")),
@@ -397,6 +398,15 @@ def result_to_dict(result: QueryResult) -> Dict[str, Any]:
             str(k): str(v) for k, v in result.shard_errors.items()
         }
         payload["completeness"] = float(result.completeness)
+    # Auto-selection audit trail: present only when the server resolved
+    # ``strategy='auto'``, so fixed-strategy results encode
+    # byte-identically to older payloads.
+    if result.selected_strategy:
+        payload["selected_strategy"] = str(result.selected_strategy)
+        if result.strategy_ranking:
+            payload["strategy_ranking"] = {
+                str(k): float(v) for k, v in result.strategy_ranking.items()
+            }
     return payload
 
 
@@ -442,6 +452,11 @@ def result_from_dict(payload: Dict[str, Any]) -> QueryResult:
             bytes_pruned=int(payload.get("bytes_pruned", 0)),
             shared_reads=int(payload.get("shared_reads", 0)),
             shared_bytes=int(payload.get("shared_bytes", 0)),
+            selected_strategy=str(payload.get("selected_strategy", "")),
+            strategy_ranking={
+                str(k): float(v)
+                for k, v in payload.get("strategy_ranking", {}).items()
+            },
         )
     except (KeyError, TypeError, ValueError) as e:
         raise ProtocolError(f"bad result payload: {e}") from e

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Union
 from repro.aggregation.functions import AGGREGATIONS, AggregationSpec
 from repro.aggregation.output_grid import OutputGrid
 from repro.dataset.predicate import ValuePredicate
+from repro.planner.select import AUTO
 from repro.space.mapping import GridMapping
 from repro.store.prefetch import PrefetchPolicy
 from repro.util.geometry import Rect
@@ -76,7 +77,7 @@ class RangeQuery:
     mapping: GridMapping
     grid: OutputGrid
     aggregation: Union[str, AggregationSpec] = "mean"
-    strategy: str = "AUTO"
+    strategy: str = AUTO
     value_components: int = 1
     on_error: str = "raise"
     prefetch: Union[bool, PrefetchPolicy, None] = None

@@ -55,6 +55,8 @@ from repro.frontend.adr import ADR
 from repro.frontend.query import RangeQuery
 from repro.planner.batch import BatchPlan, order_for_sharing
 from repro.planner.plan import QueryPlan
+from repro.planner.select import StrategyChoice
+from repro.planner.telemetry import MeasuredRun, TelemetryLog
 from repro.runtime.engine import QueryResult
 from repro.store.cache import CachedChunkStore
 
@@ -151,8 +153,9 @@ class QueryTicket:
         self._error: Optional[BaseException] = None
         #: scheduling diagnostics, filled when the query completes:
         #: ``queue_wait_s``, ``batch_size``, ``batch_pos``,
-        #: ``shared_reads``, ``shared_bytes``
-        self.service_info: Dict[str, float] = {}
+        #: ``shared_reads``, ``shared_bytes``, and -- for
+        #: ``strategy='auto'`` queries -- ``selected_strategy``
+        self.service_info: Dict[str, object] = {}
         self.submitted_at = time.monotonic()
 
     def done(self) -> bool:
@@ -208,9 +211,20 @@ class QueryService:
             results = [t.result(timeout=60) for t in tickets]
     """
 
-    def __init__(self, adr: ADR, policy: Optional[ServicePolicy] = None) -> None:
+    def __init__(
+        self,
+        adr: ADR,
+        policy: Optional[ServicePolicy] = None,
+        telemetry: Optional[TelemetryLog] = None,
+    ) -> None:
         self.adr = adr
         self.policy = policy if policy is not None else ServicePolicy()
+        #: when set, every cleanly completed query appends a
+        #: :class:`~repro.planner.telemetry.MeasuredRun` here, so the
+        #: cost model behind ``strategy='auto'`` can be (re)calibrated
+        #: from live traffic (``repro.planner.calibrate``).  Appends are
+        #: thread-safe; recording failures never fail the query.
+        self.telemetry = telemetry
         self._cv = threading.Condition()
         self._pending: Deque[QueryTicket] = deque()
         self._inflight = 0
@@ -362,10 +376,13 @@ class QueryService:
 
     def _run_batch(self, batch: List[QueryTicket]) -> None:
         dequeued = time.monotonic()
-        planned: List[Tuple[QueryTicket, QueryPlan]] = []
+        planned: List[
+            Tuple[QueryTicket, QueryPlan, Optional[StrategyChoice]]
+        ] = []
         for ticket in batch:
             try:
-                planned.append((ticket, self.adr.plan(ticket.query)))
+                plan, choice = self.adr.plan_with_choice(ticket.query)
+                planned.append((ticket, plan, choice))
             except Exception as e:  # planning errors resolve one ticket
                 self._finish(ticket, None, e)
         if not planned:
@@ -380,7 +397,7 @@ class QueryService:
         pinned: frozenset = frozenset()
         try:
             share = self.policy.share_scans and len(planned) > 1
-            plans = [plan for _, plan in planned]
+            plans = [plan for _, plan, _ in planned]
             order = order_for_sharing(plans) if share else list(range(len(planned)))
             if share and cache is not None:
                 pinned = BatchPlan(plans, list(order)).consecutive_shared_keys()
@@ -390,7 +407,7 @@ class QueryService:
                 if len(planned) > 1:
                     self._counters["batched_queries"] += len(planned)
             for pos, idx in enumerate(order):
-                ticket, plan = planned[idx]
+                ticket, plan, choice = planned[idx]
                 try:
                     result = self.adr.execute(ticket.query, plan=plan)
                 except Exception as e:
@@ -403,9 +420,14 @@ class QueryService:
                     "shared_reads": int(result.shared_reads),
                     "shared_bytes": int(result.shared_bytes),
                 }
+                if choice is not None:
+                    result.selected_strategy = choice.selected
+                    result.strategy_ranking = choice.ranking_dict()
+                    info["selected_strategy"] = choice.selected
+                self._record_telemetry(plan, result)
                 self._finish(ticket, result, None, info)
         except Exception as e:
-            for ticket, _ in planned:
+            for ticket, _, _ in planned:
                 if not ticket.done():
                     self._finish(ticket, None, e)
         finally:
@@ -413,6 +435,25 @@ class QueryService:
             # ignores keys that were never pinned.
             if pinned and cache is not None:
                 cache.unpin(dataset, pinned)
+
+    def _record_telemetry(self, plan: QueryPlan, result: QueryResult) -> None:
+        """Harvest a clean completed query into the telemetry log.
+
+        Only clean runs are worth fitting: degraded executions (chunk
+        errors, partial completeness) have phase times that do not
+        reflect the plan's work.  Recording failures are swallowed --
+        telemetry is an observer, never a reason to fail the query.
+        """
+        if self.telemetry is None:
+            return
+        if result.chunk_errors or result.completeness < 1.0:
+            return
+        if not result.phase_times:
+            return
+        try:
+            self.telemetry.append(MeasuredRun.from_result(plan, result))
+        except Exception:  # noqa: ADR401 -- telemetry is best-effort; the query result is already complete and unaffected
+            pass
 
     def _finish(
         self,

@@ -34,6 +34,21 @@ from repro.planner.validate import validate_plan
 from repro.planner.stats import PlanStats, plan_stats
 from repro.planner.hybrid import plan_hybrid
 from repro.planner.costmodel import CostModel, estimate_cost, select_strategy
+from repro.planner.select import (
+    ALL_STRATEGIES,
+    AUTO,
+    FIXED_STRATEGIES,
+    StrategyChoice,
+    choose_strategy,
+    is_auto,
+)
+from repro.planner.telemetry import MeasuredRun, TelemetryLog, plan_features
+from repro.planner.calibrate import (
+    CalibratedCostModel,
+    CalibrationError,
+    FitDiagnostics,
+    calibrate,
+)
 from repro.planner.batch import BatchPlan, plan_batch, simulate_batch
 
 __all__ = [
@@ -51,7 +66,21 @@ __all__ = [
     "CostModel",
     "estimate_cost",
     "select_strategy",
+    "ALL_STRATEGIES",
+    "AUTO",
+    "FIXED_STRATEGIES",
+    "StrategyChoice",
+    "choose_strategy",
+    "is_auto",
+    "MeasuredRun",
+    "TelemetryLog",
+    "plan_features",
+    "CalibratedCostModel",
+    "CalibrationError",
+    "FitDiagnostics",
+    "calibrate",
     "BatchPlan",
+
     "plan_batch",
     "simulate_batch",
 ]

@@ -88,6 +88,34 @@ class CostModel:
         p = plan.problem
         P = p.n_procs
         stats = plan_stats(plan)
+        pruned = p.pruned_in_plan_mask()
+
+        # Value-synopsis pruning: chunks the backends will skip at
+        # execution time contribute no reads, no aggregation pairs and
+        # no forwards -- pricing them would systematically over-estimate
+        # every `where=` query (and distort auto-selection rankings).
+        read_count = stats.read_count.astype(float)
+        read_bytes = stats.read_bytes.astype(float)
+        reduction_pairs = stats.reduction_pairs.astype(float)
+        it = plan.input_transfers
+        t_chunk, t_src, t_dst = it.chunk, it.src, it.dst
+        if pruned is not None:
+            r = plan.reads
+            drop = pruned[r.chunk]
+            read_count -= np.bincount(r.proc[drop], minlength=P)
+            dropped_bytes = np.zeros(P)
+            np.add.at(
+                dropped_bytes,
+                r.proc[drop],
+                p.inputs.nbytes[r.chunk[drop]].astype(float),
+            )
+            read_bytes -= dropped_bytes
+            edge_in, _ = plan.edge_arrays
+            edrop = pruned[edge_in]
+            reduction_pairs -= np.bincount(plan.edge_proc[edrop], minlength=P)
+            if len(t_chunk):
+                keep = ~pruned[t_chunk]
+                t_chunk, t_src, t_dst = t_chunk[keep], t_src[keep], t_dst[keep]
 
         # Initialization: pure CPU (plus optional output re-reads).
         t_init = c.init * stats.init_chunks.max(initial=0)
@@ -107,7 +135,7 @@ class CostModel:
 
         # Local reduction: the busiest processor's busiest resource
         # (disk, CPU, NIC), since operations pipeline within the phase.
-        io = stats.read_count * m.disk_seek + stats.read_bytes / m.disk_bandwidth
+        io = read_count * m.disk_seek + read_bytes / m.disk_bandwidth
         if p.init_from_output:
             # those reads were charged to init above
             io = io - (
@@ -115,14 +143,13 @@ class CostModel:
                 + np.bincount(p.output_owner, weights=p.outputs.nbytes, minlength=P)
                 / m.disk_bandwidth
             )
-        it = plan.input_transfers
         sent = np.zeros(P, dtype=np.int64)
         recv = np.zeros(P, dtype=np.int64)
-        if len(it):
-            np.add.at(sent, it.src, p.inputs.nbytes[it.chunk])
-            np.add.at(recv, it.dst, p.inputs.nbytes[it.chunk])
+        if len(t_chunk):
+            np.add.at(sent, t_src, p.inputs.nbytes[t_chunk])
+            np.add.at(recv, t_dst, p.inputs.nbytes[t_chunk])
         # message handling is processor-driven (cpu_per_byte)
-        cpu = c.reduction * stats.reduction_pairs + (sent + recv) * m.cpu_per_byte
+        cpu = c.reduction * reduction_pairs + (sent + recv) * m.cpu_per_byte
         net = np.maximum(sent, recv) / m.link_bandwidth
         t_lr = float(np.maximum(np.maximum(io, cpu), net).max(initial=0))
 
@@ -178,16 +205,31 @@ class CostModel:
         alloc = grid(plan.tile_of_output[flat_out], plan.holders_ids)
         t_init = float((c.init * alloc).max(axis=1).sum())
 
-        # Local reduction per tile.
+        # Local reduction per tile.  As in the simple model, rows for
+        # chunks that value-synopsis pruning will skip are dropped.
+        pruned = p.pruned_in_plan_mask()
         r = plan.reads
-        io = grid(r.tile, r.proc) * m.disk_seek + grid(
-            r.tile, r.proc, p.inputs.nbytes[r.chunk]
+        r_tile, r_proc, r_chunk = r.tile, r.proc, r.chunk
+        if pruned is not None and len(r_chunk):
+            keep = ~pruned[r_chunk]
+            r_tile, r_proc, r_chunk = r_tile[keep], r_proc[keep], r_chunk[keep]
+        io = grid(r_tile, r_proc) * m.disk_seek + grid(
+            r_tile, r_proc, p.inputs.nbytes[r_chunk]
         ) / (m.disk_bandwidth * m.disks_per_node)
         edge_in, _ = plan.edge_arrays
-        pairs = grid(plan.edge_tile, plan.edge_proc)
+        e_tile, e_proc = plan.edge_tile, plan.edge_proc
+        if pruned is not None and len(edge_in):
+            ekeep = ~pruned[edge_in]
+            e_tile, e_proc = e_tile[ekeep], e_proc[ekeep]
+        pairs = grid(e_tile, e_proc)
         it = plan.input_transfers
-        sent = grid(it.tile, it.src, p.inputs.nbytes[it.chunk])
-        recv = grid(it.tile, it.dst, p.inputs.nbytes[it.chunk])
+        i_tile, i_src, i_dst, i_chunk = it.tile, it.src, it.dst, it.chunk
+        if pruned is not None and len(i_chunk):
+            ikeep = ~pruned[i_chunk]
+            i_tile, i_src = i_tile[ikeep], i_src[ikeep]
+            i_dst, i_chunk = i_dst[ikeep], i_chunk[ikeep]
+        sent = grid(i_tile, i_src, p.inputs.nbytes[i_chunk])
+        recv = grid(i_tile, i_dst, p.inputs.nbytes[i_chunk])
         cpu = c.reduction * pairs + (sent + recv) * m.cpu_per_byte
         net = np.maximum(sent, recv) / m.link_bandwidth
         t_lr = float(np.maximum(np.maximum(io, cpu), net).max(axis=1).sum())
@@ -247,25 +289,13 @@ def select_strategy(
     """Plan with every candidate strategy, estimate each, return the
     cheapest plan plus all estimates (for reporting).
 
-    This is the automated selection the paper names as a long-term
-    goal; its accuracy against the simulator is quantified in
+    Back-compat wrapper: the selection itself lives at the single
+    choke point :func:`repro.planner.select.choose_strategy`; its
+    accuracy against the simulator is quantified in
     ``benchmarks/bench_costmodel_accuracy.py``.
     """
-    from repro.planner.strategies import plan_query
+    from repro.planner.select import FIXED_STRATEGIES, choose_strategy
 
-    names = list(strategies) if strategies is not None else ["FRA", "SRA", "DA"]
-    if not names:
-        raise ValueError("need at least one candidate strategy")
-    model = CostModel(machine, costs)
-    best_plan: Optional[QueryPlan] = None
-    best_cost = float("inf")
-    estimates: Dict[str, CostEstimate] = {}
-    for name in names:
-        plan = plan_query(problem, name)
-        est = model.estimate(plan)
-        estimates[plan.strategy] = est
-        if est.total < best_cost:
-            best_cost = est.total
-            best_plan = plan
-    assert best_plan is not None
-    return best_plan, estimates
+    names = tuple(strategies) if strategies is not None else FIXED_STRATEGIES
+    choice = choose_strategy(problem, CostModel(machine, costs), names)
+    return choice.plan, choice.estimates

@@ -132,6 +132,25 @@ class PlanningProblem:
         """Input chunks dropped by value-synopsis pruning."""
         return len(self.pruned_input_ids)
 
+    def pruned_in_plan_mask(self) -> Optional[np.ndarray]:
+        """Boolean mask over the dense input ids marking chunks that
+        value-synopsis pruning will skip at execution time even though
+        they are part of this planning universe.
+
+        Normally ``None``: the front end drops pruned chunks *before*
+        planning, so ``pruned_input_ids`` and ``input_global_ids`` are
+        disjoint.  A caller pricing plans over an unpruned universe --
+        the shard router's global pricing problem, where each shard
+        prunes locally at execution time -- lists the prunable chunks
+        here instead, and the cost model subtracts their reads,
+        aggregation pairs and forwards (a ``where=`` query priced
+        without that correction is systematically over-estimated).
+        """
+        if self.n_pruned == 0:
+            return None
+        mask = np.isin(self.input_global_ids, self.pruned_input_ids)
+        return mask if mask.any() else None
+
     @property
     def input_owner(self) -> np.ndarray:
         return self.inputs.node

@@ -129,6 +129,12 @@ class QueryResult:
     #: ids) and ``completeness`` accounts for them.  Always empty on
     #: single-process results.
     shard_errors: Dict[int, str] = field(default_factory=dict)
+    #: automatic strategy selection only: the concrete strategy
+    #: ``strategy='auto'`` resolved to, and the full cost-model ranking
+    #: (strategy -> estimated seconds, cheapest first) behind that
+    #: decision.  Empty when the caller fixed the strategy explicitly.
+    selected_strategy: str = ""
+    strategy_ranking: Dict[str, float] = field(default_factory=dict)
 
     def value_of(self, output_id: int) -> np.ndarray:
         pos = np.flatnonzero(self.output_ids == output_id)

@@ -44,9 +44,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dataset.graph import ChunkGraph
+from repro.decluster.hilbert import HilbertDeclusterer
 from repro.frontend.protocol import DeadlineExceededError, ProtocolError
 from repro.frontend.query import RangeQuery
 from repro.frontend.service import RemoteQueryError
+from repro.machine.config import MachineConfig
+from repro.planner.problem import PlanningProblem
+from repro.planner.select import StrategyChoice, choose_strategy, is_auto
 from repro.runtime.engine import QueryResult
 from repro.runtime.phases import PHASES
 from repro.shard.partial import combine_partials
@@ -144,12 +149,21 @@ class RouterPolicy:
 
 @dataclass
 class ScatterPlan:
-    """One query's scatter: which shards serve which global chunks."""
+    """One query's scatter: which shards serve which global chunks.
+
+    ``query`` always carries a *concrete* strategy: when the client
+    submitted ``strategy='auto'``, the router resolved it once against
+    the global topology before scattering (every shard must run the
+    same strategy or the partial accumulators would not be comparable),
+    and ``choice`` keeps the priced ranking behind that decision.
+    """
 
     query: RangeQuery
     output_ids: np.ndarray
     #: shard id -> dataset-global input chunk ids it must serve
     in_ids_by_shard: Dict[int, np.ndarray]
+    #: the auto-selection audit trail; ``None`` for explicit strategies
+    choice: Optional[StrategyChoice] = None
 
     @property
     def shard_ids(self) -> List[int]:
@@ -181,9 +195,26 @@ class ShardRouter:
         client_factory: Callable[[Any, float], ShardClient] = _socket_client_factory,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        machine: Optional[MachineConfig] = None,
+        cost_model=None,
     ) -> None:
         self.topology = topology
         self.policy = policy if policy is not None else RouterPolicy()
+        # Pricing for strategy='auto': the router models the deployment
+        # as one machine with a processor per shard (each shard is an
+        # independent process owning a disk farm).  A calibrated model
+        # fitted from this deployment's telemetry can be passed instead.
+        if machine is None:
+            from repro.machine.presets import ibm_sp
+
+            machine = ibm_sp(topology.n_shards)
+        self.machine = machine
+        if cost_model is None:
+            from repro.frontend.adr import DEFAULT_COSTS
+            from repro.planner.costmodel import CostModel
+
+            cost_model = CostModel(machine, DEFAULT_COSTS)
+        self.cost_model = cost_model
         self.endpoints: Dict[int, ShardEndpoint] = {}
         for ep in endpoints:
             if ep.shard_id in self.endpoints:
@@ -200,6 +231,11 @@ class ShardRouter:
 
     def plan(self, query: RangeQuery) -> ScatterPlan:
         """Plan the scatter once, router-side.
+
+        ``strategy='auto'`` is resolved here, once, against the global
+        topology -- the scattered sub-queries all carry the concrete
+        winning strategy, so every shard partitions its work the same
+        way and the partial accumulators merge consistently.
 
         Raises the same ``ValueError`` messages a single-process
         ``ADR.build_problem`` would for empty selections/projections,
@@ -221,12 +257,72 @@ class ShardRouter:
         if len(out_ids) == 0:
             raise ValueError("query region projects onto no output chunks")
 
+        choice: Optional[StrategyChoice] = None
+        if is_auto(query.strategy):
+            from dataclasses import replace
+
+            problem = self._pricing_problem(query, in_ids, out_ids)
+            choice = choose_strategy(problem, self.cost_model)
+            query = replace(query, strategy=choice.selected)
+
         shard_of = topo.assignment.shard_of[in_ids]
         by_shard = {
             int(sid): in_ids[shard_of == sid] for sid in np.unique(shard_of)
         }
         return ScatterPlan(
-            query=query, output_ids=out_ids, in_ids_by_shard=by_shard
+            query=query, output_ids=out_ids, in_ids_by_shard=by_shard,
+            choice=choice,
+        )
+
+    def _pricing_problem(
+        self, query: RangeQuery, in_ids: np.ndarray, out_ids: np.ndarray
+    ) -> PlanningProblem:
+        """The global planning problem ``strategy='auto'`` is priced on.
+
+        One "processor" per shard, inputs placed on their owning shard.
+        The scatter itself is *not* pruned here -- each shard prunes
+        locally at execution time, and the completeness denominator
+        must keep covering what was planned -- so prunable chunks stay
+        in the input universe and are listed in ``pruned_input_ids``
+        (the overlapping convention of
+        :meth:`~repro.planner.problem.PlanningProblem.pruned_in_plan_mask`),
+        letting the cost model subtract the work they will not cost.
+        """
+        topo = self.topology
+        n = topo.n_shards
+        shard_of = topo.assignment.shard_of[in_ids]
+        inputs = topo.chunks.subset(in_ids).with_placement(
+            shard_of, np.zeros(len(in_ids), dtype=np.int64)
+        )
+        out_all = query.grid.chunkset()
+        node, disk = HilbertDeclusterer().assign(out_all, n, 1)
+        outputs = out_all.with_placement(node, disk).subset(out_ids)
+        graph = ChunkGraph.from_geometry(inputs, outputs, query.mapping)
+        spec = query.spec()
+        acc_nbytes = np.asarray(
+            [spec.acc_bytes(query.grid.cells_in_chunk(int(o))) for o in out_ids],
+            dtype=np.int64,
+        )
+        pruned_ids = np.empty(0, dtype=np.int64)
+        pruned_bytes = 0
+        predicate = query.predicate()
+        if predicate is not None and topo.chunks.synopsis is not None:
+            prunable = predicate.prunable_chunks(
+                topo.chunks.synopsis.subset(in_ids)
+            )
+            pruned_ids = in_ids[prunable]
+            pruned_bytes = int(topo.chunks.nbytes[pruned_ids].sum())
+        return PlanningProblem(
+            n_procs=n,
+            memory_per_proc=self.machine.memory_per_proc,
+            inputs=inputs,
+            outputs=outputs,
+            graph=graph,
+            acc_nbytes=acc_nbytes,
+            input_global_ids=in_ids,
+            output_global_ids=out_ids,
+            pruned_input_ids=pruned_ids,
+            pruned_bytes=pruned_bytes,
         )
 
     # -- execution ------------------------------------------------------
@@ -478,6 +574,12 @@ class ShardRouter:
             shared_reads=sum(r.shared_reads for _, r in partials),
             shared_bytes=sum(r.shared_bytes for _, r in partials),
             shard_errors=shard_errors,
+            selected_strategy=(
+                plan.choice.selected if plan.choice is not None else ""
+            ),
+            strategy_ranking=(
+                plan.choice.ranking_dict() if plan.choice is not None else {}
+            ),
         )
 
     # -- liveness -------------------------------------------------------

@@ -83,8 +83,9 @@ class TestFunctionalCorpus:
 
     def test_one_strategy_verifies_clean(self):
         n_plans, failures = verify_functional_corpus(strategies=("FRA",))
-        # 9 workloads plus one where= pruned plan per workload
-        assert n_plans == 18
+        # 9 workloads plus one where= pruned plan and one
+        # auto-resolved plan per workload
+        assert n_plans == 27
         assert failures == [], "\n".join(failures)
 
 

@@ -327,6 +327,51 @@ class TestPhaseLoopOwnership:
         assert {d.code for d in lint_file(elsewhere / "mod.py")} == set()
 
 
+class TestStrategyLiteralMonopoly:
+    """ADR502: strategy names are spelled in repro/planner/ only;
+    everyone else imports them from repro.planner.select."""
+
+    def test_literal_flagged_in_strategy_scope(self):
+        for name in ("FRA", "SRA", "DA", "HYBRID", "AUTO"):
+            assert codes(f's = "{name}"\n', strategy_scope=True) == {"ADR502"}
+
+    def test_not_flagged_outside_strategy_scope(self):
+        assert codes('s = "FRA"\n') == set()
+
+    def test_other_strings_untouched(self):
+        assert codes('s = "fra"\ns2 = "FRAME"\n', strategy_scope=True) == set()
+
+    def test_docstrings_exempt(self):
+        src = '''
+        def plan():
+            """Plans FRA or DA depending on the cost model."""
+            return None
+        '''
+        assert codes(src, strategy_scope=True) == set()
+
+    def test_noqa_opt_out(self):
+        src = 's = "FRA"  # noqa: ADR502 -- wire-format fixture\n'
+        assert codes(src, strategy_scope=True) == set()
+
+    def test_scope_resolved_from_file_location(self, tmp_path):
+        """Every repro/ module except repro/planner/ gets the rule."""
+        from repro.analysis.lint import lint_file
+
+        src = 'DEFAULT = "SRA"\n'
+        frontend = tmp_path / "repro" / "frontend"
+        frontend.mkdir(parents=True)
+        (frontend / "mod.py").write_text(src)
+        planner = tmp_path / "repro" / "planner"
+        planner.mkdir(parents=True)
+        (planner / "select.py").write_text(src)
+        outside = tmp_path / "scripts"
+        outside.mkdir(parents=True)
+        (outside / "mod.py").write_text(src)
+        assert {d.code for d in lint_file(frontend / "mod.py")} == {"ADR502"}
+        assert {d.code for d in lint_file(planner / "select.py")} == set()
+        assert {d.code for d in lint_file(outside / "mod.py")} == set()
+
+
 class TestTree:
     def test_src_tree_is_clean(self):
         root = Path(__file__).resolve().parents[2]

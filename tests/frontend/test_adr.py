@@ -125,7 +125,32 @@ class TestPlanningSurface:
     def test_auto_picks_a_strategy(self, rng):
         adr, _, mapping, grid = build_instance(rng)
         plan = adr.plan(full_query(mapping, grid, "AUTO"))
-        assert plan.strategy in {"FRA", "SRA", "DA"}
+        assert plan.strategy in {"FRA", "SRA", "DA", "HYBRID"}
+
+    def test_auto_execute_stamps_choice(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        res = adr.execute(full_query(mapping, grid, "AUTO"))
+        assert res.selected_strategy == res.strategy
+        assert res.selected_strategy in {"FRA", "SRA", "DA", "HYBRID"}
+        # the full priced ranking is exposed, cheapest first
+        totals = list(res.strategy_ranking.values())
+        assert totals == sorted(totals)
+        assert next(iter(res.strategy_ranking)) == res.selected_strategy
+        assert set(res.strategy_ranking) == {"FRA", "SRA", "DA", "HYBRID"}
+
+    def test_fixed_strategy_has_no_choice_stamp(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        res = adr.execute(full_query(mapping, grid, "DA"))
+        assert res.selected_strategy == ""
+        assert res.strategy_ranking == {}
+
+    def test_auto_matches_explicit_execution(self, rng):
+        adr, _, mapping, grid = build_instance(rng)
+        auto = adr.execute(full_query(mapping, grid, "AUTO"))
+        explicit = adr.execute(full_query(mapping, grid, auto.selected_strategy))
+        assert auto.output_ids.tolist() == explicit.output_ids.tolist()
+        for av, ev in zip(auto.chunk_values, explicit.chunk_values):
+            assert np.array_equal(av, ev, equal_nan=True)
 
     def test_simulate(self, rng):
         adr, _, mapping, grid = build_instance(rng)

@@ -229,6 +229,72 @@ class TestResultRoundTrip:
         assert back.phase_times == {} and back.cache_stats == {}
 
 
+class TestStrategyChoiceOnTheWire:
+    def _result(self, **kw):
+        from repro.runtime.engine import QueryResult
+
+        return QueryResult(
+            strategy="SRA",
+            output_ids=np.array([0]),
+            chunk_values=[np.array([[2.0]])],
+            n_tiles=1, n_reads=1, bytes_read=10, n_combines=0,
+            n_aggregations=1, **kw,
+        )
+
+    def test_selection_roundtrip(self):
+        res = self._result(
+            selected_strategy="SRA",
+            strategy_ranking={"SRA": 1.25, "FRA": 2.5, "DA": 4.0,
+                              "HYBRID": 4.5},
+        )
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(res))))
+        assert back.selected_strategy == "SRA"
+        assert back.strategy_ranking == res.strategy_ranking
+        # rank order survives the wire (dict order is part of the payload)
+        assert list(back.strategy_ranking) == ["SRA", "FRA", "DA", "HYBRID"]
+
+    def test_fixed_strategy_payload_omits_selection(self):
+        """Explicit-strategy results carry no selection fields -- the
+        payload stays byte-compatible with pre-auto servers."""
+        payload = json.loads(json.dumps(result_to_dict(self._result())))
+        assert "selected_strategy" not in payload
+        assert "strategy_ranking" not in payload
+        back = result_from_dict(payload)
+        assert back.selected_strategy == ""
+        assert back.strategy_ranking == {}
+
+    def test_auto_query_roundtrip(self):
+        q = make_query()
+        q.strategy = "AUTO"
+        back = query_from_dict(json.loads(json.dumps(query_to_dict(q))))
+        assert back.strategy == "AUTO"
+
+    def test_missing_strategy_defaults_to_auto(self):
+        """A client that omits strategy gets automatic selection."""
+        payload = json.loads(json.dumps(query_to_dict(make_query())))
+        del payload["strategy"]
+        assert query_from_dict(payload).strategy == "AUTO"
+
+    def test_auto_end_to_end_on_the_wire(self, rng):
+        adr = ADR(machine=MachineConfig(n_procs=2, memory_per_proc=MB))
+        in_space = AttributeSpace.regular("s", ("x", "y"), (0, 0), (10, 10))
+        coords = rng.uniform(0, 10, size=(200, 2))
+        values = rng.integers(1, 20, size=200).astype(float)
+        adr.load("sensors", in_space, hilbert_partition(coords, values, 20))
+        out_space = AttributeSpace.regular("o", ("u", "v"), (0, 0), (1, 1))
+        grid = OutputGrid(out_space, (6, 6), (3, 3))
+        mapping = GridMapping(in_space, out_space, (6, 6))
+        q = RangeQuery("sensors", Rect((0, 0), (10, 10)), mapping, grid,
+                       aggregation="mean", strategy="AUTO")
+
+        server_query = query_from_dict(json.loads(json.dumps(query_to_dict(q))))
+        result = adr.execute(server_query)
+        back = result_from_dict(json.loads(json.dumps(result_to_dict(result))))
+        assert back.selected_strategy == result.strategy
+        assert back.strategy_ranking == result.strategy_ranking
+        assert set(back.strategy_ranking) == {"FRA", "SRA", "DA", "HYBRID"}
+
+
 class TestSharedCountersOnTheWire:
     def _result(self, **kw):
         from repro.runtime.engine import QueryResult

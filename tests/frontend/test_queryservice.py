@@ -403,3 +403,64 @@ class TestSchedulerFailure:
         stats = service.stats()
         assert stats["in_flight"] == 0
         assert stats["queue_depth"] == 0
+
+
+class TestAutoStrategyAndTelemetry:
+    def test_auto_query_through_service(self):
+        adr, space = build_adr()
+        q = make_query(space, Rect((0, 0), (10, 10)), strategy="AUTO")
+        with QueryService(adr, ServicePolicy()) as service:
+            ticket = service.submit(q)
+            result = ticket.result(timeout=60)
+        assert result.selected_strategy == result.strategy
+        assert result.selected_strategy in {"FRA", "SRA", "DA", "HYBRID"}
+        assert ticket.service_info["selected_strategy"] == result.strategy
+        # ...and it matches the same query executed alone
+        solo_adr, _ = build_adr()
+        assert_identical(
+            result, solo_adr.execute(q), label="auto through service"
+        )
+
+    def test_telemetry_recorded_per_completed_query(self, tmp_path):
+        from repro.planner.telemetry import CANONICAL_PHASES, TelemetryLog
+
+        adr, space = build_adr()
+        log = TelemetryLog(tmp_path / "telemetry.jsonl")
+        queries = workload(space)
+        with QueryService(adr, ServicePolicy(), telemetry=log) as service:
+            for t in [service.submit(q) for q in queries]:
+                t.result(timeout=120)
+        runs = log.load()
+        assert len(runs) == len(queries)
+        for run in runs:
+            assert run.source == "measured"
+            assert set(run.phase_times) <= set(CANONICAL_PHASES)
+            assert run.total_time > 0
+            assert run.n_procs == 2
+
+    def test_no_telemetry_log_means_no_recording(self, tmp_path):
+        adr, space = build_adr()
+        q = make_query(space, Rect((0, 0), (10, 10)))
+        with QueryService(adr, ServicePolicy()) as service:
+            service.execute(q, timeout=60)
+        assert not (tmp_path / "telemetry.jsonl").exists()
+
+    def test_degraded_queries_not_recorded(self, tmp_path):
+        """Telemetry feeds calibration; a degraded run's phase times
+        describe a partial query and would poison the fit."""
+        from repro.planner.telemetry import TelemetryLog
+
+        plan = FaultPlan.corrupt_chunk(chunk_id=0, dataset="sensors", times=1)
+        store = FaultyChunkStore(MemoryChunkStore(), FaultInjector(plan))
+        adr, space = build_adr(store=store)
+        log = TelemetryLog(tmp_path / "telemetry.jsonl")
+        degraded = make_query(
+            space, Rect((0, 0), (10, 10)), on_error="degrade"
+        )
+        clean = make_query(space, Rect((0, 0), (10, 10)))
+        with QueryService(adr, ServicePolicy(), telemetry=log) as service:
+            bad = service.execute(degraded, timeout=60)
+            service.execute(clean, timeout=60)
+        assert bad.completeness < 1.0
+        runs = log.load()
+        assert len(runs) == 1  # only the clean run was recorded

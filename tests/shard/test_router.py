@@ -115,6 +115,49 @@ class TestPlanning:
             cluster.router.plan(bad)
 
 
+class TestAutoStrategy:
+    """``strategy='auto'`` resolves once, router-side, on the global
+    topology: every shard must run the same concrete strategy or the
+    partial accumulators would not be comparable."""
+
+    def test_plan_resolves_auto_before_scatter(self, deployment):
+        cluster, _, query = deployment
+        plan = cluster.router.plan(query(strategy="auto"))
+        assert plan.choice is not None
+        assert plan.query.strategy == plan.choice.selected
+        assert plan.query.strategy in ("FRA", "SRA", "DA", "HYBRID")
+        totals = [est.total for _, est in plan.choice.ranking]
+        assert totals == sorted(totals)
+
+    def test_auto_matches_solo_execution(self, deployment):
+        cluster, solo, query = deployment
+        got = cluster.execute(query(strategy="auto"))
+        assert got.selected_strategy in ("FRA", "SRA", "DA", "HYBRID")
+        assert got.strategy_ranking
+        assert not got.shard_errors and got.completeness == 1.0
+        want = solo.execute(query(strategy=got.selected_strategy))
+        assert got.output_ids.tolist() == want.output_ids.tolist()
+        for a, b in zip(got.chunk_values, want.chunk_values):
+            np.testing.assert_allclose(a, b, equal_nan=True)
+
+    def test_local_and_wire_agree_on_auto(self, deployment):
+        cluster, _, query = deployment
+        wire = cluster.execute(query(strategy="auto"))
+        local = cluster.execute_local(query(strategy="auto"))
+        assert wire.selected_strategy == local.selected_strategy
+        assert wire.output_ids.tolist() == local.output_ids.tolist()
+        for a, b in zip(wire.chunk_values, local.chunk_values):
+            assert np.array_equal(a, b, equal_nan=True)
+
+    def test_fixed_strategy_has_no_choice(self, deployment):
+        cluster, _, query = deployment
+        plan = cluster.router.plan(query())
+        assert plan.choice is None
+        got = cluster.execute(query())
+        assert got.selected_strategy == ""
+        assert got.strategy_ranking == {}
+
+
 class TestScatterGather:
     def test_wire_equals_local_equals_solo(self, deployment):
         cluster, solo, query = deployment
